@@ -1,0 +1,44 @@
+// Command pigeon runs spatial query scripts in the Pig-Latin-like
+// language of SpatialHadoop's language layer (see internal/pigeon for the
+// grammar). Scripts come from a file or stdin:
+//
+//	pigeon script.pg
+//	echo "pts = GENERATE uniform 10000; idx = INDEX pts BY 'grid'; sky = SKYLINE idx; DUMP sky;" | pigeon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/pigeon"
+)
+
+func main() {
+	var (
+		workers   = flag.Int("workers", 25, "simulated cluster size")
+		blockSize = flag.Int64("blocksize", 256<<10, "DFS block size in bytes")
+	)
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pigeon:", err)
+		os.Exit(1)
+	}
+
+	sys := core.New(core.Config{Workers: *workers, BlockSize: *blockSize, Seed: 1})
+	in := pigeon.New(sys, os.Stdout)
+	if err := in.Exec(string(src)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

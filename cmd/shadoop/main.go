@@ -1,0 +1,317 @@
+// Command shadoop is the one-shot SpatialHadoop driver: it stands up a
+// simulated cluster, loads a dataset (generated, or read from a text file
+// produced by the datagen command), builds the chosen spatial index, runs
+// one operation, and reports the answer together with the pruning
+// statistics the indexes achieved.
+//
+// Usage examples:
+//
+//	shadoop -op skyline -dist clustered -n 500000 -index str+
+//	shadoop -op rangequery -rect 2e5,2e5,3e5,3e5 -input pts.csv
+//	shadoop -op knn -point 5e5,5e5 -k 10
+//	shadoop -op voronoi -n 100000 -index grid
+//	shadoop -op union -polygons zips.txt -index grid
+//	shadoop -op join -polygons a.txt -polygons2 b.txt -index str+
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spatialhadoop/internal/cg"
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/sindex"
+)
+
+func main() {
+	var (
+		op        = flag.String("op", "skyline", "rangequery|knn|join|skyline|skyline-os|hull|hull-enhanced|closest|farthest|voronoi|delaunay|ann|plot|union|union-enhanced")
+		input     = flag.String("input", "", "points file from datagen (generated when empty)")
+		polygons  = flag.String("polygons", "", "polygon file for union/join")
+		polygons2 = flag.String("polygons2", "", "second polygon file for join")
+		dist      = flag.String("dist", "clustered", "distribution for generated points")
+		n         = flag.Int("n", 200000, "generated dataset size")
+		indexName = flag.String("index", "str+", "grid|str|str+|quadtree|kdtree|zcurve|hilbert|heap")
+		workers   = flag.Int("workers", 25, "simulated cluster size")
+		blockSize = flag.Int64("blocksize", 256<<10, "block size in bytes")
+		rectStr   = flag.String("rect", "", "range query rectangle minx,miny,maxx,maxy")
+		pointStr  = flag.String("point", "", "kNN query point x,y")
+		k         = flag.Int("k", 10, "kNN k")
+		seed      = flag.Int64("seed", 1, "seed for generated data")
+		out       = flag.String("out", "", "output file for -op plot (default plot.png)")
+	)
+	flag.Parse()
+
+	sys := core.New(core.Config{Workers: *workers, BlockSize: *blockSize, Seed: *seed})
+
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "shadoop:", err)
+		os.Exit(1)
+	}
+	report := func(what string, rep *mapreduce.Report, wall time.Duration) {
+		fmt.Printf("%s: %v wall; %d/%d partitions processed; counters: shuffle=%dB output=%d\n",
+			what, wall.Round(time.Millisecond), rep.Splits, rep.SplitsTotal,
+			rep.Counters[mapreduce.CounterShuffleBytes], rep.OutputCount)
+	}
+
+	needsPoints := map[string]bool{
+		"rangequery": true, "knn": true, "skyline": true, "skyline-os": true,
+		"hull": true, "hull-enhanced": true, "closest": true, "farthest": true,
+		"voronoi": true, "delaunay": true, "ann": true, "plot": true,
+	}
+	if needsPoints[*op] {
+		pts, err := loadOrGeneratePoints(*input, *dist, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *indexName == "heap" {
+			if err := sys.LoadPointsHeap("pts", pts); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("loaded %d points as a heap file\n", len(pts))
+		} else {
+			tech, err := sindex.ParseTechnique(*indexName)
+			if err != nil {
+				fatal(err)
+			}
+			start := time.Now()
+			f, err := sys.LoadPoints("pts", pts, tech)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("loaded %d points into %d %s partitions in %v\n",
+				len(pts), len(f.Index.Cells), tech, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	start := time.Now()
+	switch *op {
+	case "rangequery":
+		rect, err := geomio.DecodeRect(orDefault(*rectStr, "2e5,2e5,3e5,3e5"))
+		if err != nil {
+			fatal(err)
+		}
+		res, rep, err := ops.RangeQueryPoints(sys, "pts", rect)
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("range query -> %d points", len(res)), rep, time.Since(start))
+	case "knn":
+		q, err := geomio.DecodePoint(orDefault(*pointStr, "5e5,5e5"))
+		if err != nil {
+			fatal(err)
+		}
+		res, rep, err := ops.KNN(sys, "pts", q, *k)
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("%d-NN of %v", *k, q), rep, time.Since(start))
+		for i, p := range res {
+			fmt.Printf("  %2d. %v (dist %.2f)\n", i+1, p, p.Dist(q))
+		}
+	case "skyline":
+		sky, rep, err := cg.SkylineSHadoop(sys, "pts")
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("skyline -> %d points", len(sky)), rep, time.Since(start))
+	case "skyline-os":
+		sky, rep, err := cg.SkylineOutputSensitive(sys, "pts", true)
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("output-sensitive skyline -> %d points", len(sky)), rep, time.Since(start))
+	case "hull":
+		hull, rep, err := cg.ConvexHullSHadoop(sys, "pts")
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("convex hull -> %d vertices", len(hull)), rep, time.Since(start))
+	case "hull-enhanced":
+		hull, rep, err := cg.ConvexHullEnhanced(sys, "pts")
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("enhanced convex hull -> %d vertices", len(hull)), rep, time.Since(start))
+	case "closest":
+		pair, rep, err := cg.ClosestPairSHadoop(sys, "pts")
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("closest pair %v-%v dist %.4f", pair.P, pair.Q, pair.Dist), rep, time.Since(start))
+	case "farthest":
+		pair, rep, err := cg.FarthestPairSHadoop(sys, "pts")
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("farthest pair %v-%v dist %.1f", pair.P, pair.Q, pair.Dist), rep, time.Since(start))
+	case "plot":
+		img, rep, err := ops.Plot(sys, "pts", ops.PlotConfig{Width: 512, Height: 512})
+		if err != nil {
+			fatal(err)
+		}
+		png, err := ops.EncodePlotPNG(img)
+		if err != nil {
+			fatal(err)
+		}
+		file := orDefault(*out, "plot.png")
+		if err := os.WriteFile(file, png, 0o644); err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("plot -> %s (%d bytes)", file, len(png)), rep, time.Since(start))
+	case "ann":
+		res, rep, err := ops.AllNearestNeighbors(sys, "pts")
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("all nearest neighbours -> %d pairs", len(res)), rep, time.Since(start))
+	case "delaunay":
+		tris, rep, err := cg.DelaunaySHadoop(sys, "pts")
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("delaunay -> %d triangles", len(tris)), rep, time.Since(start))
+	case "voronoi":
+		regions, rep, stats, err := cg.VoronoiSHadoop(sys, "pts")
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("voronoi -> %d regions", len(regions)), rep, time.Since(start))
+		fmt.Printf("  pruning: %d sites in, %d carried after local, %d after V-merge\n",
+			stats.Sites, stats.CarriedAfterLocal, stats.CarriedAfterVMerge)
+	case "union", "union-enhanced":
+		regs, err := loadPolygonFile(*polygons, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		tech, err := sindex.ParseTechnique(orDefault(*indexName, "grid"))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := sys.LoadRegions("polys", regs, tech); err != nil {
+			fatal(err)
+		}
+		start = time.Now()
+		if *op == "union-enhanced" {
+			segs, rep, err := cg.UnionEnhanced(sys, "polys")
+			if err != nil {
+				fatal(err)
+			}
+			report(fmt.Sprintf("enhanced union -> %d boundary segments (length %.0f)",
+				len(segs), geom.TotalLength(segs)), rep, time.Since(start))
+		} else {
+			region, rep, err := cg.UnionSHadoop(sys, "polys")
+			if err != nil {
+				fatal(err)
+			}
+			report(fmt.Sprintf("union -> %d rings", len(region.Rings)), rep, time.Since(start))
+		}
+	case "join":
+		a, err := loadPolygonFile(*polygons, *n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := loadPolygonFile(*polygons2, *n/2, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		tech, err := sindex.ParseTechnique(orDefault(*indexName, "str+"))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := sys.LoadRegions("a", a, tech); err != nil {
+			fatal(err)
+		}
+		if _, err := sys.LoadRegions("b", b, tech); err != nil {
+			fatal(err)
+		}
+		start = time.Now()
+		pairs, rep, err := ops.SpatialJoinIndexed(sys, "a", "b")
+		if err != nil {
+			fatal(err)
+		}
+		report(fmt.Sprintf("spatial join -> %d pairs", len(pairs)), rep, time.Since(start))
+	default:
+		fatal(fmt.Errorf("unknown -op %q", *op))
+	}
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+// loadOrGeneratePoints reads "x,y" lines from path, or generates points.
+func loadOrGeneratePoints(path, dist string, n int, seed int64) ([]geom.Point, error) {
+	if path == "" {
+		d, err := datagen.ParseDistribution(dist)
+		if err != nil {
+			return nil, err
+		}
+		return datagen.Points(d, n, datagen.DefaultArea, seed), nil
+	}
+	lines, err := readLines(path)
+	if err != nil {
+		return nil, err
+	}
+	return geomio.DecodePoints(lines)
+}
+
+// loadPolygonFile reads polygon records from path, or generates a
+// tessellation of roughly n cells.
+func loadPolygonFile(path string, n int, seed int64) ([]geom.Region, error) {
+	if path == "" {
+		side := 2
+		for side*side < n/100+4 {
+			side++
+		}
+		polys := datagen.Tessellation(side, side, datagen.DefaultArea, seed)
+		out := make([]geom.Region, len(polys))
+		for i, pg := range polys {
+			out[i] = geom.RegionOf(pg)
+		}
+		return out, nil
+	}
+	lines, err := readLines(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]geom.Region, 0, len(lines))
+	for _, l := range lines {
+		rg, err := geomio.DecodeRegion(l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rg)
+	}
+	return out, nil
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines, sc.Err()
+}

@@ -1,0 +1,49 @@
+// Command shbench reproduces the paper's evaluation: one experiment per
+// table and figure of §10 (plus the SIGMOD'14 system operations and a set
+// of ablations). Run a single experiment with -exp fig24, everything with
+// -exp all, and list the catalogue with -list.
+//
+// Usage:
+//
+//	shbench -list
+//	shbench -exp fig22 -scale 0.5
+//	shbench -exp all -workers 25 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spatialhadoop/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to run (see -list)")
+		scale     = flag.Float64("scale", 1.0, "dataset size multiplier")
+		workers   = flag.Int("workers", 25, "simulated cluster size")
+		blockSize = flag.Int64("blocksize", 256<<10, "DFS block size in bytes")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		list      = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-22s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	cfg := bench.Config{
+		Scale:     *scale,
+		Workers:   *workers,
+		BlockSize: *blockSize,
+		Seed:      *seed,
+		W:         os.Stdout,
+	}
+	if err := bench.Run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "shbench:", err)
+		os.Exit(1)
+	}
+}

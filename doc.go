@@ -1,0 +1,18 @@
+// Package spatialhadoop is a from-scratch Go reproduction of
+// SpatialHadoop ("SpatialHadoop: towards flexible and scalable spatial
+// processing using MapReduce", SIGMOD 2014) together with the CG_Hadoop
+// computational geometry suite built on it ("Scalable computational
+// geometry in MapReduce", VLDB Journal 2019).
+//
+// The implementation lives under internal/:
+//
+//   - geom, dsu, voronoi: the computational geometry kernel
+//   - dfs, mapreduce: the HDFS-like block store and MapReduce runtime
+//   - sindex, rtree, core: the two-level spatial index and system facade
+//   - ops: range query, kNN, spatial join
+//   - cg: the six CG_Hadoop operations in all paper variants
+//   - datagen, bench: evaluation workloads and the figure-by-figure harness
+//
+// See README.md for a tour, DESIGN.md for the architecture and paper
+// mapping, and EXPERIMENTS.md for reproduction results.
+package spatialhadoop

@@ -1,0 +1,93 @@
+// All six CG_Hadoop operations end-to-end on one clustered dataset:
+// Voronoi diagram, skyline, convex hull, farthest pair, closest pair over
+// points, plus polygon union over a tessellation — each compared against
+// its single-machine baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spatialhadoop/internal/cg"
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/sindex"
+)
+
+func main() {
+	world := geom.NewRect(0, 0, 1_000_000, 1_000_000)
+	points := datagen.Points(datagen.Clustered, 60_000, world, 99)
+
+	sys := core.New(core.Config{Workers: 8, BlockSize: 128 << 10, Seed: 99})
+	if _, err := sys.LoadPoints("pts", points, sindex.Grid); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Voronoi diagram with early flushing of safe regions.
+	regions, _, stats, err := cg.VoronoiSHadoop(sys, "pts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("voronoi: %d regions; %.1f%% of sites finished in the local step\n",
+		len(regions), 100*(1-float64(stats.CarriedAfterLocal)/float64(stats.Sites)))
+
+	// 1b. Delaunay triangulation (the diagram's dual) with safe-triangle
+	// flushing.
+	tris, _, err := cg.DelaunaySHadoop(sys, "pts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delaunay: %d triangles (matches single machine: %v)\n",
+		len(tris), len(tris) == len(cg.DelaunaySingle(points)))
+
+	// 2. Skyline.
+	sky, _, err := cg.SkylineSHadoop(sys, "pts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("skyline: %d points (single machine agrees: %v)\n",
+		len(sky), len(sky) == len(cg.SkylineSingle(points)))
+
+	// 3. Convex hull, both the filtered and the enhanced variant.
+	hull, _, err := cg.ConvexHullSHadoop(sys, "pts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hullE, _, err := cg.ConvexHullEnhanced(sys, "pts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("convex hull: %d vertices (enhanced variant agrees: %v)\n",
+		len(hull), len(hull) == len(hullE))
+
+	// 4. Farthest pair (hull + rotating calipers + pair pruning).
+	fp, _, err := cg.FarthestPairSHadoop(sys, "pts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("farthest pair: %v - %v  (%.0f apart)\n", fp.P, fp.Q, fp.Dist)
+
+	// 5. Closest pair (delta-buffer pruning).
+	cp, _, err := cg.ClosestPairSHadoop(sys, "pts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("closest pair: %v - %v  (%.3f apart)\n", cp.P, cp.Q, cp.Dist)
+
+	// 6. Polygon union on a tessellation (separate region file).
+	zips := datagen.Tessellation(25, 25, geom.NewRect(0, 0, 100_000, 100_000), 5)
+	zipRegions := make([]geom.Region, len(zips))
+	for i, pg := range zips {
+		zipRegions[i] = geom.RegionOf(pg)
+	}
+	if _, err := sys.LoadRegions("zips", zipRegions, sindex.Grid); err != nil {
+		log.Fatal(err)
+	}
+	segs, _, err := cg.UnionEnhanced(sys, "zips")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("union: %d polygons dissolve to a boundary of length %.0f\n",
+		len(zips), geom.TotalLength(segs))
+}

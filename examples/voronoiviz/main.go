@@ -1,0 +1,112 @@
+// Voronoi visualization: builds the distributed Voronoi diagram of a
+// clustered dataset and renders it — regions coloured by the pipeline
+// stage that finalized them (local / V-merge / H-merge, mirroring the
+// paper's Fig. 8c), partition boundaries, and sites — into an SVG file.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"spatialhadoop/internal/cg"
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/sindex"
+	"spatialhadoop/internal/voronoi"
+)
+
+func main() {
+	out := "voronoi.svg"
+	if len(os.Args) > 1 {
+		out = os.Args[1]
+	}
+	world := geom.NewRect(0, 0, 1000, 1000)
+	sites := datagen.Points(datagen.Clustered, 600, world, 21)
+
+	sys := core.New(core.Config{Workers: 8, BlockSize: 4 << 10, Seed: 21})
+	f, err := sys.LoadPoints("sites", sites, sindex.Grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions, _, stats, err := cg.VoronoiSHadoop(sys, "sites")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d regions; %d carried after local, %d after V-merge\n",
+		len(regions), stats.CarriedAfterLocal, stats.CarriedAfterVMerge)
+
+	// Classify each site by the stage that finalized its region, as the
+	// paper's Fig. 8c colour-codes them: green = local, blue = V-merge,
+	// black/grey = H-merge. The stage is recovered from the per-partition
+	// safety rule.
+	stage := make(map[geom.Point]int, len(sites)) // 0 local, 1 vmerge, 2 hmerge
+	for _, split := range f.Splits() {
+		pts, err := geomio.DecodePoints(split.Records())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		vd := voronoi.New(pts)
+		safe, _ := vd.SafeSitesFrontier(split.MBR)
+		for i, ok := range safe {
+			if ok {
+				stage[vd.Site(i)] = 0
+			} else {
+				stage[vd.Site(i)] = 2 // refined below by the V-merge pass
+			}
+		}
+	}
+	// Regions not finalized locally: approximate V-merge vs H-merge by
+	// whether the region is fully inside its grid column strip.
+	for _, sr := range regions {
+		if stage[sr.Site] == 0 {
+			continue
+		}
+		for _, cell := range f.Index.Cells {
+			if cell.Boundary.ContainsPoint(sr.Site) {
+				strip := geom.Rect{MinX: cell.Boundary.MinX, MinY: world.MinY,
+					MaxX: cell.Boundary.MaxX, MaxY: world.MaxY}
+				if strip.ContainsRect(sr.Region.Bounds()) {
+					stage[sr.Site] = 1
+				}
+				break
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="800" height="800" viewBox="0 0 1000 1000">`+"\n")
+	fmt.Fprintf(&b, `<rect width="1000" height="1000" fill="white"/>`+"\n")
+	fills := [3]string{"#c8e6c0", "#bcd4ee", "#e0e0e0"} // local, vmerge, hmerge
+	for _, sr := range regions {
+		if sr.Region.Len() < 3 {
+			continue
+		}
+		var pts []string
+		for _, v := range sr.Region.Vertices {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", v.X, 1000-v.Y))
+		}
+		fmt.Fprintf(&b, `<polygon points="%s" fill="%s" stroke="#666" stroke-width="0.7"/>`+"\n",
+			strings.Join(pts, " "), fills[stage[sr.Site]])
+	}
+	for _, cell := range f.Index.Cells {
+		r := cell.Boundary
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#d33" stroke-width="2" stroke-dasharray="8 5"/>`+"\n",
+			r.MinX, 1000-r.MaxY, r.Width(), r.Height())
+	}
+	for _, s := range sites {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2" fill="black"/>`+"\n", s.X, 1000-s.Y)
+	}
+	fmt.Fprint(&b, "</svg>\n")
+
+	if err := os.WriteFile(out, []byte(b.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (green=finalized locally, blue=V-merge, grey=H-merge; dashed red = partitions)\n", out)
+}

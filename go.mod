@@ -1,0 +1,3 @@
+module spatialhadoop
+
+go 1.22

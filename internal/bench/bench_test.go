@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRegistryCoversEvaluation checks every table/figure of the paper's
+// evaluation has a registered experiment.
+func TestRegistryCoversEvaluation(t *testing.T) {
+	want := []string{
+		"table1", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+		"fig26", "fig27", "fig28", "fig29", "fig30", "fig31", "sigmod14",
+	}
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e.Name] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("missing experiment %q", name)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("fig99", Config{W: io.Discard}); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+// TestTinyExperimentRuns smoke-runs a small experiment end to end and
+// checks the table output shape.
+func TestTinyExperimentRuns(t *testing.T) {
+	var out strings.Builder
+	cfg := Config{Scale: 0.02, Workers: 4, BlockSize: 32 << 10, Seed: 1, W: &out}
+	if err := Run("fig24", cfg); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, col := range []string{"points", "single(ms)", "shadoop-sim(ms)", "sh-speedup"} {
+		if !strings.Contains(text, col) {
+			t.Errorf("output missing column %q", col)
+		}
+	}
+	if strings.Count(text, "\n") < 6 {
+		t.Errorf("output too short:\n%s", text)
+	}
+}
+
+func TestTablePrinterAlignment(t *testing.T) {
+	var out strings.Builder
+	tb := newTable(&out, "a", "bbbb")
+	tb.add("xxxxxx", "y")
+	tb.flush()
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator not aligned with header: %q vs %q", lines[0], lines[1])
+	}
+}

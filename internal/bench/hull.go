@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+
+	"spatialhadoop/internal/cg"
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/sindex"
+)
+
+func init() {
+	register("fig27", "Convex hull on OSM-like data: runtime sweep + partitions processed", runFig27)
+	register("fig28", "Convex hull on SYNTH (uniform) incl. enhanced variant", runFig28)
+}
+
+func runFig27(cfg Config) error {
+	t := newTable(cfg.W, "points", "single(ms)", "hadoop-sim(ms)", "shadoop-sim(ms)",
+		"hadoop-parts", "shadoop-parts", "sh-speedup")
+	for _, base := range []int{50000, 100000, 200000, 400000} {
+		n := cfg.n(base)
+		pts := datagen.Points(datagen.Clustered, n, benchArea, cfg.Seed)
+
+		dSingle, _ := timed(func() error {
+			_ = cg.ConvexHullSingle(pts)
+			return nil
+		})
+
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		if err := sys.LoadPointsHeap("heap", pts); err != nil {
+			return err
+		}
+		var repH *mapreduce.Report
+		dHadoop, err := timed(func() error {
+			var err error
+			_, repH, err = cg.ConvexHullHadoop(sys, "heap")
+			return err
+		})
+		if err != nil {
+			return err
+		}
+
+		if _, err := sys.LoadPoints("idx", pts, sindex.STRPlus); err != nil {
+			return err
+		}
+		var repS *mapreduce.Report
+		dSH, err := timed(func() error {
+			var err error
+			_, repS, err = cg.ConvexHullSHadoop(sys, "idx")
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		simH := simDur(dHadoop, repH, cfg.Workers)
+		simS := simDur(dSH, repS, cfg.Workers)
+		t.add(fmt.Sprintf("%d", n), ms(dSingle), ms(simH), ms(simS),
+			fmt.Sprintf("%d", repH.Splits), fmt.Sprintf("%d", repS.Splits),
+			speedup(dSingle, simS))
+	}
+	t.flush()
+	fmt.Fprintln(cfg.W, "\nShape to match Fig. 27: the four-skylines filter keeps the processed")
+	fmt.Fprintln(cfg.W, "partition count roughly constant while Hadoop reads the whole file.")
+	return nil
+}
+
+func runFig28(cfg Config) error {
+	t := newTable(cfg.W, "points", "single(ms)", "hadoop-sim(ms)", "shadoop-sim(ms)", "enhanced-sim(ms)", "enh-forwarded")
+	for _, base := range []int{50000, 100000, 200000, 400000} {
+		n := cfg.n(base)
+		pts := datagen.Points(datagen.Uniform, n, benchArea, cfg.Seed)
+
+		dSingle, _ := timed(func() error {
+			_ = cg.ConvexHullSingle(pts)
+			return nil
+		})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		if err := sys.LoadPointsHeap("heap", pts); err != nil {
+			return err
+		}
+		var repH, repS, repE *mapreduce.Report
+		dHadoop, err := timed(func() error {
+			var err error
+			_, repH, err = cg.ConvexHullHadoop(sys, "heap")
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := sys.LoadPoints("idx", pts, sindex.Grid); err != nil {
+			return err
+		}
+		dSH, err := timed(func() error {
+			var err error
+			_, repS, err = cg.ConvexHullSHadoop(sys, "idx")
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		dEnh, err := timed(func() error {
+			var err error
+			_, repE, err = cg.ConvexHullEnhanced(sys, "idx")
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		t.add(fmt.Sprintf("%d", n), ms(dSingle),
+			ms(simDur(dHadoop, repH, cfg.Workers)),
+			ms(simDur(dSH, repS, cfg.Workers)),
+			ms(simDur(dEnh, repE, cfg.Workers)),
+			fmt.Sprintf("%d", repE.Counters[cg.CounterIntermediatePoints]))
+	}
+	t.flush()
+	return nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"spatialhadoop/internal/cg"
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/sindex"
+)
+
+func init() {
+	register("fig29", "Farthest pair: OSM-like, uniform, Gaussian, circular worst case", runFig29)
+	register("fig30", "Closest pair on OSM-like data: runtime sweep + intermediate points", runFig30)
+	register("fig31", "Closest pair on SYNTH (uniform, Gaussian)", runFig31)
+}
+
+func runFig29(cfg Config) error {
+	for _, dist := range []datagen.Distribution{
+		datagen.Clustered, datagen.Uniform, datagen.Gaussian, datagen.Circular,
+	} {
+		fmt.Fprintf(cfg.W, "\n(%s)\n", dist)
+		t := newTable(cfg.W, "points", "single(ms)", "hadoop-sim(ms)", "shadoop-sim(ms)", "pairs-kept")
+		sizes := []int{50000, 100000, 200000}
+		if dist == datagen.Circular {
+			// The worst case: the hull holds a large share of the input, so
+			// the single-reducer Hadoop merge degrades; sizes stay smaller.
+			sizes = []int{20000, 40000, 80000}
+		}
+		for _, base := range sizes {
+			n := cfg.n(base)
+			pts := datagen.Points(dist, n, benchArea, cfg.Seed)
+
+			dSingle, _ := timed(func() error {
+				_, _ = cg.FarthestPairSingle(pts)
+				return nil
+			})
+			sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+			if err := sys.LoadPointsHeap("heap", pts); err != nil {
+				return err
+			}
+			var repH, repS *mapreduce.Report
+			dHadoop, err := timed(func() error {
+				var err error
+				_, repH, err = cg.FarthestPairHadoop(sys, "heap")
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := sys.LoadPoints("idx", pts, sindex.STRPlus); err != nil {
+				return err
+			}
+			dSH, err := timed(func() error {
+				var err error
+				_, repS, err = cg.FarthestPairSHadoop(sys, "idx")
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			t.add(fmt.Sprintf("%d", n), ms(dSingle),
+				ms(simDur(dHadoop, repH, cfg.Workers)),
+				ms(simDur(dSH, repS, cfg.Workers)),
+				fmt.Sprintf("%d/%d", repS.Splits, repS.SplitsTotal*(repS.SplitsTotal+1)/2))
+		}
+		t.flush()
+	}
+	fmt.Fprintln(cfg.W, "\nShape to match Fig. 29: on hull-friendly data the distributed versions")
+	fmt.Fprintln(cfg.W, "track the (fast) single machine; on the circular worst case the pair filter")
+	fmt.Fprintln(cfg.W, "prunes most of the O(G^2) partition pairs to keep SpatialHadoop viable.")
+	return nil
+}
+
+func runClosestSweep(cfg Config, dist datagen.Distribution, sizes []int, showPruning bool) error {
+	t := newTable(cfg.W, "points", "single(ms)", "shadoop-sim(ms)", "speedup", "intermediate")
+	for _, base := range sizes {
+		n := cfg.n(base)
+		pts := datagen.Points(dist, n, benchArea, cfg.Seed)
+		dSingle, _ := timed(func() error {
+			_, _ = cg.ClosestPairSingle(pts)
+			return nil
+		})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		if _, err := sys.LoadPoints("idx", pts, sindex.STRPlus); err != nil {
+			return err
+		}
+		var rep *mapreduce.Report
+		dSH, err := timed(func() error {
+			var err error
+			_, rep, err = cg.ClosestPairSHadoop(sys, "idx")
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		sim := simDur(dSH, rep, cfg.Workers)
+		t.add(fmt.Sprintf("%d", n), ms(dSingle), ms(sim), speedup(dSingle, sim),
+			fmt.Sprintf("%d", rep.Counters[cg.CounterIntermediatePoints]))
+	}
+	t.flush()
+	if showPruning {
+		fmt.Fprintln(cfg.W, "\nShape to match Fig. 30b: only a vanishing fraction of the input reaches")
+		fmt.Fprintln(cfg.W, "the global closest-pair step; the delta-buffer prunes everything else.")
+	}
+	return nil
+}
+
+func runFig30(cfg Config) error {
+	return runClosestSweep(cfg, datagen.Clustered, []int{50000, 100000, 200000, 400000}, true)
+}
+
+func runFig31(cfg Config) error {
+	fmt.Fprintln(cfg.W, "\n(uniform)")
+	if err := runClosestSweep(cfg, datagen.Uniform, []int{50000, 100000, 200000}, false); err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.W, "\n(gaussian)")
+	return runClosestSweep(cfg, datagen.Gaussian, []int{50000, 100000, 200000}, false)
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/sindex"
+)
+
+func init() {
+	register("table1", "Partitioning techniques: disjointness, skew handling, balance", runTable1)
+	register("fig20", "Synthetic distribution sanity summary", runFig20)
+	register("sigmod14", "SpatialHadoop system ops: range query, kNN, spatial join", runSigmod14)
+}
+
+func runTable1(cfg Config) error {
+	t := newTable(cfg.W, "technique", "disjoint", "handles-skew", "cells", "max/avg(gauss)", "replication(regions)")
+	n := cfg.n(30000)
+	pts := datagen.Points(datagen.Gaussian, n, benchArea, cfg.Seed)
+	polys := datagen.RandomPolygons(cfg.n(2000), 6, 1e6/60, benchArea, cfg.Seed)
+	regions := make([]geom.Region, len(polys))
+	for i, pg := range polys {
+		regions[i] = geom.RegionOf(pg)
+	}
+	for _, tech := range []sindex.Technique{
+		sindex.Grid, sindex.STR, sindex.STRPlus, sindex.QuadTree,
+		sindex.KDTree, sindex.ZCurve, sindex.Hilbert,
+	} {
+		info := sindex.Table1[tech]
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		f, err := sys.LoadPoints("pts", pts, tech)
+		if err != nil {
+			return err
+		}
+		counts := map[string]int{}
+		for _, b := range f.File.Blocks {
+			counts[b.Partition] += b.NumRecords()
+		}
+		max, total := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		imb := float64(max) / (float64(total) / float64(len(counts)))
+
+		rf, err := sys.LoadRegions("regs", regions, tech)
+		if err != nil {
+			return err
+		}
+		repl := float64(rf.File.Records) / float64(len(regions))
+
+		t.add(tech.String(),
+			fmt.Sprintf("%v", info.Disjoint),
+			fmt.Sprintf("%v", info.HandlesSkew),
+			fmt.Sprintf("%d", len(f.Index.Cells)),
+			fmt.Sprintf("%.2f", imb),
+			fmt.Sprintf("%.2fx", repl))
+	}
+	t.flush()
+	fmt.Fprintln(cfg.W, "\nShape to match Table 1: grid is the only technique that degrades on skew")
+	fmt.Fprintln(cfg.W, "(high max/avg); disjoint techniques pay a replication factor on regions.")
+	return nil
+}
+
+func runFig20(cfg Config) error {
+	t := newTable(cfg.W, "distribution", "points", "mbr-coverage%", "skyline-size", "hull-size")
+	n := cfg.n(100000)
+	for _, dist := range []datagen.Distribution{
+		datagen.Uniform, datagen.Gaussian, datagen.Correlated,
+		datagen.ReverselyCorrelated, datagen.Circular, datagen.Clustered,
+	} {
+		pts := datagen.Points(dist, n, benchArea, cfg.Seed)
+		mbr := geom.RectOf(pts)
+		sky := geom.Skyline(pts)
+		hull := geom.ConvexHull(pts)
+		t.add(dist.String(), fmt.Sprintf("%d", len(pts)),
+			fmt.Sprintf("%.1f", 100*mbr.Area()/benchArea.Area()),
+			fmt.Sprintf("%d", len(sky)), fmt.Sprintf("%d", len(hull)))
+	}
+	t.flush()
+	fmt.Fprintln(cfg.W, "\nExpected: anticorrelated has a huge skyline (worst case), circular a huge")
+	fmt.Fprintln(cfg.W, "hull (farthest-pair worst case), correlated/Gaussian tiny skylines.")
+	return nil
+}
+
+func runSigmod14(cfg Config) error {
+	n := cfg.n(200000)
+	pts := datagen.Points(datagen.Clustered, n, benchArea, cfg.Seed)
+
+	sysHeap := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+	if err := sysHeap.LoadPointsHeap("pts", pts); err != nil {
+		return err
+	}
+	sysIdx := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+	if _, err := sysIdx.LoadPoints("pts", pts, sindex.STRPlus); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(cfg.W, "\n(range query, 1% of the space)")
+	t := newTable(cfg.W, "storage", "time(ms)", "partitions", "results")
+	q := geom.NewRect(4e5, 4e5, 5e5, 5e5)
+	for _, tc := range []struct {
+		name string
+		sys  *core.System
+	}{{"heap (Hadoop)", sysHeap}, {"indexed (SHadoop)", sysIdx}} {
+		var nres, parts int
+		d, err := timed(func() error {
+			res, rep, err := ops.RangeQueryPoints(tc.sys, "pts", q)
+			nres, parts = len(res), rep.Splits
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		t.add(tc.name, ms(d), fmt.Sprintf("%d", parts), fmt.Sprintf("%d", nres))
+	}
+	t.flush()
+
+	fmt.Fprintln(cfg.W, "\n(kNN, k=20)")
+	t = newTable(cfg.W, "storage", "time(ms)")
+	for _, tc := range []struct {
+		name string
+		sys  *core.System
+	}{{"heap (Hadoop)", sysHeap}, {"indexed (SHadoop)", sysIdx}} {
+		d, err := timed(func() error {
+			_, _, err := ops.KNN(tc.sys, "pts", geom.Pt(5e5, 5e5), 20)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		t.add(tc.name, ms(d))
+	}
+	t.flush()
+
+	fmt.Fprintln(cfg.W, "\n(spatial join)")
+	aPolys := datagen.RandomPolygons(cfg.n(1500), 5, 1e6/80, benchArea, cfg.Seed)
+	bPolys := datagen.RandomPolygons(cfg.n(1200), 4, 1e6/70, benchArea, cfg.Seed+1)
+	a := make([]geom.Region, len(aPolys))
+	for i, pg := range aPolys {
+		a[i] = geom.RegionOf(pg)
+	}
+	b := make([]geom.Region, len(bPolys))
+	for i, pg := range bPolys {
+		b[i] = geom.RegionOf(pg)
+	}
+	t = newTable(cfg.W, "strategy", "time(ms)", "pairs")
+	if err := sysHeap.LoadRegionsHeap("a", a); err != nil {
+		return err
+	}
+	if err := sysHeap.LoadRegionsHeap("b", b); err != nil {
+		return err
+	}
+	var npairs int
+	d, err := timed(func() error {
+		pairs, _, err := ops.SpatialJoinPBSM(sysHeap, "a", "b", 10)
+		npairs = len(pairs)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	t.add("PBSM (Hadoop)", ms(d), fmt.Sprintf("%d", npairs))
+
+	if _, err := sysIdx.LoadRegions("a", a, sindex.STRPlus); err != nil {
+		return err
+	}
+	if _, err := sysIdx.LoadRegions("b", b, sindex.STRPlus); err != nil {
+		return err
+	}
+	d, err = timed(func() error {
+		pairs, _, err := ops.SpatialJoinIndexed(sysIdx, "a", "b")
+		npairs = len(pairs)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	t.add("indexed (SHadoop)", ms(d), fmt.Sprintf("%d", npairs))
+	t.flush()
+	return nil
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"spatialhadoop/internal/mapreduce"
+
+	"spatialhadoop/internal/cg"
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/sindex"
+)
+
+func init() {
+	register("fig21", "Polygon union: single vs Hadoop vs SHadoop vs enhanced, complex & simple polygons", runFig21)
+}
+
+// unionDataset builds the "complex" (overlapping many-vertex polygons) or
+// "simple" (tessellation cells) union workloads of §10.1.
+func unionDataset(kind string, n int, seed int64) []geom.Polygon {
+	area := geom.NewRect(0, 0, 1e5, 1e5)
+	switch kind {
+	case "complex":
+		// Overlapping 12-gons sized so neighbours overlap, like map areas.
+		radius := 1e5 / (2 * math.Sqrt(float64(n)))
+		return datagen.RandomPolygons(n, 12, radius*2.2, area, seed)
+	default: // simple
+		side := intSqrt(n)
+		return datagen.Tessellation(side, side, area, seed)
+	}
+}
+
+func intSqrt(n int) int {
+	s := int(math.Sqrt(float64(n)))
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+func runFig21(cfg Config) error {
+	for _, kind := range []string{"complex", "simple"} {
+		fmt.Fprintf(cfg.W, "\n(%s polygons)\n", kind)
+		t := newTable(cfg.W, "polygons", "single(ms)", "hadoop-sim(ms)", "shadoop-sim(ms)", "enhanced-sim(ms)",
+			"merge-verts(hadoop)", "merge-verts(shadoop)", "best-speedup")
+		for _, base := range []int{400, 800, 1600, 3200} {
+			n := cfg.n(base)
+			polys := unionDataset(kind, n, cfg.Seed)
+			regions := make([]geom.Region, len(polys))
+			for i, pg := range polys {
+				regions[i] = geom.RegionOf(pg)
+			}
+
+			dSingle, err := timed(func() error {
+				_, _ = cg.UnionSingle(polys)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+
+			sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+			if err := sys.LoadRegionsHeap("heap", regions); err != nil {
+				return err
+			}
+			var repH, repS, repE *mapreduce.Report
+			dHadoop, err := timed(func() error {
+				var err error
+				_, repH, err = cg.UnionHadoop(sys, "heap")
+				return err
+			})
+			if err != nil {
+				return err
+			}
+
+			if _, err := sys.LoadRegions("str", regions, sindex.STR); err != nil {
+				return err
+			}
+			dSHadoop, err := timed(func() error {
+				var err error
+				_, repS, err = cg.UnionSHadoop(sys, "str")
+				return err
+			})
+			if err != nil {
+				return err
+			}
+
+			if _, err := sys.LoadRegions("grid", regions, sindex.Grid); err != nil {
+				return err
+			}
+			dEnh, err := timed(func() error {
+				var err error
+				_, repE, err = cg.UnionEnhanced(sys, "grid")
+				return err
+			})
+			if err != nil {
+				return err
+			}
+
+			simH := simDur(dHadoop, repH, cfg.Workers)
+			simS := simDur(dSHadoop, repS, cfg.Workers)
+			simE := simDur(dEnh, repE, cfg.Workers)
+			best := simH
+			if simS < best {
+				best = simS
+			}
+			if simE < best {
+				best = simE
+			}
+			t.add(fmt.Sprintf("%d", len(polys)), ms(dSingle), ms(simH), ms(simS), ms(simE),
+				fmt.Sprintf("%d", repH.Counters[cg.CounterIntermediatePoints]),
+				fmt.Sprintf("%d", repS.Counters[cg.CounterIntermediatePoints]),
+				speedup(dSingle, best))
+		}
+		t.flush()
+	}
+	fmt.Fprintln(cfg.W, "\nShape to match Fig. 21: enhanced < shadoop < hadoop for large inputs;")
+	fmt.Fprintln(cfg.W, "the gap widens with size because random placement removes few interior edges.")
+	return nil
+}

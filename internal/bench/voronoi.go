@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+
+	"spatialhadoop/internal/cg"
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/sindex"
+)
+
+func init() {
+	register("fig22", "Voronoi diagram on OSM-like data: runtime sweep + pruning power", runFig22)
+	register("fig23", "Voronoi diagram on SYNTH (uniform, Gaussian)", runFig23)
+	register("ext-delaunay", "Extension: Delaunay triangulation with safe-triangle flushing", runExtDelaunay)
+}
+
+// runExtDelaunay benchmarks the Delaunay triangulation extension: the same
+// dangerous-zone machinery as the Voronoi operation, flushing triangles
+// whose vertices are all safe.
+func runExtDelaunay(cfg Config) error {
+	t := newTable(cfg.W, "sites", "single(ms)", "shadoop-sim(ms)", "speedup", "flushed-early%")
+	for _, base := range []int{10000, 20000, 40000, 80000} {
+		n := cfg.n(base)
+		pts := datagen.Points(datagen.Clustered, n, benchArea, cfg.Seed)
+		var nTris int
+		dSingle, err := timed(func() error {
+			nTris = len(cg.DelaunaySingle(pts))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		if _, err := sys.LoadPoints("dt", pts, sindex.STRPlus); err != nil {
+			return err
+		}
+		var rep *mapreduce.Report
+		wall, err := timed(func() error {
+			var err error
+			_, rep, err = cg.DelaunaySHadoop(sys, "dt")
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		sim := simDur(wall, rep, cfg.Workers)
+		t.add(fmt.Sprintf("%d", n), ms(dSingle), ms(sim), speedup(dSingle, sim),
+			fmt.Sprintf("%.1f", 100*float64(rep.Counters[cg.CounterFlushedEarly])/float64(nTris)))
+	}
+	t.flush()
+	return nil
+}
+
+var benchArea = geom.NewRect(0, 0, 1e6, 1e6)
+
+func runVoronoiSweep(cfg Config, dist datagen.Distribution, sizes []int, showPruning bool) error {
+	t := newTable(cfg.W, "sites", "single(ms)", "shadoop-sim(ms)", "speedup", "carried-local%", "carried-vmerge%")
+	for _, base := range sizes {
+		n := cfg.n(base)
+		pts := datagen.Points(dist, n, benchArea, cfg.Seed)
+
+		dSingle, err := timed(func() error {
+			_ = cg.VoronoiSingle(pts, benchArea)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		if _, err := sys.LoadPoints("vd", pts, sindex.STRPlus); err != nil {
+			return err
+		}
+		var stats *cg.VoronoiStats
+		var rep *mapreduce.Report
+		wall, err := timed(func() error {
+			var err error
+			_, rep, stats, err = cg.VoronoiSHadoop(sys, "vd")
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		dSH := simDur(wall, rep, cfg.Workers)
+		t.add(
+			fmt.Sprintf("%d", n),
+			ms(dSingle), ms(dSH), speedup(dSingle, dSH),
+			fmt.Sprintf("%.2f", 100*float64(stats.CarriedAfterLocal)/float64(n)),
+			fmt.Sprintf("%.2f", 100*float64(stats.CarriedAfterVMerge)/float64(n)),
+		)
+	}
+	t.flush()
+	if showPruning {
+		fmt.Fprintln(cfg.W, "\nShape to match Fig. 22b: the local VD step prunes the vast majority of")
+		fmt.Fprintln(cfg.W, "sites; the V-merge step leaves only a small boundary fraction for H-merge.")
+	}
+	return nil
+}
+
+func runFig22(cfg Config) error {
+	return runVoronoiSweep(cfg, datagen.Clustered, []int{10000, 20000, 40000, 80000}, true)
+}
+
+func runFig23(cfg Config) error {
+	fmt.Fprintln(cfg.W, "\n(uniform)")
+	if err := runVoronoiSweep(cfg, datagen.Uniform, []int{10000, 20000, 40000, 80000}, false); err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.W, "\n(gaussian)")
+	return runVoronoiSweep(cfg, datagen.Gaussian, []int{10000, 20000, 40000, 80000}, false)
+}

@@ -1,0 +1,81 @@
+// Package cg implements the CG_Hadoop suite: the six computational
+// geometry operations of the paper (polygon union, Voronoi diagram,
+// skyline, convex hull, farthest pair, closest pair), each in the variants
+// the paper evaluates — a single-machine baseline, a Hadoop version over
+// heap files, a SpatialHadoop version over indexed files, and, where the
+// paper defines one, an enhanced/output-sensitive version that eliminates
+// the single-machine merge bottleneck.
+//
+// Every operation is an instance of the five-step skeleton of paper §3
+// (see Table 2):
+//
+//	partition -> filter -> local process -> prune -> merge
+//
+// Partitioning is done by the loaders in package core; the filter step is
+// a mapreduce.FilterFunc over the global index; local processing runs in
+// map tasks; pruning either discards data (skyline, closest pair) or
+// early-flushes final output (enhanced union, Voronoi, output-sensitive
+// skyline) through TaskContext.Write; merging is the reduce/commit step.
+package cg
+
+import (
+	"fmt"
+	"sort"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/mapreduce"
+)
+
+// errNotIndexed reports an operation run on a file without a global index.
+func errNotIndexed(op, file string) error {
+	return fmt.Errorf("cg: %s requires a spatially indexed file, %q has no index", op, file)
+}
+
+// errNotDisjoint reports an operation that needs disjoint partitions run
+// on an overlapping index (see paper Table 2, "disjoint spatial").
+func errNotDisjoint(op, file string) error {
+	return fmt.Errorf("cg: %s requires a disjoint spatial partitioning of %q", op, file)
+}
+
+// sortPoints sorts points canonically in place and returns the slice.
+func sortPoints(pts []geom.Point) []geom.Point {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Less(pts[j]) })
+	return pts
+}
+
+// Counter names reported by the operations, used by the benchmark harness
+// to reproduce the paper's pruning-power figures.
+const (
+	// CounterPartitionsProcessed counts map tasks actually run after the
+	// filter step (Figs. 24b and 27b).
+	CounterPartitionsProcessed = mapreduce.CounterSplitsMapped
+	// CounterIntermediatePoints counts records that survive local pruning
+	// and reach the merge step (Figs. 22b and 30b).
+	CounterIntermediatePoints = "cg.intermediate.points"
+	// CounterFlushedEarly counts final output records flushed by the
+	// pruning step, bypassing the merge.
+	CounterFlushedEarly = "cg.flushed.early"
+)
+
+// FilterIntersecting returns a filter keeping splits whose partition
+// boundary intersects r.
+func FilterIntersecting(r geom.Rect) mapreduce.FilterFunc {
+	return func(splits []*mapreduce.Split) []*mapreduce.Split {
+		var keep []*mapreduce.Split
+		for _, s := range splits {
+			if s.MBR.Intersects(r) {
+				keep = append(keep, s)
+			}
+		}
+		return keep
+	}
+}
+
+// contentOf returns the split's minimal content MBR, falling back to the
+// partition boundary when the loader did not record one.
+func contentOf(s *mapreduce.Split) geom.Rect {
+	if !s.ContentMBR.IsEmpty() {
+		return s.ContentMBR
+	}
+	return s.MBR
+}

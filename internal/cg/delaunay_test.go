@@ -1,0 +1,102 @@
+package cg
+
+import (
+	"testing"
+
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/sindex"
+)
+
+func triangleSet(t *testing.T, tris []Triangle) map[Triangle]bool {
+	t.Helper()
+	out := make(map[Triangle]bool, len(tris))
+	for _, tr := range tris {
+		if out[tr] {
+			t.Fatalf("duplicate triangle %v", tr)
+		}
+		out[tr] = true
+	}
+	return out
+}
+
+func TestDelaunaySHadoopMatchesSingle(t *testing.T) {
+	for _, tc := range []struct {
+		dist datagen.Distribution
+		tech sindex.Technique
+		n    int
+	}{
+		{datagen.Uniform, sindex.Grid, 1500},
+		{datagen.Gaussian, sindex.STRPlus, 1500},
+		{datagen.Clustered, sindex.QuadTree, 1200},
+		{datagen.Clustered, sindex.KDTree, 1200},
+	} {
+		area := geom.NewRect(0, 0, 10000, 10000)
+		pts := datagen.Points(tc.dist, tc.n, area, 53)
+		want := triangleSet(t, DelaunaySingle(pts))
+
+		sys := newSys(4 << 10)
+		if _, err := sys.LoadPoints("dt", pts, tc.tech); err != nil {
+			t.Fatal(err)
+		}
+		got, rep, err := DelaunaySHadoop(sys, "dt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSet := triangleSet(t, got)
+		if len(gotSet) != len(want) {
+			t.Fatalf("%v/%v: %d triangles, want %d", tc.dist, tc.tech, len(gotSet), len(want))
+		}
+		for tr := range want {
+			if !gotSet[tr] {
+				t.Fatalf("%v/%v: triangle %v missing", tc.dist, tc.tech, tr)
+			}
+		}
+		// Most triangles must be flushed by the local step.
+		if rep.SplitsTotal > 4 {
+			flushed := rep.Counters[CounterFlushedEarly]
+			if flushed < int64(len(want))/4 {
+				t.Errorf("%v/%v: only %d of %d triangles flushed early",
+					tc.dist, tc.tech, flushed, len(want))
+			}
+		}
+	}
+}
+
+func TestDelaunayRequiresDisjoint(t *testing.T) {
+	pts := datagen.Points(datagen.Uniform, 400, geom.NewRect(0, 0, 100, 100), 3)
+	sys := newSys(2 << 10)
+	if _, err := sys.LoadPoints("str", pts, sindex.STR); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DelaunaySHadoop(sys, "str"); err == nil {
+		t.Error("expected error for overlapping index")
+	}
+}
+
+// TestDelaunayVoronoiDuality checks the textbook duality on a small set:
+// every Delaunay edge's two sites are Voronoi neighbours.
+func TestDelaunayVoronoiDuality(t *testing.T) {
+	area := geom.NewRect(0, 0, 1000, 1000)
+	pts := datagen.Points(datagen.Uniform, 300, area, 59)
+	tris := DelaunaySingle(pts)
+	// Empty circumcircle property.
+	for i, tr := range tris {
+		if i%7 != 0 {
+			continue
+		}
+		c, ok := geom.Circumcenter(tr.A, tr.B, tr.C)
+		if !ok {
+			continue
+		}
+		r2 := c.Dist2(tr.A)
+		for _, p := range pts {
+			if p.Equal(tr.A) || p.Equal(tr.B) || p.Equal(tr.C) {
+				continue
+			}
+			if c.Dist2(p) < r2*(1-1e-9) {
+				t.Fatalf("site %v strictly inside circumcircle of %v", p, tr)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/sindex"
+	"spatialhadoop/internal/voronoi"
+)
+
+// regionAreasBySite indexes region areas by their site for comparison.
+func regionAreasBySite(t *testing.T, srs []SiteRegion) map[geom.Point]float64 {
+	t.Helper()
+	out := make(map[geom.Point]float64, len(srs))
+	for _, sr := range srs {
+		if _, dup := out[sr.Site]; dup {
+			t.Fatalf("site %v has two regions", sr.Site)
+		}
+		out[sr.Site] = sr.Region.Area()
+	}
+	return out
+}
+
+func TestVoronoiSHadoopMatchesSingle(t *testing.T) {
+	for _, tc := range []struct {
+		dist datagen.Distribution
+		n    int
+		tech sindex.Technique
+	}{
+		{datagen.Uniform, 1500, sindex.Grid},
+		{datagen.Gaussian, 1500, sindex.Grid},
+		{datagen.Clustered, 1200, sindex.Grid},
+		{datagen.Uniform, 1500, sindex.STRPlus},
+		{datagen.Clustered, 1200, sindex.STRPlus},
+	} {
+		area := geom.NewRect(0, 0, 10000, 10000)
+		pts := datagen.Points(tc.dist, tc.n, area, 41)
+		sys := newSys(4 << 10)
+		f, err := sys.LoadPoints("vd", pts, tc.tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := f.Index.Space
+
+		want := regionAreasBySite(t, VoronoiSingle(pts, space))
+		got, rep, stats, err := VoronoiSHadoop(sys, "vd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotAreas := regionAreasBySite(t, got)
+		if len(gotAreas) != len(want) {
+			t.Fatalf("%v/%v: %d regions, want %d", tc.dist, tc.tech, len(gotAreas), len(want))
+		}
+		for site, wa := range want {
+			ga, ok := gotAreas[site]
+			if !ok {
+				t.Fatalf("%v/%v: site %v missing from distributed result", tc.dist, tc.tech, site)
+			}
+			// A safe region was clipped to its partition, the reference to
+			// the whole space; safe regions are interior so both clips are
+			// supersets of the region. Compare areas.
+			if math.Abs(ga-wa) > 1e-6*math.Max(1, wa) {
+				t.Fatalf("%v/%v: site %v region area %g, want %g", tc.dist, tc.tech, site, ga, wa)
+			}
+		}
+		// The pruning rule must flush most regions before the merge steps
+		// (paper Fig. 22b reports ~99% after the local step).
+		if rep.SplitsTotal > 4 {
+			frac := float64(stats.CarriedAfterLocal) / float64(len(pts))
+			if frac > 0.9 {
+				t.Errorf("%v/%v: local step carried %.0f%% of sites, pruning ineffective",
+					tc.dist, tc.tech, 100*frac)
+			}
+		}
+	}
+}
+
+func TestVoronoiSHadoopRejectsUnmergeableIndex(t *testing.T) {
+	pts := datagen.Points(datagen.Uniform, 400, geom.NewRect(0, 0, 100, 100), 3)
+	sys := newSys(2 << 10)
+	if _, err := sys.LoadPoints("quad", pts, sindex.QuadTree); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := VoronoiSHadoop(sys, "quad"); err == nil {
+		t.Error("expected error: quad-tree columns are not separable by vertical lines")
+	}
+}
+
+func TestVoronoiHadoopMatchesSingle(t *testing.T) {
+	area := geom.NewRect(0, 0, 1000, 1000)
+	pts := datagen.Points(datagen.Uniform, 800, area, 43)
+	sys := newSys(4 << 10)
+	if err := sys.LoadPointsHeap("vdh", pts); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := VoronoiHadoop(sys, "vdh", area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := regionAreasBySite(t, VoronoiSingle(pts, area))
+	gotAreas := regionAreasBySite(t, got)
+	if len(gotAreas) != len(want) {
+		t.Fatalf("%d regions, want %d", len(gotAreas), len(want))
+	}
+	for site, wa := range want {
+		if math.Abs(gotAreas[site]-wa) > 1e-6*math.Max(1, wa) {
+			t.Fatalf("site %v area %g, want %g", site, gotAreas[site], wa)
+		}
+	}
+	// The Hadoop algorithm's merge bottleneck: every site reaches it.
+	if fw := rep.Counters[CounterIntermediatePoints]; fw != int64(len(pts)) {
+		t.Errorf("hadoop VD forwarded %d sites, expected all %d", fw, len(pts))
+	}
+}
+
+// TestVoronoiRegionsTile checks a global invariant of the distributed
+// result: the region areas sum to the index space area (regions tile it).
+func TestVoronoiRegionsTile(t *testing.T) {
+	area := geom.NewRect(0, 0, 5000, 5000)
+	pts := datagen.Points(datagen.Clustered, 1000, area, 47)
+	sys := newSys(4 << 10)
+	f, err := sys.LoadPoints("vd", pts, sindex.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := VoronoiSHadoop(sys, "vd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, sr := range got {
+		total += sr.Region.Area()
+	}
+	space := f.Index.Space
+	if math.Abs(total-space.Area()) > 1e-6*space.Area() {
+		t.Errorf("regions sum to %g, space area is %g", total, space.Area())
+	}
+	// Spot-check: each region contains its site and the site is the
+	// nearest among all sites for the region's centroid-ish vertex mix.
+	sites := make([]geom.Point, len(pts))
+	copy(sites, pts)
+	for i, sr := range got {
+		if i%17 != 0 || sr.Region.Len() < 3 {
+			continue
+		}
+		if !sr.Region.ContainsPoint(sr.Site) {
+			t.Fatalf("region of %v does not contain its site", sr.Site)
+		}
+		c := centroid(sr.Region)
+		if sr.Region.ContainsPoint(c) {
+			if n := voronoi.NearestSite(sites, c); !sites[n].Equal(sr.Site) {
+				t.Fatalf("centroid of %v's region is nearer to %v", sr.Site, sites[n])
+			}
+		}
+	}
+}
+
+func centroid(pg geom.Polygon) geom.Point {
+	var c geom.Point
+	for _, v := range pg.Vertices {
+		c = c.Add(v)
+	}
+	return c.Scale(1 / float64(len(pg.Vertices)))
+}

@@ -1,0 +1,306 @@
+// Package core is the SpatialHadoop system facade: it ties the block file
+// system, the MapReduce runtime and the spatial index layer together. It
+// provides the spatial file loaders (heap and indexed), the spatial file
+// splitter that turns an indexed file into MBR-carrying splits for the
+// filter functions, the spatial record reader with cached local (R-tree)
+// indexes, and pruning statistics.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/rtree"
+	"spatialhadoop/internal/sindex"
+)
+
+// Config configures a System.
+type Config struct {
+	// BlockSize is the DFS block capacity in bytes (dfs.DefaultBlockSize
+	// if zero).
+	BlockSize int64
+	// Workers is the number of concurrent worker slots, i.e. the cluster
+	// size (default 25, matching the paper's deployment).
+	Workers int
+	// SampleSize caps the loader's partitioning sample (default 10000).
+	SampleSize int
+	// Seed drives sampling; loads are deterministic given a seed.
+	Seed int64
+}
+
+// System is a running SpatialHadoop deployment: one file system and one
+// compute cluster.
+type System struct {
+	fs      *dfs.FileSystem
+	cluster *mapreduce.Cluster
+	cfg     Config
+
+	// localIndexes caches per-block R-trees, modelling SpatialHadoop's
+	// persisted local indexes.
+	localIndexes sync.Map // *dfs.Block -> *rtree.Tree
+}
+
+// New creates a System.
+func New(cfg Config) *System {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 25
+	}
+	if cfg.SampleSize <= 0 {
+		cfg.SampleSize = 10000
+	}
+	fs := dfs.New(dfs.Config{BlockSize: cfg.BlockSize, DataNodes: cfg.Workers})
+	return NewWithFS(cfg, fs)
+}
+
+// NewWithFS creates a System over an existing file system — typically one
+// reloaded with dfs.LoadDir. Indexed files keep their master attachments,
+// so reopened files prune exactly as before.
+func NewWithFS(cfg Config, fs *dfs.FileSystem) *System {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 25
+	}
+	if cfg.SampleSize <= 0 {
+		cfg.SampleSize = 10000
+	}
+	return &System{
+		fs:      fs,
+		cluster: mapreduce.NewCluster(fs, cfg.Workers),
+		cfg:     cfg,
+	}
+}
+
+// FS returns the file system.
+func (s *System) FS() *dfs.FileSystem { return s.fs }
+
+// Cluster returns the compute cluster.
+func (s *System) Cluster() *mapreduce.Cluster { return s.cluster }
+
+// IndexedFile is an open spatially-indexed file: the data blocks plus the
+// decoded global index.
+type IndexedFile struct {
+	Name  string
+	File  *dfs.File
+	Index *sindex.GlobalIndex
+}
+
+// LoadPointsHeap stores points as a heap (non-indexed) file: records are
+// written in input order and split into blocks with no spatial awareness —
+// the default Hadoop loader of the paper's "Hadoop" algorithm variants.
+func (s *System) LoadPointsHeap(name string, pts []geom.Point) error {
+	return s.fs.WriteFile(name, geomio.EncodePoints(pts))
+}
+
+// LoadRegionsHeap stores regions as a heap file.
+func (s *System) LoadRegionsHeap(name string, regions []geom.Region) error {
+	recs := make([]string, len(regions))
+	for i, rg := range regions {
+		recs[i] = geomio.EncodeRegion(rg)
+	}
+	return s.fs.WriteFile(name, recs)
+}
+
+// numCells returns the target partition count for a payload of the given
+// encoded size.
+func (s *System) numCells(totalBytes int64) int {
+	bs := s.fs.BlockSize()
+	n := int((totalBytes + bs - 1) / bs)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// samplePoints draws a bounded random sample for index construction.
+func (s *System) samplePoints(pts []geom.Point) []geom.Point {
+	if len(pts) <= s.cfg.SampleSize {
+		return pts
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 1))
+	sample := make([]geom.Point, s.cfg.SampleSize)
+	for i := range sample {
+		sample[i] = pts[rng.Intn(len(pts))]
+	}
+	return sample
+}
+
+// LoadPoints spatially partitions and stores points with the given
+// technique, writing the global index as the file's master attachment.
+// This is SpatialHadoop's indexed file loader.
+func (s *System) LoadPoints(name string, pts []geom.Point, t sindex.Technique) (*IndexedFile, error) {
+	recs := geomio.EncodePoints(pts)
+	var totalBytes int64
+	for _, r := range recs {
+		totalBytes += int64(len(r)) + 1
+	}
+	space := geom.RectOf(pts)
+	if space.IsEmpty() {
+		space = geom.NewRect(0, 0, 1, 1)
+	}
+	// Expand slightly so max-edge points fall strictly inside cells.
+	space = space.Buffer(1e-9 * (1 + space.Width() + space.Height()))
+	gi := sindex.Build(t, s.samplePoints(pts), space, s.numCells(totalBytes))
+
+	byCell := make([][]string, len(gi.Cells))
+	for i, p := range pts {
+		c := gi.AssignPoint(p)
+		byCell[c] = append(byCell[c], recs[i])
+		gi.Cells[c].Content = gi.Cells[c].Content.ExpandPoint(p)
+	}
+	return s.writeIndexed(name, gi, byCell)
+}
+
+// LoadRegions spatially partitions and stores regions. With a disjoint
+// technique, regions overlapping several cells are replicated to each
+// (paper §2.3); consumers deduplicate with the reference-point rule.
+func (s *System) LoadRegions(name string, regions []geom.Region, t sindex.Technique) (*IndexedFile, error) {
+	recs := make([]string, len(regions))
+	centers := make([]geom.Point, len(regions))
+	var totalBytes int64
+	space := geom.EmptyRect()
+	for i, rg := range regions {
+		recs[i] = geomio.EncodeRegion(rg)
+		totalBytes += int64(len(recs[i])) + 1
+		b := rg.Bounds()
+		centers[i] = b.Center()
+		space = space.Union(b)
+	}
+	if space.IsEmpty() {
+		space = geom.NewRect(0, 0, 1, 1)
+	}
+	space = space.Buffer(1e-9 * (1 + space.Width() + space.Height()))
+	gi := sindex.Build(t, s.samplePoints(centers), space, s.numCells(totalBytes))
+
+	byCell := make([][]string, len(gi.Cells))
+	for i, rg := range regions {
+		b := rg.Bounds()
+		for _, c := range gi.AssignRect(b) {
+			byCell[c] = append(byCell[c], recs[i])
+			gi.Cells[c].Content = gi.Cells[c].Content.Union(b)
+		}
+	}
+	return s.writeIndexed(name, gi, byCell)
+}
+
+// writeIndexed writes the partitioned records and the master index.
+func (s *System) writeIndexed(name string, gi *sindex.GlobalIndex, byCell [][]string) (*IndexedFile, error) {
+	w, err := s.fs.CreateOrReplace(name)
+	if err != nil {
+		return nil, err
+	}
+	for ci, cellRecs := range byCell {
+		if len(cellRecs) == 0 {
+			continue
+		}
+		w.SetPartition(gi.Cells[ci].Key())
+		for _, r := range cellRecs {
+			w.WriteRecord(r)
+		}
+	}
+	w.SetMaster(gi.Encode())
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return s.Open(name)
+}
+
+// Open opens an indexed file, decoding its master index. Opening a heap
+// file returns an IndexedFile with a nil Index.
+func (s *System) Open(name string) (*IndexedFile, error) {
+	f, err := s.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	out := &IndexedFile{Name: name, File: f}
+	if len(f.Master) > 0 {
+		gi, err := sindex.Decode(f.Master)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", name, err)
+		}
+		out.Index = gi
+	}
+	return out, nil
+}
+
+// Splits is the spatial file splitter: it returns one split per partition
+// of an indexed file, carrying the partition boundary and the minimal
+// content MBR so that filter functions can prune without reading records.
+// For heap files it degrades to one split per block with no spatial
+// metadata, matching plain Hadoop.
+func (f *IndexedFile) Splits() []*mapreduce.Split {
+	if f.Index == nil {
+		var splits []*mapreduce.Split
+		for _, b := range f.File.Blocks {
+			splits = append(splits, &mapreduce.Split{
+				MBR:        geom.WorldRect(),
+				ContentMBR: geom.EmptyRect(),
+				Blocks:     []*dfs.Block{b},
+			})
+		}
+		return splits
+	}
+	byKey := make(map[string][]*dfs.Block)
+	for _, b := range f.File.Blocks {
+		byKey[b.Partition] = append(byKey[b.Partition], b)
+	}
+	var splits []*mapreduce.Split
+	for _, cell := range f.Index.Cells {
+		blocks := byKey[cell.Key()]
+		if len(blocks) == 0 {
+			continue
+		}
+		splits = append(splits, &mapreduce.Split{
+			Partition:  cell.Key(),
+			MBR:        cell.Boundary,
+			ContentMBR: cell.Content,
+			Blocks:     blocks,
+		})
+	}
+	return splits
+}
+
+// LocalIndex returns the cached R-tree local index over a block's records
+// (points files only). The first request builds the index, modelling the
+// local index SpatialHadoop persists alongside each block.
+func (s *System) LocalIndex(b *dfs.Block) (*rtree.Tree, error) {
+	if t, ok := s.localIndexes.Load(b); ok {
+		return t.(*rtree.Tree), nil
+	}
+	pts, err := geomio.DecodePoints(b.Records())
+	if err != nil {
+		return nil, err
+	}
+	t := rtree.BulkPoints(pts, rtree.DefaultFanout)
+	s.localIndexes.Store(b, t)
+	return t, nil
+}
+
+// ReadPoints decodes every point record of a file.
+func (s *System) ReadPoints(name string) ([]geom.Point, error) {
+	recs, err := s.fs.ReadAll(name)
+	if err != nil {
+		return nil, err
+	}
+	return geomio.DecodePoints(recs)
+}
+
+// ReadRegions decodes every region record of a file.
+func (s *System) ReadRegions(name string) ([]geom.Region, error) {
+	recs, err := s.fs.ReadAll(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]geom.Region, len(recs))
+	for i, r := range recs {
+		rg, err := geomio.DecodeRegion(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rg
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/sindex"
+)
+
+var loadTechniques = []sindex.Technique{
+	sindex.Grid, sindex.STR, sindex.STRPlus, sindex.QuadTree,
+	sindex.KDTree, sindex.ZCurve, sindex.Hilbert,
+}
+
+// TestLoadPointsConservation checks that indexing loses and duplicates no
+// point records for any technique.
+func TestLoadPointsConservation(t *testing.T) {
+	area := geom.NewRect(0, 0, 1000, 1000)
+	pts := datagen.Points(datagen.Clustered, 5000, area, 3)
+	want := geomio.EncodePoints(pts)
+	sort.Strings(want)
+	for _, tech := range loadTechniques {
+		sys := New(Config{BlockSize: 8 << 10, Workers: 4, Seed: 1})
+		f, err := sys.LoadPoints("pts", pts, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys.FS().ReadAll("pts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(got)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d records, want %d", tech, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: record %d mismatch", tech, i)
+			}
+		}
+		if f.Index == nil {
+			t.Fatalf("%v: no index", tech)
+		}
+		if f.Index.Technique != tech {
+			t.Fatalf("%v: technique round trip failed", tech)
+		}
+	}
+}
+
+// TestSplitsCoverAllBlocks checks the spatial file splitter assigns every
+// block to exactly one split and carries the right metadata.
+func TestSplitsCoverAllBlocks(t *testing.T) {
+	area := geom.NewRect(0, 0, 1000, 1000)
+	pts := datagen.Points(datagen.Uniform, 5000, area, 5)
+	sys := New(Config{BlockSize: 4 << 10, Workers: 4, Seed: 1})
+	f, err := sys.LoadPoints("pts", pts, sindex.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits := f.Splits()
+	if len(splits) < 2 {
+		t.Fatalf("expected several splits, got %d", len(splits))
+	}
+	nblocks := 0
+	for _, s := range splits {
+		nblocks += len(s.Blocks)
+		// Every record must be inside the partition boundary (grid is
+		// disjoint, points are never replicated).
+		recPts, err := geomio.DecodePoints(s.Records())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range recPts {
+			if !s.MBR.ContainsPoint(p) {
+				t.Fatalf("point %v outside partition %v", p, s.MBR)
+			}
+			if !s.ContentMBR.ContainsPoint(p) {
+				t.Fatalf("point %v outside content MBR %v", p, s.ContentMBR)
+			}
+		}
+		if !s.MBR.ContainsRect(s.ContentMBR) {
+			t.Fatalf("content MBR %v exceeds boundary %v", s.ContentMBR, s.MBR)
+		}
+	}
+	if nblocks != len(f.File.Blocks) {
+		t.Fatalf("splits cover %d blocks, file has %d", nblocks, len(f.File.Blocks))
+	}
+}
+
+// TestMasterFileRoundTrip checks the index survives the master-file
+// encoding when a file is reopened.
+func TestMasterFileRoundTrip(t *testing.T) {
+	pts := datagen.Points(datagen.Gaussian, 2000, geom.NewRect(0, 0, 500, 500), 7)
+	sys := New(Config{BlockSize: 4 << 10, Workers: 2, Seed: 1})
+	f1, err := sys.LoadPoints("pts", pts, sindex.STRPlus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := sys.Open("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Index.Cells) != len(f2.Index.Cells) {
+		t.Fatal("cells differ after reopen")
+	}
+	for i := range f1.Index.Cells {
+		if f1.Index.Cells[i] != f2.Index.Cells[i] {
+			t.Fatalf("cell %d differs after reopen", i)
+		}
+	}
+}
+
+// TestLoadRegionsReplication checks region loading with a disjoint
+// technique replicates boundary-crossing records and the reader sees them.
+func TestLoadRegionsReplication(t *testing.T) {
+	area := geom.NewRect(0, 0, 400, 400)
+	polys := datagen.RandomPolygons(200, 5, 40, area, 9)
+	regions := make([]geom.Region, len(polys))
+	for i, pg := range polys {
+		regions[i] = geom.RegionOf(pg)
+	}
+	sys := New(Config{BlockSize: 4 << 10, Workers: 4, Seed: 1})
+	f, err := sys.LoadRegions("regs", regions, sindex.QuadTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for _, b := range f.File.Blocks {
+		total += int64(b.NumRecords())
+	}
+	if total <= int64(len(regions)) {
+		t.Errorf("expected replication to add records: %d stored for %d input", total, len(regions))
+	}
+	// Distinct records must equal the input set.
+	recs, _ := sys.FS().ReadAll("regs")
+	distinct := map[string]bool{}
+	for _, r := range recs {
+		distinct[r] = true
+	}
+	if len(distinct) != len(regions) {
+		t.Errorf("distinct records = %d, want %d", len(distinct), len(regions))
+	}
+}
+
+func TestLocalIndexCaching(t *testing.T) {
+	pts := datagen.Points(datagen.Uniform, 1000, geom.NewRect(0, 0, 100, 100), 11)
+	sys := New(Config{BlockSize: 4 << 10, Workers: 2, Seed: 1})
+	f, err := sys.LoadPoints("pts", pts, sindex.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.File.Blocks[0]
+	t1, err := sys.LocalIndex(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := sys.LocalIndex(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("local index not cached")
+	}
+	if t1.Len() != b.NumRecords() {
+		t.Errorf("index holds %d entries, block has %d", t1.Len(), b.NumRecords())
+	}
+}
+
+// TestPersistedSystemRoundTrip saves a system with an indexed file to disk
+// and reloads it; the reopened file must keep its index and records.
+func TestPersistedSystemRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pts := datagen.Points(datagen.Clustered, 2000, geom.NewRect(0, 0, 1000, 1000), 17)
+	sys := New(Config{BlockSize: 8 << 10, Workers: 4, Seed: 1})
+	f1, err := sys.LoadPoints("pts", pts, sindex.QuadTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FS().SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := dfs.LoadDir(dir, dfs.Config{BlockSize: 8 << 10, DataNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := NewWithFS(Config{BlockSize: 8 << 10, Workers: 4, Seed: 1}, fs2)
+	f2, err := sys2.Open("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Index == nil || len(f2.Index.Cells) != len(f1.Index.Cells) {
+		t.Fatal("index lost through persistence")
+	}
+	got, err := sys2.ReadPoints("pts")
+	if err != nil || len(got) != len(pts) {
+		t.Fatalf("reloaded %d points, want %d (%v)", len(got), len(pts), err)
+	}
+	if len(f2.Splits()) != len(f1.Splits()) {
+		t.Errorf("splits differ after reload: %d vs %d", len(f2.Splits()), len(f1.Splits()))
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	sys := New(Config{})
+	if _, err := sys.Open("nope"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestReadBackPointsAndRegions(t *testing.T) {
+	sys := New(Config{BlockSize: 1 << 10, Workers: 2, Seed: 1})
+	pts := datagen.Points(datagen.Uniform, 500, geom.NewRect(0, 0, 10, 10), 13)
+	if err := sys.LoadPointsHeap("p", pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sys.ReadPoints("p")
+	if err != nil || len(got) != len(pts) {
+		t.Fatalf("ReadPoints: %d, %v", len(got), err)
+	}
+	regions := []geom.Region{geom.RegionOf(geom.Poly(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)))}
+	if err := sys.LoadRegionsHeap("r", regions); err != nil {
+		t.Fatal(err)
+	}
+	regs, err := sys.ReadRegions("r")
+	if err != nil || len(regs) != 1 || regs[0].VertexCount() != 3 {
+		t.Fatalf("ReadRegions: %v, %v", regs, err)
+	}
+}

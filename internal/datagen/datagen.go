@@ -1,0 +1,306 @@
+// Package datagen generates the synthetic workloads of the evaluation:
+// the five point distributions of paper Fig. 20 (uniform, Gaussian,
+// correlated, reversely correlated, circular), a clustered mixture standing
+// in for the OSM real datasets, and ZIP-code-like polygon tessellations for
+// the union operation. All generators are deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spatialhadoop/internal/geom"
+)
+
+// Distribution identifies one of the synthetic point distributions.
+type Distribution int
+
+// The synthetic distributions of paper Fig. 20, plus Clustered which stands
+// in for the skewed OSM real data.
+const (
+	Uniform Distribution = iota
+	Gaussian
+	Correlated
+	ReverselyCorrelated
+	Circular
+	Clustered
+)
+
+// ParseDistribution maps a name to a Distribution.
+func ParseDistribution(name string) (Distribution, error) {
+	switch name {
+	case "uniform":
+		return Uniform, nil
+	case "gaussian":
+		return Gaussian, nil
+	case "correlated":
+		return Correlated, nil
+	case "anticorrelated", "reversely-correlated":
+		return ReverselyCorrelated, nil
+	case "circular":
+		return Circular, nil
+	case "clustered", "osm":
+		return Clustered, nil
+	default:
+		return 0, fmt.Errorf("datagen: unknown distribution %q", name)
+	}
+}
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Correlated:
+		return "correlated"
+	case ReverselyCorrelated:
+		return "anticorrelated"
+	case Circular:
+		return "circular"
+	case Clustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// DefaultArea is the generation area used throughout the evaluation,
+// mirroring the paper's 1M x 1M synthetic space.
+var DefaultArea = geom.NewRect(0, 0, 1e6, 1e6)
+
+// Points generates n points of the given distribution inside area.
+func Points(dist Distribution, n int, area geom.Rect, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, n)
+	w, h := area.Width(), area.Height()
+	cx, cy := area.Center().X, area.Center().Y
+
+	// resample draws from gen until the point falls inside the area.
+	// Clamping to the boundary would pile up thousands of exactly
+	// collinear points on the area's edges — a Delaunay-degenerate
+	// configuration no real dataset exhibits.
+	resample := func(gen func() geom.Point) geom.Point {
+		for i := 0; i < 64; i++ {
+			if p := gen(); area.ContainsPoint(p) {
+				return p
+			}
+		}
+		return geom.Point{
+			X: area.MinX + rng.Float64()*w,
+			Y: area.MinY + rng.Float64()*h,
+		}
+	}
+
+	switch dist {
+	case Uniform:
+		for i := 0; i < n; i++ {
+			pts = append(pts, geom.Point{
+				X: area.MinX + rng.Float64()*w,
+				Y: area.MinY + rng.Float64()*h,
+			})
+		}
+	case Gaussian:
+		for i := 0; i < n; i++ {
+			pts = append(pts, resample(func() geom.Point {
+				return geom.Point{
+					X: cx + rng.NormFloat64()*w/6,
+					Y: cy + rng.NormFloat64()*h/6,
+				}
+			}))
+		}
+	case Correlated:
+		// Points concentrated around the main diagonal: positions where x
+		// and y are positively correlated (best case for skyline).
+		for i := 0; i < n; i++ {
+			pts = append(pts, resample(func() geom.Point {
+				t := rng.Float64()
+				jit := rng.NormFloat64() * 0.05
+				return geom.Point{
+					X: area.MinX + t*w,
+					Y: area.MinY + (t+jit)*h,
+				}
+			}))
+		}
+	case ReverselyCorrelated:
+		// Points around the anti-diagonal (worst case for skyline: a large
+		// fraction of the input is on the skyline).
+		for i := 0; i < n; i++ {
+			pts = append(pts, resample(func() geom.Point {
+				t := rng.Float64()
+				jit := rng.NormFloat64() * 0.05
+				return geom.Point{
+					X: area.MinX + t*w,
+					Y: area.MinY + (1-t+jit)*h,
+				}
+			}))
+		}
+	case Circular:
+		// Points on a thin annulus: the worst case for farthest pair, where
+		// the convex hull contains a large fraction of the input.
+		r := math.Min(w, h) * 0.45
+		for i := 0; i < n; i++ {
+			theta := rng.Float64() * 2 * math.Pi
+			rr := r * (0.98 + rng.Float64()*0.04)
+			pts = append(pts, geom.Point{
+				X: cx + rr*math.Cos(theta),
+				Y: cy + rr*math.Sin(theta),
+			})
+		}
+	case Clustered:
+		pts = clusteredPoints(rng, n, area)
+	default:
+		panic(fmt.Sprintf("datagen: unknown distribution %d", int(dist)))
+	}
+	return pts
+}
+
+// clusteredPoints emits a skewed mixture: a number of Gaussian clusters of
+// varying density plus a uniform background, approximating the spatial
+// skew of OpenStreetMap extracts.
+func clusteredPoints(rng *rand.Rand, n int, area geom.Rect) []geom.Point {
+	w, h := area.Width(), area.Height()
+	nClusters := 24
+	type cluster struct {
+		c      geom.Point
+		sigma  float64
+		weight float64
+	}
+	clusters := make([]cluster, nClusters)
+	totalW := 0.0
+	for i := range clusters {
+		wgt := math.Pow(rng.Float64(), 2) + 0.02
+		clusters[i] = cluster{
+			c: geom.Point{
+				X: area.MinX + rng.Float64()*w,
+				Y: area.MinY + rng.Float64()*h,
+			},
+			sigma:  (0.005 + rng.Float64()*0.04) * math.Min(w, h),
+			weight: wgt,
+		}
+		totalW += wgt
+	}
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.15 {
+			pts = append(pts, geom.Point{
+				X: area.MinX + rng.Float64()*w,
+				Y: area.MinY + rng.Float64()*h,
+			})
+			continue
+		}
+		r := rng.Float64() * totalW
+		var cl cluster
+		for _, c := range clusters {
+			if r -= c.weight; r <= 0 {
+				cl = c
+				break
+			}
+			cl = c
+		}
+		// Resample draws that land outside the area (see Points).
+		p := geom.Point{X: area.MinX - 1, Y: area.MinY - 1}
+		for try := 0; try < 64 && !area.ContainsPoint(p); try++ {
+			p = geom.Point{
+				X: cl.c.X + rng.NormFloat64()*cl.sigma,
+				Y: cl.c.Y + rng.NormFloat64()*cl.sigma,
+			}
+		}
+		if !area.ContainsPoint(p) {
+			p = geom.Point{
+				X: area.MinX + rng.Float64()*w,
+				Y: area.MinY + rng.Float64()*h,
+			}
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// Tessellation generates a ZIP-code-like set of polygons: a jittered grid
+// of cells whose union is (approximately) the outer boundary of the grid,
+// mirroring the union running example of paper Fig. 1. Cells share edges
+// with their neighbours so the local union step genuinely removes interior
+// segments. nx*ny polygons are produced.
+func Tessellation(nx, ny int, area geom.Rect, seed int64) []geom.Polygon {
+	rng := rand.New(rand.NewSource(seed))
+	// Jittered lattice of (nx+1) x (ny+1) shared corner points.
+	xs := make([][]geom.Point, ny+1)
+	cw := area.Width() / float64(nx)
+	ch := area.Height() / float64(ny)
+	jx := cw * 0.25
+	jy := ch * 0.25
+	for iy := 0; iy <= ny; iy++ {
+		xs[iy] = make([]geom.Point, nx+1)
+		for ix := 0; ix <= nx; ix++ {
+			p := geom.Point{
+				X: area.MinX + float64(ix)*cw,
+				Y: area.MinY + float64(iy)*ch,
+			}
+			// Interior lattice points are jittered; boundary points stay
+			// put so the union boundary is the exact area rectangle.
+			if ix > 0 && ix < nx {
+				p.X += (rng.Float64()*2 - 1) * jx
+			}
+			if iy > 0 && iy < ny {
+				p.Y += (rng.Float64()*2 - 1) * jy
+			}
+			xs[iy][ix] = p
+		}
+	}
+	polys := make([]geom.Polygon, 0, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			polys = append(polys, geom.Poly(
+				xs[iy][ix], xs[iy][ix+1], xs[iy+1][ix+1], xs[iy+1][ix],
+			))
+		}
+	}
+	return polys
+}
+
+// RandomPolygons generates n random convex polygons with the given mean
+// radius scattered over area; unlike Tessellation they may overlap
+// arbitrarily or not at all. Used for the "complex" vs "simple" union
+// datasets: vertices controls polygon complexity.
+func RandomPolygons(n, vertices int, meanRadius float64, area geom.Rect, seed int64) []geom.Polygon {
+	rng := rand.New(rand.NewSource(seed))
+	polys := make([]geom.Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		c := geom.Point{
+			X: area.MinX + rng.Float64()*area.Width(),
+			Y: area.MinY + rng.Float64()*area.Height(),
+		}
+		r := meanRadius * (0.5 + rng.Float64())
+		k := vertices
+		if k < 3 {
+			k = 3
+		}
+		// Random convex polygon: sorted random angles around the center.
+		angles := make([]float64, k)
+		for j := range angles {
+			angles[j] = rng.Float64() * 2 * math.Pi
+		}
+		sortFloats(angles)
+		pts := make([]geom.Point, 0, k)
+		for _, a := range angles {
+			rr := r * (0.8 + rng.Float64()*0.4)
+			pts = append(pts, geom.Point{X: c.X + rr*math.Cos(a), Y: c.Y + rr*math.Sin(a)})
+		}
+		pg := geom.Polygon{Vertices: geom.ConvexHull(pts)}
+		if pg.Len() >= 3 {
+			polys = append(polys, pg)
+		}
+	}
+	return polys
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

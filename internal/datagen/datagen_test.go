@@ -1,0 +1,159 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"spatialhadoop/internal/geom"
+)
+
+func TestAllDistributionsInArea(t *testing.T) {
+	area := geom.NewRect(10, 20, 510, 520)
+	for _, dist := range []Distribution{Uniform, Gaussian, Correlated, ReverselyCorrelated, Circular, Clustered} {
+		pts := Points(dist, 2000, area, 42)
+		if len(pts) != 2000 {
+			t.Fatalf("%v: %d points", dist, len(pts))
+		}
+		for _, p := range pts {
+			if !area.ContainsPoint(p) {
+				t.Fatalf("%v: point %v outside area", dist, p)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Points(Clustered, 500, DefaultArea, 7)
+	b := Points(Clustered, 500, DefaultArea, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the same dataset")
+		}
+	}
+	c := Points(Clustered, 500, DefaultArea, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// TestNoBoundaryPileUp guards against the degenerate collinear clamping
+// that breaks Delaunay-based processing: only a negligible share of points
+// may sit exactly on the area border.
+func TestNoBoundaryPileUp(t *testing.T) {
+	area := geom.NewRect(0, 0, 1000, 1000)
+	for _, dist := range []Distribution{Gaussian, Clustered, Correlated, ReverselyCorrelated} {
+		pts := Points(dist, 5000, area, 3)
+		onEdge := 0
+		for _, p := range pts {
+			if p.X == area.MinX || p.X == area.MaxX || p.Y == area.MinY || p.Y == area.MaxY {
+				onEdge++
+			}
+		}
+		if onEdge > 5 {
+			t.Errorf("%v: %d points exactly on the boundary", dist, onEdge)
+		}
+	}
+}
+
+func TestDistributionShapes(t *testing.T) {
+	area := geom.NewRect(0, 0, 1000, 1000)
+	// Correlated: x and y strongly positively correlated.
+	corr := correlation(Points(Correlated, 5000, area, 5))
+	if corr < 0.8 {
+		t.Errorf("correlated: r = %.2f, want > 0.8", corr)
+	}
+	anti := correlation(Points(ReverselyCorrelated, 5000, area, 5))
+	if anti > -0.8 {
+		t.Errorf("anticorrelated: r = %.2f, want < -0.8", anti)
+	}
+	// Circular: all points at a narrow band of radii from the center.
+	c := area.Center()
+	for _, p := range Points(Circular, 2000, area, 5) {
+		r := p.Dist(c) / (math.Min(area.Width(), area.Height()) * 0.45)
+		if r < 0.97 || r > 1.03 {
+			t.Fatalf("circular: radius ratio %.3f out of band", r)
+		}
+	}
+	// Gaussian: mass concentrated near the center.
+	inner := 0
+	gauss := Points(Gaussian, 5000, area, 5)
+	for _, p := range gauss {
+		if p.Dist(c) < 350 {
+			inner++
+		}
+	}
+	if float64(inner)/float64(len(gauss)) < 0.75 {
+		t.Errorf("gaussian: only %d of %d points near center", inner, len(gauss))
+	}
+}
+
+func correlation(pts []geom.Point) float64 {
+	var sx, sy, sxx, syy, sxy float64
+	n := float64(len(pts))
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+		sxx += p.X * p.X
+		syy += p.Y * p.Y
+		sxy += p.X * p.Y
+	}
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	return cov / math.Sqrt(vx*vy)
+}
+
+func TestTessellationProperties(t *testing.T) {
+	area := geom.NewRect(0, 0, 100, 200)
+	polys := Tessellation(5, 10, area, 3)
+	if len(polys) != 50 {
+		t.Fatalf("got %d polygons, want 50", len(polys))
+	}
+	totalArea := 0.0
+	for _, pg := range polys {
+		if pg.Len() != 4 {
+			t.Fatalf("cell with %d vertices", pg.Len())
+		}
+		totalArea += pg.Area()
+	}
+	// The cells tile the area exactly.
+	if math.Abs(totalArea-area.Area()) > 1e-6*area.Area() {
+		t.Errorf("cells cover %g, area is %g", totalArea, area.Area())
+	}
+}
+
+func TestRandomPolygonsConvex(t *testing.T) {
+	polys := RandomPolygons(100, 8, 30, geom.NewRect(0, 0, 1000, 1000), 5)
+	if len(polys) == 0 {
+		t.Fatal("no polygons")
+	}
+	for _, pg := range polys {
+		if !geom.IsConvex(pg.Vertices) {
+			t.Fatalf("polygon not convex: %v", pg)
+		}
+		if pg.Area() <= 0 {
+			t.Fatal("degenerate polygon")
+		}
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, name := range []string{"uniform", "gaussian", "correlated", "anticorrelated", "circular", "clustered"} {
+		d, err := ParseDistribution(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.String() != name {
+			t.Errorf("round trip %q -> %q", name, d.String())
+		}
+	}
+	if _, err := ParseDistribution("pareto"); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,269 @@
+// Package dfs implements the HDFS stand-in used by the MapReduce runtime:
+// a block-structured file system with a name node (file table and block
+// placement), simulated data nodes, and text-record IO. The only HDFS
+// behaviours the algorithms rely on are modelled faithfully: a file is a
+// sequence of fixed-capacity blocks, each block lives on a data node, and
+// one map task is scheduled per block (or per indexed partition).
+//
+// Files may carry a "master" attachment, mirroring SpatialHadoop's _master
+// index file that describes the spatial partitioning of the data blocks.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultBlockSize is the default block capacity in bytes. The paper uses
+// 64 MB; the default here is scaled down so laptop-sized datasets still
+// split into a realistic number of blocks.
+const DefaultBlockSize = 1 << 20
+
+// Config configures a FileSystem.
+type Config struct {
+	// BlockSize is the block capacity in bytes (DefaultBlockSize if zero).
+	BlockSize int64
+	// DataNodes is the number of simulated storage nodes (default 25,
+	// matching the paper's cluster).
+	DataNodes int
+}
+
+// BlockID identifies a block within the file system.
+type BlockID int64
+
+// Block is one storage unit: a run of text records, at most BlockSize
+// bytes, hosted by a data node.
+type Block struct {
+	ID BlockID
+	// Node is the data node hosting the block.
+	Node int
+	// Partition is the spatial partition key of the block, or "" for
+	// non-indexed (heap) files.
+	Partition string
+	// Bytes is the summed encoded size of the records.
+	Bytes int64
+
+	records []string
+}
+
+// Records returns the records stored in the block. The returned slice must
+// not be modified.
+func (b *Block) Records() []string { return b.records }
+
+// NumRecords returns the number of records in the block.
+func (b *Block) NumRecords() int { return len(b.records) }
+
+// File is the name-node metadata for one file.
+type File struct {
+	Name    string
+	Blocks  []*Block
+	Bytes   int64
+	Records int64
+	// Master is an opaque attachment for index metadata (SpatialHadoop's
+	// _master file). The spatial layer serializes its global index here.
+	Master []byte
+}
+
+// FileSystem is the distributed file system facade: a name node plus data
+// nodes. It is safe for concurrent use.
+type FileSystem struct {
+	mu        sync.RWMutex
+	cfg       Config
+	files     map[string]*File
+	nextBlock BlockID
+	nextNode  int
+	nodeBytes []int64
+}
+
+// New creates an empty file system.
+func New(cfg Config) *FileSystem {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.DataNodes <= 0 {
+		cfg.DataNodes = 25
+	}
+	return &FileSystem{
+		cfg:       cfg,
+		files:     make(map[string]*File),
+		nodeBytes: make([]int64, cfg.DataNodes),
+	}
+}
+
+// BlockSize returns the configured block capacity.
+func (fs *FileSystem) BlockSize() int64 { return fs.cfg.BlockSize }
+
+// DataNodes returns the number of simulated data nodes.
+func (fs *FileSystem) DataNodes() int { return fs.cfg.DataNodes }
+
+// ErrNotFound is returned when opening a file that does not exist.
+var ErrNotFound = errors.New("dfs: file not found")
+
+// ErrExists is returned when creating a file that already exists.
+var ErrExists = errors.New("dfs: file already exists")
+
+// Writer appends records to a file under construction, cutting a new block
+// whenever the current one reaches capacity. Writers are not safe for
+// concurrent use.
+type Writer struct {
+	fs        *FileSystem
+	file      *File
+	partition string
+	cur       *Block
+	closed    bool
+}
+
+// Create creates a new file and returns a writer for it.
+func (fs *FileSystem) Create(name string) (*Writer, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	f := &File{Name: name}
+	fs.files[name] = f
+	return &Writer{fs: fs, file: f}, nil
+}
+
+// CreateOrReplace is Create, deleting any existing file first.
+func (fs *FileSystem) CreateOrReplace(name string) (*Writer, error) {
+	fs.Delete(name)
+	return fs.Create(name)
+}
+
+// SetPartition directs subsequent records to blocks tagged with the given
+// partition key, cutting the current block. The spatial file loader calls
+// it once per partition.
+func (w *Writer) SetPartition(key string) {
+	w.cur = nil
+	w.partition = key
+}
+
+// WriteRecord appends one text record.
+func (w *Writer) WriteRecord(rec string) {
+	if w.closed {
+		panic("dfs: write on closed writer")
+	}
+	sz := int64(len(rec)) + 1 // newline accounting
+	if w.cur == nil || w.cur.Bytes+sz > w.fs.cfg.BlockSize && w.cur.Bytes > 0 {
+		w.cut()
+	}
+	w.cur.records = append(w.cur.records, rec)
+	w.cur.Bytes += sz
+	w.file.Bytes += sz
+	w.file.Records++
+}
+
+// cut starts a new block on the next data node (round-robin placement).
+func (w *Writer) cut() {
+	fs := w.fs
+	fs.mu.Lock()
+	id := fs.nextBlock
+	fs.nextBlock++
+	node := fs.nextNode
+	fs.nextNode = (fs.nextNode + 1) % fs.cfg.DataNodes
+	fs.mu.Unlock()
+	b := &Block{ID: id, Node: node, Partition: w.partition}
+	w.cur = b
+	w.file.Blocks = append(w.file.Blocks, b)
+}
+
+// Close finalizes the file and records data-node usage.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	fs := w.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, b := range w.file.Blocks {
+		fs.nodeBytes[b.Node] += b.Bytes
+	}
+	return nil
+}
+
+// SetMaster attaches index metadata to the file being written.
+func (w *Writer) SetMaster(master []byte) { w.file.Master = master }
+
+// Open returns the metadata for a file.
+func (fs *FileSystem) Open(name string) (*File, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return f, nil
+}
+
+// Exists reports whether the file exists.
+func (fs *FileSystem) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Delete removes a file, releasing its blocks. Deleting a missing file is
+// not an error.
+func (fs *FileSystem) Delete(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return
+	}
+	for _, b := range f.Blocks {
+		fs.nodeBytes[b.Node] -= b.Bytes
+	}
+	delete(fs.files, name)
+}
+
+// List returns the names of all files in sorted order.
+func (fs *FileSystem) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ReadAll returns every record of the file in block order.
+func (fs *FileSystem) ReadAll(name string) ([]string, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, f.Records)
+	for _, b := range f.Blocks {
+		out = append(out, b.records...)
+	}
+	return out, nil
+}
+
+// WriteFile creates a file from records in one call.
+func (fs *FileSystem) WriteFile(name string, records []string) error {
+	w, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	for _, r := range records {
+		w.WriteRecord(r)
+	}
+	return w.Close()
+}
+
+// NodeBytes returns bytes stored per data node, for balance reporting.
+func (fs *FileSystem) NodeBytes() []int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]int64, len(fs.nodeBytes))
+	copy(out, fs.nodeBytes)
+	return out
+}

@@ -1,0 +1,86 @@
+package dfs
+
+import (
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(Config{BlockSize: 64, DataNodes: 3})
+
+	// A partitioned file with a master attachment.
+	w, _ := fs.Create("indexed")
+	w.SetPartition("c0")
+	w.WriteRecord("a0")
+	w.WriteRecord("a1")
+	w.SetPartition("c1")
+	w.WriteRecord("b0")
+	w.SetMaster([]byte("master-bytes"))
+	w.Close()
+
+	// A heap file large enough to span blocks.
+	var heap []string
+	for i := 0; i < 40; i++ {
+		heap = append(heap, "record-record-record")
+	}
+	fs.WriteFile("heap", heap)
+
+	if err := fs.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir, Config{BlockSize: 64, DataNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := got.Open("indexed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Master) != "master-bytes" {
+		t.Errorf("master = %q", f.Master)
+	}
+	if len(f.Blocks) != 2 || f.Blocks[0].Partition != "c0" || f.Blocks[1].Partition != "c1" {
+		t.Fatalf("partition structure lost: %+v", f.Blocks)
+	}
+	recs, _ := got.ReadAll("indexed")
+	if len(recs) != 3 || recs[0] != "a0" || recs[2] != "b0" {
+		t.Errorf("records = %v", recs)
+	}
+
+	heapGot, _ := got.ReadAll("heap")
+	if len(heapGot) != 40 {
+		t.Errorf("heap records = %d", len(heapGot))
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir("/does/not/exist", Config{}); err == nil {
+		t.Error("expected error for missing dir")
+	}
+}
+
+func TestSaveRejectsNewlines(t *testing.T) {
+	fs := New(Config{})
+	fs.WriteFile("bad", []string{"line1\nline2"})
+	if err := fs.SaveDir(t.TempDir()); err == nil {
+		t.Error("expected error for embedded newline")
+	}
+}
+
+func TestEscapedNames(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(Config{})
+	fs.WriteFile("dir/with slash & spaces", []string{"x"})
+	if err := fs.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := got.ReadAll("dir/with slash & spaces")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("escaped name round trip failed: %v %v", recs, err)
+	}
+}

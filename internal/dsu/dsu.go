@@ -1,0 +1,76 @@
+// Package dsu implements a disjoint-set (union–find) forest with union by
+// rank and path compression. The polygon union grouping step (paper §4.1)
+// uses it to cluster transitively-overlapping polygons in near-constant
+// time per merge.
+package dsu
+
+// DSU is a disjoint-set forest over the integers [0, n).
+type DSU struct {
+	parent []int
+	rank   []byte
+	sets   int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *DSU {
+	d := &DSU{parent: make([]int, n), rank: make([]byte, n), sets: n}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether they were
+// previously distinct.
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.sets--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Groups returns the members of each set, keyed by nothing in particular:
+// the order of groups and of members within a group follows element order.
+func (d *DSU) Groups() [][]int {
+	byRoot := make(map[int][]int)
+	order := make([]int, 0)
+	for i := range d.parent {
+		r := d.Find(i)
+		if _, ok := byRoot[r]; !ok {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, byRoot[r])
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package dsu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	d := New(5)
+	if d.Sets() != 5 {
+		t.Fatalf("sets = %d, want 5", d.Sets())
+	}
+	if !d.Union(0, 1) {
+		t.Error("first union should merge")
+	}
+	if d.Union(1, 0) {
+		t.Error("repeat union should not merge")
+	}
+	d.Union(2, 3)
+	if d.Sets() != 3 {
+		t.Errorf("sets = %d, want 3", d.Sets())
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Error("bad connectivity")
+	}
+	d.Union(1, 3)
+	if !d.Same(0, 2) {
+		t.Error("transitive connectivity")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	d := New(6)
+	d.Union(0, 2)
+	d.Union(2, 4)
+	d.Union(1, 5)
+	groups := d.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	sizes := map[int]int{}
+	for _, g := range groups {
+		sizes[len(g)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("group sizes = %v", sizes)
+	}
+}
+
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	d := New(n)
+	naive := make([]int, n)
+	for i := range naive {
+		naive[i] = i
+	}
+	relabel := func(from, to int) {
+		for i := range naive {
+			if naive[i] == from {
+				naive[i] = to
+			}
+		}
+	}
+	for op := 0; op < 2000; op++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		d.Union(a, b)
+		relabel(naive[a], naive[b])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d.Same(i, j) != (naive[i] == naive[j]) {
+				t.Fatalf("connectivity mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}

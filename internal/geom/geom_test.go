@@ -1,0 +1,425 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randPoints(rng *rand.Rand, n int, scale float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * scale, Y: rng.Float64() * scale}
+	}
+	return pts
+}
+
+func TestOrient(t *testing.T) {
+	if Orient(Pt(0, 0), Pt(1, 0), Pt(1, 1)) != CounterClockwise {
+		t.Error("expected CCW")
+	}
+	if Orient(Pt(0, 0), Pt(1, 0), Pt(1, -1)) != Clockwise {
+		t.Error("expected CW")
+	}
+	if Orient(Pt(0, 0), Pt(1, 1), Pt(2, 2)) != Collinear {
+		t.Error("expected collinear")
+	}
+}
+
+func TestInCircle(t *testing.T) {
+	// Unit circle through (1,0), (0,1), (-1,0) — CCW order.
+	a, b, c := Pt(1, 0), Pt(0, 1), Pt(-1, 0)
+	if !InCircle(a, b, c, Pt(0, 0)) {
+		t.Error("origin should be inside")
+	}
+	if InCircle(a, b, c, Pt(2, 2)) {
+		t.Error("(2,2) should be outside")
+	}
+	if InCircle(a, b, c, Pt(0, -1)) {
+		t.Error("point on circle is not strictly inside")
+	}
+}
+
+func TestCircumcenter(t *testing.T) {
+	c, ok := Circumcenter(Pt(1, 0), Pt(0, 1), Pt(-1, 0))
+	if !ok {
+		t.Fatal("expected circumcenter")
+	}
+	if c.Dist(Pt(0, 0)) > 1e-12 {
+		t.Errorf("got %v, want origin", c)
+	}
+	if _, ok := Circumcenter(Pt(0, 0), Pt(1, 1), Pt(2, 2)); ok {
+		t.Error("collinear points have no circumcenter")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(3, 4, 1, 2) // unordered corners normalize
+	if r.MinX != 1 || r.MinY != 2 || r.MaxX != 3 || r.MaxY != 4 {
+		t.Fatalf("bad normalization: %v", r)
+	}
+	if r.Area() != 4 {
+		t.Errorf("area = %g, want 4", r.Area())
+	}
+	if !r.ContainsPoint(Pt(1, 2)) || !r.ContainsPoint(Pt(3, 4)) {
+		t.Error("boundary points should be contained")
+	}
+	if r.ContainsPointExclusive(Pt(3, 4)) {
+		t.Error("max corner excluded in half-open containment")
+	}
+	if EmptyRect().Area() != 0 {
+		t.Error("empty rect has zero area")
+	}
+	u := r.Union(NewRect(10, 10, 11, 11))
+	if u.MaxX != 11 || u.MinX != 1 {
+		t.Errorf("bad union %v", u)
+	}
+}
+
+func TestRectDistances(t *testing.T) {
+	a := NewRect(0, 0, 1, 1)
+	b := NewRect(4, 3, 5, 4)
+	if got := a.MinDist(b); math.Abs(got-math.Hypot(3, 2)) > 1e-12 {
+		t.Errorf("MinDist = %g", got)
+	}
+	if got := a.MaxDist(b); math.Abs(got-math.Hypot(5, 4)) > 1e-12 {
+		t.Errorf("MaxDist = %g", got)
+	}
+	if got := a.MinDist(NewRect(0.5, 0.5, 2, 2)); got != 0 {
+		t.Errorf("overlapping MinDist = %g, want 0", got)
+	}
+	// Lower bound <= actual farthest distance <= upper bound, with points
+	// on the MBR sides.
+	lb := a.FarthestPairLowerBound(b)
+	if lb > a.MaxDist(b) {
+		t.Errorf("lower bound %g exceeds upper bound %g", lb, a.MaxDist(b))
+	}
+	if lb < 4 { // horizontal side separation is 5-... max(|4-... compute: max(|5-0|,|1-4|)=5; dy: max(|4-0|,|1-3|)=4; lb = 5
+		t.Errorf("lower bound %g too small", lb)
+	}
+}
+
+func TestSegmentIntersection(t *testing.T) {
+	got := IntersectSegments(Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)))
+	if len(got) != 1 || got[0].Dist(Pt(1, 1)) > 1e-12 {
+		t.Errorf("crossing = %v, want (1,1)", got)
+	}
+	if got := IntersectSegments(Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(0, 1), Pt(1, 1))); got != nil {
+		t.Errorf("parallel disjoint = %v, want nil", got)
+	}
+	// Collinear overlap.
+	got = IntersectSegments(Seg(Pt(0, 0), Pt(3, 0)), Seg(Pt(1, 0), Pt(5, 0)))
+	if len(got) != 2 {
+		t.Fatalf("collinear overlap = %v, want 2 points", got)
+	}
+	if got[0].Dist(Pt(1, 0)) > 1e-12 || got[1].Dist(Pt(3, 0)) > 1e-12 {
+		t.Errorf("overlap endpoints = %v", got)
+	}
+	// Touching at an endpoint.
+	got = IntersectSegments(Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(1, 1), Pt(2, 0)))
+	if len(got) != 1 || got[0].Dist(Pt(1, 1)) > 1e-12 {
+		t.Errorf("endpoint touch = %v", got)
+	}
+}
+
+func TestSegmentClip(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	if c, ok := Seg(Pt(-5, 5), Pt(15, 5)).ClipToRect(r); !ok ||
+		c.A.Dist(Pt(0, 5)) > 1e-12 || c.B.Dist(Pt(10, 5)) > 1e-12 {
+		t.Errorf("clip across = %v %v", c, ok)
+	}
+	if _, ok := Seg(Pt(-5, -5), Pt(-1, -1)).ClipToRect(r); ok {
+		t.Error("fully outside should not clip")
+	}
+	if c, ok := Seg(Pt(1, 1), Pt(2, 2)).ClipToRect(r); !ok || c != Seg(Pt(1, 1), Pt(2, 2)) {
+		t.Errorf("fully inside should be unchanged, got %v %v", c, ok)
+	}
+}
+
+func TestSegmentSplitAt(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	parts := s.SplitAt([]Point{Pt(4, 0), Pt(7, 0), Pt(100, 100)})
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts, want 3", len(parts))
+	}
+	if parts[0].B.X != 4 || parts[1].B.X != 7 || parts[2].B.X != 10 {
+		t.Errorf("bad parts: %v", parts)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := Poly(Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4))
+	if !sq.ContainsPoint(Pt(2, 2)) {
+		t.Error("interior point")
+	}
+	if !sq.ContainsPoint(Pt(0, 2)) {
+		t.Error("boundary point counts as inside")
+	}
+	if sq.StrictlyContainsPoint(Pt(0, 2)) {
+		t.Error("boundary point is not strictly inside")
+	}
+	if sq.ContainsPoint(Pt(5, 5)) {
+		t.Error("outside point")
+	}
+	if sq.SignedArea() != 16 {
+		t.Errorf("area = %g", sq.SignedArea())
+	}
+	if !sq.IsCCW() {
+		t.Error("should be CCW")
+	}
+	if sq.Reverse().IsCCW() {
+		t.Error("reverse should be CW")
+	}
+}
+
+func TestConvexHullSquarePlusInterior(t *testing.T) {
+	pts := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}, {2, 0}}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull = %v, want 4 corners", hull)
+	}
+	if !IsConvex(hull) {
+		t.Error("hull not convex")
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); h != nil {
+		t.Errorf("empty = %v", h)
+	}
+	if h := ConvexHull([]Point{{1, 1}}); len(h) != 1 {
+		t.Errorf("single = %v", h)
+	}
+	if h := ConvexHull([]Point{{1, 1}, {1, 1}, {1, 1}}); len(h) != 1 {
+		t.Errorf("duplicates = %v", h)
+	}
+	h := ConvexHull([]Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	if len(h) != 2 {
+		t.Errorf("collinear = %v, want 2 extremes", h)
+	}
+}
+
+func TestConvexHullProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		pts := randPoints(rng, 3+rng.Intn(200), 100)
+		hull := ConvexHull(pts)
+		if !IsConvex(hull) {
+			t.Fatalf("trial %d: hull not convex", trial)
+		}
+		pg := Polygon{Vertices: hull}
+		if len(hull) >= 3 {
+			for _, p := range pts {
+				if !pg.ContainsPoint(p) {
+					t.Fatalf("trial %d: point %v outside hull", trial, p)
+				}
+			}
+		}
+	}
+}
+
+func TestFarthestPairMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		pts := randPoints(rng, 2+rng.Intn(150), 50)
+		_, _, d := FarthestPair(pts)
+		_, _, bd := FarthestPairBrute(pts)
+		if math.Abs(d-bd) > 1e-9 {
+			t.Fatalf("trial %d: calipers %g vs brute %g", trial, d, bd)
+		}
+	}
+}
+
+func TestClosestPairMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		pts := randPoints(rng, 2+rng.Intn(200), 50)
+		got, ok := ClosestPair(pts)
+		if !ok {
+			t.Fatal("expected pair")
+		}
+		want, _ := ClosestPairBrute(pts)
+		if math.Abs(got.Dist-want.Dist) > 1e-9 {
+			t.Fatalf("trial %d: dc %g vs brute %g", trial, got.Dist, want.Dist)
+		}
+	}
+}
+
+func TestClosestPairDuplicates(t *testing.T) {
+	pts := []Point{{1, 1}, {5, 5}, {1, 1}}
+	got, ok := ClosestPair(pts)
+	if !ok || got.Dist != 0 {
+		t.Fatalf("duplicate points should give distance 0, got %v", got)
+	}
+}
+
+func TestSkylineMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		pts := randPoints(rng, 1+rng.Intn(200), 50)
+		got := Skyline(pts)
+		want := SkylineBrute(pts)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d points", trial, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d: mismatch at %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSkylineInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randPoints(rng, 1+rng.Intn(300), 1000)
+		sky := Skyline(pts)
+		// No skyline point dominated by any input point.
+		for _, s := range sky {
+			for _, p := range pts {
+				if p.Dominates(s) {
+					return false
+				}
+			}
+		}
+		// Every input point dominated by or equal to some skyline point.
+		for _, p := range pts {
+			ok := false
+			for _, s := range sky {
+				if s.Equal(p) || s.Dominates(p) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkylineQuadrants(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}}
+	if got := SkylineQuadrant(pts, QuadMaxMax); len(got) != 1 || !got[0].Equal(Pt(1, 1)) {
+		t.Errorf("maxmax = %v", got)
+	}
+	if got := SkylineQuadrant(pts, QuadMinMin); len(got) != 1 || !got[0].Equal(Pt(0, 0)) {
+		t.Errorf("minmin = %v", got)
+	}
+	if got := SkylineQuadrant(pts, QuadMinMax); len(got) != 1 || !got[0].Equal(Pt(0, 1)) {
+		t.Errorf("minmax = %v", got)
+	}
+	if got := SkylineQuadrant(pts, QuadMaxMin); len(got) != 1 || !got[0].Equal(Pt(1, 0)) {
+		t.Errorf("maxmin = %v", got)
+	}
+}
+
+func TestRectDominance(t *testing.T) {
+	// c5 bottom-left dominates c1 top-right (paper Fig. 12 situation).
+	c1 := NewRect(0, 0, 2, 2)
+	c5 := NewRect(3, 3, 5, 5)
+	if !RectDominatedBy(c1, c5) {
+		t.Error("c1 should be dominated by c5")
+	}
+	if RectDominatedBy(c5, c1) {
+		t.Error("c5 not dominated by c1")
+	}
+	// Overlapping cells do not dominate each other.
+	c2 := NewRect(1, 1, 4, 4)
+	if RectDominatedBy(c2, c5) && RectDominatedBy(c5, c2) {
+		t.Error("mutual domination impossible")
+	}
+}
+
+func TestUnionDisjointSquares(t *testing.T) {
+	a := Poly(Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1))
+	b := Poly(Pt(5, 5), Pt(6, 5), Pt(6, 6), Pt(5, 6))
+	_, segs := UnionPolygons([]Polygon{a, b})
+	if got, want := TotalLength(segs), 8.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("boundary length = %g, want %g", got, want)
+	}
+}
+
+func TestUnionSharedEdge(t *testing.T) {
+	// Two unit squares sharing an edge: union boundary is the 2x1 rect
+	// perimeter (6), with the shared edge removed.
+	a := Poly(Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1))
+	b := Poly(Pt(1, 0), Pt(2, 0), Pt(2, 1), Pt(1, 1))
+	region, segs := UnionPolygons([]Polygon{a, b})
+	if got, want := TotalLength(segs), 6.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("boundary length = %g, want %g", got, want)
+	}
+	if !region.ContainsPoint(Pt(1, 0.5)) {
+		t.Error("point on removed shared edge is interior to the union")
+	}
+}
+
+func TestUnionOverlappingSquares(t *testing.T) {
+	// Unit squares at (0,0) and (0.5,0.5): union boundary length is
+	// 2*perimeter - 2*overlap boundary inside = staircase of length 8 - 2.
+	a := Poly(Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1))
+	b := Poly(Pt(0.5, 0.5), Pt(1.5, 0.5), Pt(1.5, 1.5), Pt(0.5, 1.5))
+	region, segs := UnionPolygons([]Polygon{a, b})
+	if got, want := TotalLength(segs), 6.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("boundary length = %g, want %g", got, want)
+	}
+	if !region.ContainsPoint(Pt(0.75, 0.75)) {
+		t.Error("overlap interior is inside")
+	}
+	if region.ContainsPoint(Pt(1.4, 0.1)) {
+		t.Error("outside point")
+	}
+	for _, p := range []Point{{0.2, 0.2}, {1.2, 1.2}, {0.75, 0.75}} {
+		if !region.ContainsPoint(p) {
+			t.Errorf("union should contain %v", p)
+		}
+	}
+}
+
+func TestUnionContainedPolygon(t *testing.T) {
+	outer := Poly(Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10))
+	inner := Poly(Pt(2, 2), Pt(3, 2), Pt(3, 3), Pt(2, 3))
+	_, segs := UnionPolygons([]Polygon{outer, inner})
+	if got, want := TotalLength(segs), 40.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("boundary length = %g, want %g (inner boundary removed)", got, want)
+	}
+}
+
+func TestUnionIdempotentRegion(t *testing.T) {
+	// Union of the union's region with itself is the same boundary.
+	a := Poly(Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2))
+	b := Poly(Pt(1, 1), Pt(3, 1), Pt(3, 3), Pt(1, 3))
+	region, segs := UnionPolygons([]Polygon{a, b})
+	_, segs2 := UnionRegions([]Region{region})
+	if math.Abs(TotalLength(segs)-TotalLength(segs2)) > 1e-9 {
+		t.Errorf("re-union changed boundary: %g vs %g", TotalLength(segs), TotalLength(segs2))
+	}
+}
+
+func TestClipBoundaryToRect(t *testing.T) {
+	segs := []Segment{Seg(Pt(-5, 0), Pt(5, 0)), Seg(Pt(20, 20), Pt(30, 30))}
+	got := ClipBoundaryToRect(segs, NewRect(0, -1, 10, 1))
+	if len(got) != 1 {
+		t.Fatalf("got %d segments, want 1", len(got))
+	}
+	if got[0].A.X != 0 || got[0].B.X != 5 {
+		t.Errorf("clipped = %v", got[0])
+	}
+}
+
+func TestStitchRingsClosesSquare(t *testing.T) {
+	sq := Poly(Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1))
+	region := StitchRings(sq.Edges())
+	if len(region.Rings) != 1 {
+		t.Fatalf("rings = %d, want 1", len(region.Rings))
+	}
+	if got := region.Rings[0].Len(); got != 4 {
+		t.Errorf("ring has %d vertices, want 4", got)
+	}
+}

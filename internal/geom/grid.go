@@ -1,0 +1,130 @@
+package geom
+
+import "math"
+
+// edgeGrid is a uniform spatial hash over item MBRs used to find candidate
+// intersecting pairs without the O(n^2) all-pairs scan.
+type edgeGrid struct {
+	bounds Rect
+	nx, ny int
+	cw, ch float64
+	cells  map[int][]int
+}
+
+// newEdgeGrid sizes a grid for roughly n items over the given bounds.
+func newEdgeGrid(bounds Rect, n int) *edgeGrid {
+	if bounds.IsEmpty() || bounds.Width() == 0 && bounds.Height() == 0 {
+		bounds = bounds.Buffer(1)
+	}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1
+	}
+	if side > 512 {
+		side = 512
+	}
+	g := &edgeGrid{bounds: bounds, nx: side, ny: side, cells: make(map[int][]int)}
+	g.cw = bounds.Width() / float64(side)
+	g.ch = bounds.Height() / float64(side)
+	if g.cw <= 0 {
+		g.cw = 1
+	}
+	if g.ch <= 0 {
+		g.ch = 1
+	}
+	return g
+}
+
+func (g *edgeGrid) cellRange(r Rect) (x0, y0, x1, y1 int) {
+	x0 = g.clampX(int((r.MinX - g.bounds.MinX) / g.cw))
+	x1 = g.clampX(int((r.MaxX - g.bounds.MinX) / g.cw))
+	y0 = g.clampY(int((r.MinY - g.bounds.MinY) / g.ch))
+	y1 = g.clampY(int((r.MaxY - g.bounds.MinY) / g.ch))
+	return
+}
+
+func (g *edgeGrid) clampX(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= g.nx {
+		return g.nx - 1
+	}
+	return i
+}
+
+func (g *edgeGrid) clampY(i int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= g.ny {
+		return g.ny - 1
+	}
+	return i
+}
+
+// insert registers item id with the cells overlapping r.
+func (g *edgeGrid) insert(id int, r Rect) {
+	x0, y0, x1, y1 := g.cellRange(r)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			c := y*g.nx + x
+			g.cells[c] = append(g.cells[c], id)
+		}
+	}
+}
+
+// forEachPair calls fn once for each unordered pair of items sharing a
+// cell. Pairs spanning several shared cells are reported once.
+func (g *edgeGrid) forEachPair(fn func(i, j int)) {
+	seen := make(map[uint64]struct{})
+	for _, ids := range g.cells {
+		for a := 0; a < len(ids); a++ {
+			for b := a + 1; b < len(ids); b++ {
+				i, j := ids[a], ids[b]
+				if i > j {
+					i, j = j, i
+				}
+				k := uint64(i)<<32 | uint64(uint32(j))
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				seen[k] = struct{}{}
+				fn(i, j)
+			}
+		}
+	}
+}
+
+// OverlapCandidates returns the unordered index pairs whose rectangles
+// intersect, found via a uniform spatial hash — the candidate set for the
+// polygon-union grouping step and other self-join style passes.
+func OverlapCandidates(bounds []Rect) [][2]int {
+	all := EmptyRect()
+	for _, b := range bounds {
+		all = all.Union(b)
+	}
+	g := newEdgeGrid(all, len(bounds))
+	for i, b := range bounds {
+		g.insert(i, b)
+	}
+	var out [][2]int
+	g.forEachPair(func(i, j int) {
+		if bounds[i].Intersects(bounds[j]) {
+			out = append(out, [2]int{i, j})
+		}
+	})
+	return out
+}
+
+// forEachAt calls fn for every item whose cell contains p, stopping early
+// when fn returns false.
+func (g *edgeGrid) forEachAt(p Point, fn func(id int) bool) {
+	x := g.clampX(int((p.X - g.bounds.MinX) / g.cw))
+	y := g.clampY(int((p.Y - g.bounds.MinY) / g.ch))
+	for _, id := range g.cells[y*g.nx+x] {
+		if !fn(id) {
+			return
+		}
+	}
+}

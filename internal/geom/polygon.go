@@ -1,0 +1,170 @@
+package geom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Polygon is a simple polygon given by its ring of vertices. The ring is
+// implicitly closed: an edge connects the last vertex back to the first.
+type Polygon struct {
+	Vertices []Point
+}
+
+// Poly constructs a Polygon from vertices.
+func Poly(pts ...Point) Polygon { return Polygon{Vertices: pts} }
+
+// RectPoly returns r as a counter-clockwise polygon.
+func RectPoly(r Rect) Polygon {
+	c := r.Corners()
+	return Polygon{Vertices: c[:]}
+}
+
+// Len returns the number of vertices.
+func (pg Polygon) Len() int { return len(pg.Vertices) }
+
+// Edge returns the i-th edge of the polygon.
+func (pg Polygon) Edge(i int) Segment {
+	j := i + 1
+	if j == len(pg.Vertices) {
+		j = 0
+	}
+	return Segment{A: pg.Vertices[i], B: pg.Vertices[j]}
+}
+
+// Edges returns all edges of the polygon.
+func (pg Polygon) Edges() []Segment {
+	out := make([]Segment, 0, len(pg.Vertices))
+	for i := range pg.Vertices {
+		e := pg.Edge(i)
+		if !e.IsDegenerate() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Bounds returns the MBR of the polygon.
+func (pg Polygon) Bounds() Rect { return RectOf(pg.Vertices) }
+
+// SignedArea returns the signed area (positive for counter-clockwise rings).
+func (pg Polygon) SignedArea() float64 {
+	v := pg.Vertices
+	if len(v) < 3 {
+		return 0
+	}
+	area := 0.0
+	for i := range v {
+		j := (i + 1) % len(v)
+		area += v[i].Cross(v[j])
+	}
+	return area / 2
+}
+
+// Area returns the absolute area of the polygon.
+func (pg Polygon) Area() float64 {
+	a := pg.SignedArea()
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// IsCCW reports whether the ring is counter-clockwise.
+func (pg Polygon) IsCCW() bool { return pg.SignedArea() > 0 }
+
+// Reverse returns the polygon with the opposite winding.
+func (pg Polygon) Reverse() Polygon {
+	v := make([]Point, len(pg.Vertices))
+	for i, p := range pg.Vertices {
+		v[len(v)-1-i] = p
+	}
+	return Polygon{Vertices: v}
+}
+
+// ContainsPoint reports whether p is inside the polygon (boundary counts as
+// inside). It uses the even-odd ray-casting rule.
+func (pg Polygon) ContainsPoint(p Point) bool {
+	v := pg.Vertices
+	if len(v) < 3 {
+		return false
+	}
+	inside := false
+	for i, j := 0, len(v)-1; i < len(v); j, i = i, i+1 {
+		a, b := v[i], v[j]
+		if Seg(a, b).ContainsPoint(p) {
+			return true
+		}
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			x := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if p.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// StrictlyContainsPoint reports whether p is strictly inside the polygon
+// (points on the boundary are excluded). The union arrangement keeps a
+// sub-segment only when its midpoint is not strictly inside any other
+// polygon.
+func (pg Polygon) StrictlyContainsPoint(p Point) bool {
+	v := pg.Vertices
+	if len(v) < 3 {
+		return false
+	}
+	for i := range v {
+		if pg.Edge(i).ContainsPoint(p) {
+			return false
+		}
+	}
+	inside := false
+	for i, j := 0, len(v)-1; i < len(v); j, i = i, i+1 {
+		a, b := v[i], v[j]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			x := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if p.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Intersects reports whether the two polygons share any point (edge
+// crossing or full containment).
+func (pg Polygon) Intersects(other Polygon) bool {
+	if !pg.Bounds().Intersects(other.Bounds()) {
+		return false
+	}
+	for i := range pg.Vertices {
+		e := pg.Edge(i)
+		for j := range other.Vertices {
+			if len(IntersectSegments(e, other.Edge(j))) > 0 {
+				return true
+			}
+		}
+	}
+	if len(other.Vertices) > 0 && pg.ContainsPoint(other.Vertices[0]) {
+		return true
+	}
+	if len(pg.Vertices) > 0 && other.ContainsPoint(pg.Vertices[0]) {
+		return true
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (pg Polygon) String() string {
+	var b strings.Builder
+	b.WriteString("POLYGON(")
+	for i, p := range pg.Vertices {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%g,%g", p.X, p.Y)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,250 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// genRect draws a random non-degenerate rectangle.
+func genRect(rng *rand.Rand) Rect {
+	x, y := rng.Float64()*100, rng.Float64()*100
+	return NewRect(x, y, x+rng.Float64()*50+0.1, y+rng.Float64()*50+0.1)
+}
+
+// TestRectAlgebraLaws checks the lattice laws the spatial index relies on.
+func TestRectAlgebraLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b, c := genRect(rng), genRect(rng), genRect(rng)
+		// Union is commutative, associative, monotone.
+		if a.Union(b) != b.Union(a) {
+			t.Fatal("union not commutative")
+		}
+		if a.Union(b).Union(c) != a.Union(b.Union(c)) {
+			t.Fatal("union not associative")
+		}
+		if !a.Union(b).ContainsRect(a) {
+			t.Fatal("union not expansive")
+		}
+		// Intersection is commutative and contained in both.
+		ab := a.Intersect(b)
+		if ab != b.Intersect(a) {
+			t.Fatal("intersect not commutative")
+		}
+		if !ab.IsEmpty() && (!a.ContainsRect(ab) || !b.ContainsRect(ab)) {
+			t.Fatal("intersection escapes operands")
+		}
+		// Intersects is consistent with Intersect.
+		if a.Intersects(b) != !ab.IsEmpty() {
+			t.Fatal("Intersects inconsistent with Intersect")
+		}
+		// MinDist is zero iff they intersect; symmetric.
+		if (a.MinDist(b) == 0) != a.Intersects(b) {
+			t.Fatal("MinDist zero iff intersecting")
+		}
+		if a.MinDist(b) != b.MinDist(a) || a.MaxDist(b) != b.MaxDist(a) {
+			t.Fatal("distances not symmetric")
+		}
+		if a.MinDist(b) > a.MaxDist(b) {
+			t.Fatal("MinDist exceeds MaxDist")
+		}
+	}
+}
+
+// TestClipProperties checks Liang–Barsky clipping against membership.
+func TestClipProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := NewRect(20, 20, 80, 80)
+	for i := 0; i < 2000; i++ {
+		s := Segment{
+			A: Pt(rng.Float64()*100, rng.Float64()*100),
+			B: Pt(rng.Float64()*100, rng.Float64()*100),
+		}
+		c, ok := s.ClipToRect(r)
+		// Sample points of s; inside samples must be on the clip result.
+		for _, f := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			p := Pt(s.A.X+f*(s.B.X-s.A.X), s.A.Y+f*(s.B.Y-s.A.Y))
+			if r.Buffer(-1e-9).ContainsPoint(p) {
+				if !ok {
+					t.Fatalf("segment %v has interior point %v but clip dropped it", s, p)
+				}
+				if !c.ContainsPoint(p) {
+					t.Fatalf("clip of %v lost interior point %v (got %v)", s, p, c)
+				}
+			}
+		}
+		if ok {
+			// Clip result lies inside the rect and on the original line.
+			for _, e := range []Point{c.A, c.B} {
+				if !r.Buffer(1e-9).ContainsPoint(e) {
+					t.Fatalf("clip endpoint %v outside rect", e)
+				}
+				if !s.ContainsPoint(e) {
+					t.Fatalf("clip endpoint %v not on original segment %v", e, s)
+				}
+			}
+		}
+	}
+}
+
+// TestHullIdempotent checks hull(hull(P)) == hull(P) and permutation
+// invariance.
+func TestHullIdempotent(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randPoints(rng, 3+rng.Intn(100), 100)
+		h1 := ConvexHull(pts)
+		h2 := ConvexHull(h1)
+		if len(h1) != len(h2) {
+			return false
+		}
+		// Permutation invariance.
+		perm := make([]Point, len(pts))
+		copy(perm, pts)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		h3 := ConvexHull(perm)
+		if len(h1) != len(h3) {
+			return false
+		}
+		set := map[Point]bool{}
+		for _, p := range h1 {
+			set[p] = true
+		}
+		for _, p := range h3 {
+			if !set[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSkylineMergeAssociative checks that merging partial skylines in any
+// grouping yields the global skyline — the property the distributed
+// algorithm depends on.
+func TestSkylineMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 50+rng.Intn(200), 1000)
+		want := Skyline(pts)
+		// Random partition into 3 groups.
+		var g [3][]Point
+		for _, p := range pts {
+			i := rng.Intn(3)
+			g[i] = append(g[i], p)
+		}
+		got := MergeSkylines(MergeSkylines(Skyline(g[0]), Skyline(g[1])), Skyline(g[2]))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d: point %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestUnionRectanglesExactArea unions random axis-aligned rectangles and
+// checks the stitched region against the exact union area computed by
+// coordinate compression.
+func TestUnionRectanglesExactArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(12)
+		rects := make([]Rect, n)
+		regions := make([]Region, n)
+		for i := range rects {
+			rects[i] = genRect(rng)
+			regions[i] = RegionOf(RectPoly(rects[i]))
+		}
+		region, _ := UnionRegions(regions)
+
+		// Exact union area by coordinate compression.
+		var xs, ys []float64
+		for _, r := range rects {
+			xs = append(xs, r.MinX, r.MaxX)
+			ys = append(ys, r.MinY, r.MaxY)
+		}
+		sort.Float64s(xs)
+		sort.Float64s(ys)
+		want := 0.0
+		for i := 0; i+1 < len(xs); i++ {
+			for j := 0; j+1 < len(ys); j++ {
+				cx, cy := (xs[i]+xs[i+1])/2, (ys[j]+ys[j+1])/2
+				covered := false
+				for _, r := range rects {
+					if r.ContainsPoint(Pt(cx, cy)) {
+						covered = true
+						break
+					}
+				}
+				if covered {
+					want += (xs[i+1] - xs[i]) * (ys[j+1] - ys[j])
+				}
+			}
+		}
+
+		// Region area by the same compression over region membership
+		// (cells are homogeneous for axis-aligned input).
+		got := 0.0
+		for i := 0; i+1 < len(xs); i++ {
+			for j := 0; j+1 < len(ys); j++ {
+				cx, cy := (xs[i]+xs[i+1])/2, (ys[j]+ys[j+1])/2
+				if region.ContainsPoint(Pt(cx, cy)) {
+					got += (xs[i+1] - xs[i]) * (ys[j+1] - ys[j])
+				}
+			}
+		}
+		if math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("trial %d: union area %g, want %g", trial, got, want)
+		}
+	}
+}
+
+// TestPolygonAreaShoelaceConsistency checks SignedArea against the
+// triangle decomposition for random convex polygons.
+func TestPolygonAreaShoelaceConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		pts := randPoints(rng, 3+rng.Intn(20), 50)
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue
+		}
+		pg := Polygon{Vertices: hull}
+		want := 0.0
+		for i := 1; i+1 < len(hull); i++ {
+			want += Area2(hull[0], hull[i], hull[i+1]) / 2
+		}
+		if math.Abs(pg.SignedArea()-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("area %g, want %g", pg.SignedArea(), want)
+		}
+	}
+}
+
+// TestDominanceTransitive checks the dominance relation's strict partial
+// order properties used throughout the skyline proofs.
+func TestDominanceTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3000; i++ {
+		a := Pt(rng.Float64()*10, rng.Float64()*10)
+		b := Pt(rng.Float64()*10, rng.Float64()*10)
+		c := Pt(rng.Float64()*10, rng.Float64()*10)
+		if a.Dominates(a) {
+			t.Fatal("dominance not irreflexive")
+		}
+		if a.Dominates(b) && b.Dominates(a) {
+			t.Fatal("dominance not antisymmetric")
+		}
+		if a.Dominates(b) && b.Dominates(c) && !a.Dominates(c) {
+			t.Fatal("dominance not transitive")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package geomio
+
+import (
+	"testing"
+)
+
+// FuzzDecodePoint checks the decoder never panics and that successful
+// decodes re-encode losslessly.
+func FuzzDecodePoint(f *testing.F) {
+	f.Add("1,2")
+	f.Add("-1.5e300,0.25")
+	f.Add("")
+	f.Add(",")
+	f.Add("nan,inf")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := DecodePoint(s)
+		if err != nil {
+			return
+		}
+		got, err := DecodePoint(EncodePoint(p))
+		if err != nil {
+			t.Fatalf("re-decode of %q failed: %v", s, err)
+		}
+		// NaN breaks equality; everything else must round trip.
+		if p == p && got != p {
+			t.Fatalf("round trip of %q: %v != %v", s, got, p)
+		}
+	})
+}
+
+// FuzzDecodeRegion checks the region decoder never panics and round trips.
+func FuzzDecodeRegion(f *testing.F) {
+	f.Add("1,2 3,4 5,6")
+	f.Add("1,2 3,4|5,6 7,8 9,10")
+	f.Add("|||")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, s string) {
+		rg, err := DecodeRegion(s)
+		if err != nil {
+			return
+		}
+		rg2, err := DecodeRegion(EncodeRegion(rg))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(rg2.Rings) != len(rg.Rings) {
+			t.Fatalf("ring count changed: %d -> %d", len(rg.Rings), len(rg2.Rings))
+		}
+	})
+}
+
+// FuzzDecodeSegment checks the segment decoder never panics.
+func FuzzDecodeSegment(f *testing.F) {
+	f.Add("1,2 3,4")
+	f.Add(" ")
+	f.Add("1,2")
+	f.Fuzz(func(t *testing.T, s string) {
+		seg, err := DecodeSegment(s)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeSegment(EncodeSegment(seg)); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,589 @@
+// Package mapreduce implements the MapReduce runtime the paper's
+// algorithms run on: a master that turns a job into map and reduce tasks,
+// a pool of simulated worker nodes, a hash shuffle, combiners, counters,
+// and a CommitJob hook (used by the Voronoi H-merge step). The spatial
+// extensions of SpatialHadoop plug in through the Filter hook, which plays
+// the role of the SpatialFileSplitter: it sees the global index of the
+// input and decides which splits become map tasks.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/geom"
+)
+
+// Split is the unit of work handed to one map task. For heap files a split
+// is one block; for spatially indexed files it is one partition (all blocks
+// sharing a partition key); operations over pairs of partitions (farthest
+// pair) build splits holding two partitions.
+type Split struct {
+	// Partition is the partition key ("" for heap blocks).
+	Partition string
+	// MBR is the partition boundary rectangle. For heap files it is the
+	// whole-file MBR, which conveys no pruning information — exactly the
+	// situation of plain Hadoop.
+	MBR geom.Rect
+	// ContentMBR is the minimal MBR of the split's records (set by the
+	// spatial layer for indexed files; empty otherwise). Dominance filters
+	// consult it because minimality guarantees records on every edge.
+	ContentMBR geom.Rect
+	// Blocks are the data blocks of the split.
+	Blocks []*dfs.Block
+	// Extra optionally carries a second group of blocks, used by pair
+	// splits; nil otherwise.
+	Extra []*dfs.Block
+	// Tag is operation-specific information attached by a Filter.
+	Tag string
+}
+
+// Records returns all records of the primary block group.
+func (s *Split) Records() []string {
+	var out []string
+	for _, b := range s.Blocks {
+		out = append(out, b.Records()...)
+	}
+	return out
+}
+
+// ExtraRecords returns the records of the secondary block group.
+func (s *Split) ExtraRecords() []string {
+	var out []string
+	for _, b := range s.Extra {
+		out = append(out, b.Records()...)
+	}
+	return out
+}
+
+// NumRecords returns the record count across both groups.
+func (s *Split) NumRecords() int {
+	n := 0
+	for _, b := range s.Blocks {
+		n += b.NumRecords()
+	}
+	for _, b := range s.Extra {
+		n += b.NumRecords()
+	}
+	return n
+}
+
+// Pair is one intermediate key-value pair.
+type Pair struct {
+	Key   string
+	Value string
+}
+
+// TaskContext is passed to map and reduce functions. It provides counters
+// and direct final output (the "early flush" channel used by the pruning
+// steps of the enhanced algorithms).
+type TaskContext struct {
+	job     *runningJob
+	split   *Split // nil in reduce tasks
+	out     []string
+	emitted []Pair
+}
+
+// Split returns the split being processed (nil in a reduce task).
+func (c *TaskContext) Split() *Split { return c.split }
+
+// Emit produces an intermediate pair for the shuffle.
+func (c *TaskContext) Emit(key, value string) {
+	c.emitted = append(c.emitted, Pair{Key: key, Value: value})
+}
+
+// Write writes a record directly to the job output, bypassing the shuffle.
+// It implements the early-flush pruning channel: safe Voronoi regions,
+// clipped union segments and final skyline points go straight to the output
+// file. Writes are buffered per task and committed atomically when the task
+// succeeds, so task retries do not duplicate output.
+func (c *TaskContext) Write(record string) {
+	c.out = append(c.out, record)
+}
+
+// Inc adds delta to a named job counter.
+func (c *TaskContext) Inc(name string, delta int64) { c.job.counters.Inc(name, delta) }
+
+// Config returns the job configuration value for key ("" when absent).
+// It models Hadoop's job configuration broadcast: small values (such as the
+// serialized global dominance-power set) are shipped to every task.
+func (c *TaskContext) Config(key string) string { return c.job.job.Conf[key] }
+
+// MapFunc processes one split. It may Emit intermediate pairs and/or Write
+// final output directly.
+type MapFunc func(ctx *TaskContext, split *Split) error
+
+// ReduceFunc processes one key group.
+type ReduceFunc func(ctx *TaskContext, key string, values []string) error
+
+// FilterFunc selects and shapes the splits that become map tasks. It is
+// SpatialHadoop's filter function: it sees partition-level metadata only
+// (never records) and prunes partitions that cannot contribute to the
+// answer.
+type FilterFunc func(splits []*Split) []*Split
+
+// CommitFunc runs once on the master after all reducers finish. It may
+// read files and append final output records (the Voronoi H-merge step).
+type CommitFunc func(cluster *Cluster, addOutput func(record string)) error
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name string
+	// Input files (already stored in the cluster's file system).
+	Input []string
+	// Splits, when non-nil, is used instead of the default one-per-block
+	// (or one-per-partition) splits derived from Input. The spatial layer
+	// builds splits carrying partition MBRs from the file's global index.
+	Splits []*Split
+	// Filter optionally prunes/shapes splits (requires indexed input to be
+	// useful). Nil means all splits are processed.
+	Filter FilterFunc
+	// Map is required.
+	Map MapFunc
+	// Combine optionally pre-aggregates map output per task.
+	Combine ReduceFunc
+	// Reduce is optional; a map-only job writes only direct output.
+	Reduce ReduceFunc
+	// NumReducers defaults to 1 (the single-reducer merge bottleneck the
+	// paper's enhanced algorithms eliminate).
+	NumReducers int
+	// Commit optionally post-processes on the master.
+	Commit CommitFunc
+	// Output is the output file name (required).
+	Output string
+	// Conf carries broadcast configuration values.
+	Conf map[string]string
+}
+
+// Counters is a set of named atomic counters.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// Inc adds delta to counter name.
+func (c *Counters) Inc(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the value of counter name.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Standard counter names maintained by the runtime.
+const (
+	CounterSplitsTotal    = "splits.total"
+	CounterSplitsFiltered = "splits.filtered"
+	CounterSplitsMapped   = "splits.mapped"
+	CounterMapRecordsIn   = "map.records.in"
+	CounterMapRecordsOut  = "map.records.out"
+	CounterShuffleBytes   = "shuffle.bytes"
+	CounterReduceGroups   = "reduce.groups"
+	CounterOutputRecords  = "output.records"
+	CounterTaskRetries    = "task.retries"
+)
+
+// Report summarizes one finished job.
+type Report struct {
+	Job         string
+	Splits      int // splits after filtering
+	SplitsTotal int // splits before filtering
+	MapTasks    int
+	ReduceTasks int
+	Counters    map[string]int64
+	MapTime     time.Duration
+	ShuffleTime time.Duration
+	ReduceTime  time.Duration
+	CommitTime  time.Duration
+	Total       time.Duration
+	OutputFile  string
+	OutputCount int64
+	WorkersUsed int
+
+	// MapWorkSum/MapTaskMax aggregate the CPU time of the individual map
+	// tasks (successful attempts only); ReduceWorkSum/ReduceTaskMax do the
+	// same for reduce tasks. They feed SimulatedParallel.
+	MapWorkSum    time.Duration
+	MapTaskMax    time.Duration
+	ReduceWorkSum time.Duration
+	ReduceTaskMax time.Duration
+}
+
+// SimulatedParallel estimates the job's makespan on a cluster with the
+// given number of worker machines using the standard LPT bound per phase:
+// max(total work / workers, longest task). It lets a run on a small host
+// report what the paper's 25-node deployment would observe, modulo network
+// costs (which this runtime does not charge).
+func (r *Report) SimulatedParallel(workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	phase := func(sum, max time.Duration) time.Duration {
+		ideal := sum / time.Duration(workers)
+		if max > ideal {
+			return max
+		}
+		return ideal
+	}
+	return phase(r.MapWorkSum, r.MapTaskMax) +
+		r.ShuffleTime +
+		phase(r.ReduceWorkSum, r.ReduceTaskMax) +
+		r.CommitTime
+}
+
+// Cluster is the compute side: a file system plus a pool of worker slots.
+// One Cluster models the paper's 25-machine deployment; a Cluster with one
+// worker is the "single machine" configuration.
+type Cluster struct {
+	fs      *dfs.FileSystem
+	workers int
+	// failEvery injects a one-shot transient failure into every k-th map
+	// task attempt when > 0 (testing knob: the runtime must retry and must
+	// not duplicate output).
+	failEvery int
+
+	mu       sync.Mutex
+	attempts int
+}
+
+// NewCluster creates a cluster over fs with the given number of worker
+// slots. The worker count is the modelled cluster size (reducer counts,
+// SimulatedParallel); actual task execution is additionally capped at the
+// host's CPU count, because oversubscribing cores only interleaves
+// goroutines and distorts per-task time measurements.
+func NewCluster(fs *dfs.FileSystem, workers int) *Cluster {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Cluster{fs: fs, workers: workers}
+}
+
+// execSlots returns the number of tasks to actually run concurrently.
+func (c *Cluster) execSlots() int {
+	slots := c.workers
+	if n := runtime.NumCPU(); n < slots {
+		slots = n
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
+}
+
+// FS returns the cluster's file system.
+func (c *Cluster) FS() *dfs.FileSystem { return c.fs }
+
+// Workers returns the number of worker slots.
+func (c *Cluster) Workers() int { return c.workers }
+
+// InjectFailures makes every k-th task attempt fail once (0 disables).
+func (c *Cluster) InjectFailures(k int) { c.failEvery = k }
+
+type runningJob struct {
+	job      *Job
+	counters *Counters
+}
+
+// transientError marks injected failures so the scheduler retries them.
+type transientError struct{ attempt int }
+
+func (e transientError) Error() string {
+	return fmt.Sprintf("mapreduce: injected transient failure (attempt %d)", e.attempt)
+}
+
+// Run executes the job and returns its report.
+func (c *Cluster) Run(job *Job) (*Report, error) {
+	if job.Map == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no map function", job.Name)
+	}
+	if job.Output == "" {
+		return nil, fmt.Errorf("mapreduce: job %q has no output file", job.Name)
+	}
+	start := time.Now()
+	rj := &runningJob{job: job, counters: &Counters{m: make(map[string]int64)}}
+
+	splits := job.Splits
+	if splits == nil {
+		var err error
+		splits, err = c.MakeSplits(job.Input)
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := len(splits)
+	rj.counters.Inc(CounterSplitsTotal, int64(total))
+	if job.Filter != nil {
+		splits = job.Filter(splits)
+		rj.counters.Inc(CounterSplitsFiltered, int64(total-len(splits)))
+	}
+	rj.counters.Inc(CounterSplitsMapped, int64(len(splits)))
+
+	// ---- Map phase ----
+	mapStart := time.Now()
+	type mapResult struct {
+		pairs []Pair
+		out   []string
+		dur   time.Duration
+	}
+	results := make([]mapResult, len(splits))
+	errs := make([]error, len(splits))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.execSlots())
+	for i := range splits {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for attempt := 0; ; attempt++ {
+				taskStart := time.Now()
+				pairs, out, err := c.runMapTask(rj, splits[i])
+				if err == nil {
+					results[i] = mapResult{pairs: pairs, out: out, dur: time.Since(taskStart)}
+					return
+				}
+				if _, transient := err.(transientError); transient && attempt < 3 {
+					rj.counters.Inc(CounterTaskRetries, 1)
+					continue
+				}
+				errs[i] = err
+				return
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("mapreduce: job %q map failed: %w", job.Name, e)
+		}
+	}
+	mapTime := time.Since(mapStart)
+	var mapWorkSum, mapTaskMax time.Duration
+	for _, r := range results {
+		mapWorkSum += r.dur
+		if r.dur > mapTaskMax {
+			mapTaskMax = r.dur
+		}
+	}
+
+	// ---- Shuffle ----
+	shuffleStart := time.Now()
+	numRed := job.NumReducers
+	if numRed <= 0 {
+		numRed = 1
+	}
+	groups := make([]map[string][]string, numRed)
+	for i := range groups {
+		groups[i] = make(map[string][]string)
+	}
+	var directOut []string
+	for _, r := range results {
+		directOut = append(directOut, r.out...)
+		for _, p := range r.pairs {
+			rj.counters.Inc(CounterShuffleBytes, int64(len(p.Key)+len(p.Value)))
+			g := groups[partitionOf(p.Key, numRed)]
+			g[p.Key] = append(g[p.Key], p.Value)
+		}
+	}
+	shuffleTime := time.Since(shuffleStart)
+
+	// ---- Reduce phase ----
+	reduceStart := time.Now()
+	reduceOut := make([][]string, numRed)
+	reduceDur := make([]time.Duration, numRed)
+	if job.Reduce != nil {
+		var rwg sync.WaitGroup
+		rerrs := make([]error, numRed)
+		rsem := make(chan struct{}, c.execSlots())
+		for ri := 0; ri < numRed; ri++ {
+			rwg.Add(1)
+			go func(ri int) {
+				defer rwg.Done()
+				rsem <- struct{}{}
+				defer func() { <-rsem }()
+				taskStart := time.Now()
+				defer func() { reduceDur[ri] = time.Since(taskStart) }()
+				keys := make([]string, 0, len(groups[ri]))
+				for k := range groups[ri] {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				ctx := &TaskContext{job: rj}
+				for _, k := range keys {
+					rj.counters.Inc(CounterReduceGroups, 1)
+					if err := job.Reduce(ctx, k, groups[ri][k]); err != nil {
+						rerrs[ri] = err
+						return
+					}
+				}
+				reduceOut[ri] = ctx.out
+			}(ri)
+		}
+		rwg.Wait()
+		for _, e := range rerrs {
+			if e != nil {
+				return nil, fmt.Errorf("mapreduce: job %q reduce failed: %w", job.Name, e)
+			}
+		}
+	}
+	reduceTime := time.Since(reduceStart)
+	var reduceWorkSum, reduceTaskMax time.Duration
+	for _, d := range reduceDur {
+		reduceWorkSum += d
+		if d > reduceTaskMax {
+			reduceTaskMax = d
+		}
+	}
+
+	// ---- Output + commit ----
+	commitStart := time.Now()
+	w, err := c.fs.CreateOrReplace(job.Output)
+	if err != nil {
+		return nil, err
+	}
+	var outCount int64
+	writeRec := func(rec string) {
+		w.WriteRecord(rec)
+		outCount++
+	}
+	for _, rec := range directOut {
+		writeRec(rec)
+	}
+	for _, part := range reduceOut {
+		for _, rec := range part {
+			writeRec(rec)
+		}
+	}
+	if job.Commit != nil {
+		if err := job.Commit(c, writeRec); err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q commit failed: %w", job.Name, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	rj.counters.Inc(CounterOutputRecords, outCount)
+	commitTime := time.Since(commitStart)
+
+	return &Report{
+		Job:         job.Name,
+		Splits:      len(splits),
+		SplitsTotal: total,
+		MapTasks:    len(splits),
+		ReduceTasks: numRed,
+		Counters:    rj.counters.Snapshot(),
+		MapTime:     mapTime,
+		ShuffleTime: shuffleTime,
+		ReduceTime:  reduceTime,
+		CommitTime:  commitTime,
+		Total:       time.Since(start),
+		OutputFile:  job.Output,
+		OutputCount: outCount,
+		WorkersUsed: c.workers,
+
+		MapWorkSum:    mapWorkSum,
+		MapTaskMax:    mapTaskMax,
+		ReduceWorkSum: reduceWorkSum,
+		ReduceTaskMax: reduceTaskMax,
+	}, nil
+}
+
+// runMapTask executes one map attempt, applying the combiner to its output.
+func (c *Cluster) runMapTask(rj *runningJob, split *Split) ([]Pair, []string, error) {
+	if c.failEvery > 0 {
+		c.mu.Lock()
+		c.attempts++
+		n := c.attempts
+		c.mu.Unlock()
+		if n%c.failEvery == 0 {
+			return nil, nil, transientError{attempt: n}
+		}
+	}
+	ctx := &TaskContext{job: rj, split: split}
+	rj.counters.Inc(CounterMapRecordsIn, int64(split.NumRecords()))
+	if err := rj.job.Map(ctx, split); err != nil {
+		return nil, nil, err
+	}
+	pairs := ctx.emitted
+	if rj.job.Combine != nil && len(pairs) > 0 {
+		grouped := make(map[string][]string)
+		order := make([]string, 0)
+		for _, p := range pairs {
+			if _, ok := grouped[p.Key]; !ok {
+				order = append(order, p.Key)
+			}
+			grouped[p.Key] = append(grouped[p.Key], p.Value)
+		}
+		cctx := &TaskContext{job: rj, split: split}
+		for _, k := range order {
+			if err := rj.job.Combine(cctx, k, grouped[k]); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Direct writes from the combiner join the map task's output.
+		ctx.out = append(ctx.out, cctx.out...)
+		pairs = cctx.emitted
+	}
+	rj.counters.Inc(CounterMapRecordsOut, int64(len(pairs)))
+	return pairs, ctx.out, nil
+}
+
+// partitionOf hashes a key to a reducer index.
+func partitionOf(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// MakeSplits builds the default (unfiltered) splits for the input files:
+// one split per partition for indexed files, one split per block for heap
+// files.
+func (c *Cluster) MakeSplits(inputs []string) ([]*Split, error) {
+	var splits []*Split
+	for _, name := range inputs {
+		f, err := c.fs.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		byPart := make(map[string][]*dfs.Block)
+		var order []string
+		for _, b := range f.Blocks {
+			if _, ok := byPart[b.Partition]; !ok {
+				order = append(order, b.Partition)
+			}
+			byPart[b.Partition] = append(byPart[b.Partition], b)
+		}
+		if len(order) == 1 && order[0] == "" {
+			// Heap file: one split per block.
+			for _, b := range f.Blocks {
+				splits = append(splits, &Split{MBR: geom.WorldRect(), Blocks: []*dfs.Block{b}})
+			}
+			continue
+		}
+		for _, key := range order {
+			splits = append(splits, &Split{Partition: key, MBR: geom.WorldRect(), Blocks: byPart[key]})
+		}
+	}
+	return splits, nil
+}

@@ -1,0 +1,100 @@
+package ops
+
+import (
+	"math"
+	"testing"
+
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/sindex"
+)
+
+// bruteANN is the O(n^2) oracle.
+func bruteANN(pts []geom.Point) map[geom.Point]float64 {
+	out := make(map[geom.Point]float64, len(pts))
+	for i, p := range pts {
+		best := math.Inf(1)
+		selfSkipped := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if q.Equal(p) && !selfSkipped {
+				// A coincident duplicate is a neighbour at distance 0;
+				// only the point itself is excluded, which index i does.
+				best = 0
+				selfSkipped = true
+				continue
+			}
+			if d := p.Dist(q); d < best {
+				best = d
+			}
+		}
+		out[p] = best
+	}
+	return out
+}
+
+func TestAllNearestNeighborsMatchesBrute(t *testing.T) {
+	area := geom.NewRect(0, 0, 10000, 10000)
+	for _, tc := range []struct {
+		dist datagen.Distribution
+		tech sindex.Technique
+	}{
+		{datagen.Uniform, sindex.Grid},
+		{datagen.Clustered, sindex.STRPlus},
+		{datagen.Gaussian, sindex.QuadTree},
+	} {
+		pts := datagen.Points(tc.dist, 2000, area, 61)
+		want := bruteANN(pts)
+		sys := newSys()
+		if _, err := sys.LoadPoints("pts", pts, tc.tech); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := AllNearestNeighbors(sys, "pts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(pts) {
+			t.Fatalf("%v/%v: %d results for %d points", tc.dist, tc.tech, len(got), len(pts))
+		}
+		for _, r := range got {
+			wd := want[r.Point]
+			if math.Abs(r.Dist-wd) > 1e-9*math.Max(1, wd) {
+				t.Fatalf("%v/%v: NN dist of %v = %g, want %g",
+					tc.dist, tc.tech, r.Point, r.Dist, wd)
+			}
+			if d := r.Point.Dist(r.Neighbor); math.Abs(d-r.Dist) > 1e-9 {
+				t.Fatalf("reported distance %g inconsistent with neighbour %v (%g)", r.Dist, r.Neighbor, d)
+			}
+		}
+	}
+}
+
+func TestAllNearestNeighborsDuplicates(t *testing.T) {
+	pts := []geom.Point{{X: 10, Y: 10}, {X: 10, Y: 10}, {X: 500, Y: 500}, {X: 900, Y: 900}}
+	sys := newSys()
+	if _, err := sys.LoadPoints("pts", pts, sindex.Grid); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := AllNearestNeighbors(sys, "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.Point.Equal(geom.Pt(10, 10)) && r.Dist != 0 {
+			t.Errorf("duplicate point should have NN distance 0, got %g", r.Dist)
+		}
+	}
+}
+
+func TestAllNearestNeighborsRequiresDisjoint(t *testing.T) {
+	pts := datagen.Points(datagen.Uniform, 200, geom.NewRect(0, 0, 100, 100), 3)
+	sys := newSys()
+	if _, err := sys.LoadPoints("pts", pts, sindex.STR); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := AllNearestNeighbors(sys, "pts"); err == nil {
+		t.Error("expected error for overlapping index")
+	}
+}

@@ -1,0 +1,299 @@
+package ops
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/mapreduce"
+)
+
+// JoinPair is one spatial join result: the indices of the matching records
+// in the left and right inputs are not preserved across the distributed
+// runtime, so results carry the record encodings themselves.
+type JoinPair struct {
+	Left, Right string
+}
+
+// SpatialJoinIndexed joins two spatially indexed region files on the
+// MBR-intersects predicate (the distributed join of SpatialHadoop). The
+// filter step forms one map task per pair of partitions whose record
+// extents (content MBRs) intersect. A matching record pair can surface in
+// several pair tasks only through replication, which disjoint techniques
+// use; the reference-point rule therefore checks, for each *disjoint*
+// side, that the overlap's min corner falls in that side's partition, so
+// exactly one task reports each match.
+func SpatialJoinIndexed(sys *core.System, left, right string) ([]JoinPair, *mapreduce.Report, error) {
+	lf, err := sys.Open(left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rf, err := sys.Open(right)
+	if err != nil {
+		return nil, nil, err
+	}
+	lDisjoint := lf.Index != nil && lf.Index.Disjoint()
+	rDisjoint := rf.Index != nil && rf.Index.Disjoint()
+	lsplits := lf.Splits()
+	rsplits := rf.Splits()
+
+	extent := func(s *mapreduce.Split) geom.Rect {
+		if !s.ContentMBR.IsEmpty() {
+			return s.ContentMBR
+		}
+		return s.MBR
+	}
+
+	type pairBounds struct{ left, right geom.Rect }
+	var pairs []*mapreduce.Split
+	var bounds []pairBounds
+	for _, ls := range lsplits {
+		for _, rs := range rsplits {
+			if !extent(ls).Intersects(extent(rs)) {
+				continue
+			}
+			pairs = append(pairs, &mapreduce.Split{
+				Partition: ls.Partition + "*" + rs.Partition,
+				MBR:       ls.MBR.Union(rs.MBR),
+				Blocks:    ls.Blocks,
+				Extra:     rs.Blocks,
+				Tag:       strconv.Itoa(len(bounds)),
+			})
+			bounds = append(bounds, pairBounds{left: ls.MBR, right: rs.MBR})
+		}
+	}
+
+	out := left + ".join.out"
+	job := &mapreduce.Job{
+		Name:   "spatial-join",
+		Splits: pairs,
+		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+			pi, err := strconv.Atoi(split.Tag)
+			if err != nil {
+				return err
+			}
+			pb := bounds[pi]
+			lrecs := split.Records()
+			rrecs := split.ExtraRecords()
+			return planeSweepJoin(lrecs, rrecs, func(lrec, rrec string, overlap geom.Rect) {
+				ref := geom.Point{X: overlap.MinX, Y: overlap.MinY}
+				if lDisjoint && !(pb.left.ContainsPointExclusive(ref) || onMaxEdge(pb.left, ref)) {
+					return
+				}
+				if rDisjoint && !(pb.right.ContainsPointExclusive(ref) || onMaxEdge(pb.right, ref)) {
+					return
+				}
+				ctx.Write(lrec + "\t" + rrec)
+			})
+		},
+		Output: out,
+	}
+	rep, err := sys.Cluster().Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	return readJoinOutput(sys, out, rep)
+}
+
+// SpatialJoinPBSM joins two heap region files with the
+// partition-based spatial merge strategy: map tasks replicate each record
+// to the uniform grid cells its MBR overlaps, and each reduce group joins
+// one cell with reference-point deduplication. This is the "Hadoop"
+// baseline join that needs no pre-built index but reshuffles both inputs.
+func SpatialJoinPBSM(sys *core.System, left, right string, gridSide int) ([]JoinPair, *mapreduce.Report, error) {
+	if gridSide < 1 {
+		gridSide = 8
+	}
+	// Compute the joint data space (one scan; in Hadoop this is a cheap
+	// pre-pass or catalogue statistic).
+	space := geom.EmptyRect()
+	for _, name := range []string{left, right} {
+		regs, err := sys.ReadRegions(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, rg := range regs {
+			space = space.Union(rg.Bounds())
+		}
+	}
+	if space.IsEmpty() {
+		return nil, nil, nil
+	}
+	space = space.Buffer(1e-9 * (1 + space.Width() + space.Height()))
+	cw := space.Width() / float64(gridSide)
+	ch := space.Height() / float64(gridSide)
+
+	cellOf := func(ix, iy int) geom.Rect {
+		return geom.Rect{
+			MinX: space.MinX + float64(ix)*cw,
+			MinY: space.MinY + float64(iy)*ch,
+			MaxX: space.MinX + float64(ix+1)*cw,
+			MaxY: space.MinY + float64(iy)*ch + ch,
+		}
+	}
+	cellsFor := func(b geom.Rect) []string {
+		x0 := clampi(int((b.MinX-space.MinX)/cw), gridSide)
+		x1 := clampi(int((b.MaxX-space.MinX)/cw), gridSide)
+		y0 := clampi(int((b.MinY-space.MinY)/ch), gridSide)
+		y1 := clampi(int((b.MaxY-space.MinY)/ch), gridSide)
+		var keys []string
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				keys = append(keys, cellKey(x, y))
+			}
+		}
+		return keys
+	}
+
+	// One split per block, tagged with the side it came from.
+	var splits []*mapreduce.Split
+	for _, spec := range []struct{ name, side string }{{left, "L"}, {right, "R"}} {
+		f, err := sys.FS().Open(spec.name)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, b := range f.Blocks {
+			splits = append(splits, &mapreduce.Split{
+				MBR:    geom.WorldRect(),
+				Blocks: []*dfs.Block{b},
+				Tag:    spec.side,
+			})
+		}
+	}
+
+	out := left + ".pbsmjoin.out"
+	job := &mapreduce.Job{
+		Name:   "pbsm-join",
+		Splits: splits,
+		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+			for _, rec := range split.Records() {
+				rg, err := geomio.DecodeRegion(rec)
+				if err != nil {
+					return err
+				}
+				for _, key := range cellsFor(rg.Bounds()) {
+					ctx.Emit(key, split.Tag+rec)
+				}
+			}
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key string, values []string) error {
+			ix, iy := parseCellKey(key)
+			cell := cellOf(ix, iy)
+			var lrecs, rrecs []string
+			for _, v := range values {
+				if strings.HasPrefix(v, "L") {
+					lrecs = append(lrecs, v[1:])
+				} else {
+					rrecs = append(rrecs, v[1:])
+				}
+			}
+			return planeSweepJoin(lrecs, rrecs, func(lrec, rrec string, overlap geom.Rect) {
+				ref := geom.Point{X: overlap.MinX, Y: overlap.MinY}
+				if cell.ContainsPointExclusive(ref) || onMaxEdge(cell, ref) {
+					ctx.Write(lrec + "\t" + rrec)
+				}
+			})
+		},
+		NumReducers: sys.Cluster().Workers(),
+		Output:      out,
+	}
+	rep, err := sys.Cluster().Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	return readJoinOutput(sys, out, rep)
+}
+
+// planeSweepJoin reports every pair of regions with intersecting MBRs via
+// a sweep over x.
+func planeSweepJoin(lrecs, rrecs []string, report func(lrec, rrec string, overlap geom.Rect)) error {
+	type item struct {
+		rec string
+		b   geom.Rect
+	}
+	parse := func(recs []string) ([]item, error) {
+		out := make([]item, len(recs))
+		for i, r := range recs {
+			rg, err := geomio.DecodeRegion(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = item{rec: r, b: rg.Bounds()}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].b.MinX < out[j].b.MinX })
+		return out, nil
+	}
+	ls, err := parse(lrecs)
+	if err != nil {
+		return err
+	}
+	rs, err := parse(rrecs)
+	if err != nil {
+		return err
+	}
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		if ls[i].b.MinX <= rs[j].b.MinX {
+			for k := j; k < len(rs) && rs[k].b.MinX <= ls[i].b.MaxX; k++ {
+				if ls[i].b.Intersects(rs[k].b) {
+					report(ls[i].rec, rs[k].rec, ls[i].b.Intersect(rs[k].b))
+				}
+			}
+			i++
+		} else {
+			for k := i; k < len(ls) && ls[k].b.MinX <= rs[j].b.MaxX; k++ {
+				if ls[k].b.Intersects(rs[j].b) {
+					report(ls[k].rec, rs[j].rec, ls[k].b.Intersect(rs[j].b))
+				}
+			}
+			j++
+		}
+	}
+	return nil
+}
+
+func readJoinOutput(sys *core.System, out string, rep *mapreduce.Report) ([]JoinPair, *mapreduce.Report, error) {
+	recs, err := sys.FS().ReadAll(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	pairs := make([]JoinPair, 0, len(recs))
+	for _, r := range recs {
+		i := strings.IndexByte(r, '\t')
+		if i < 0 {
+			continue
+		}
+		pairs = append(pairs, JoinPair{Left: r[:i], Right: r[i+1:]})
+	}
+	return pairs, rep, nil
+}
+
+func clampi(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+func cellKey(x, y int) string {
+	return "g" + strconv.Itoa(x) + "_" + strconv.Itoa(y)
+}
+
+func parseCellKey(key string) (int, int) {
+	body := strings.TrimPrefix(key, "g")
+	parts := strings.Split(body, "_")
+	if len(parts) != 2 {
+		return 0, 0
+	}
+	x, _ := strconv.Atoi(parts[0])
+	y, _ := strconv.Atoi(parts[1])
+	return x, y
+}

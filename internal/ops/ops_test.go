@@ -1,0 +1,265 @@
+package ops
+
+import (
+	"sort"
+	"testing"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/sindex"
+)
+
+func newSys() *core.System {
+	return core.New(core.Config{BlockSize: 8 << 10, Workers: 8, Seed: 1})
+}
+
+func pointKey(p geom.Point) string { return geomio.EncodePoint(p) }
+
+func TestRangeQueryPointsMatchesScan(t *testing.T) {
+	area := geom.NewRect(0, 0, 1000, 1000)
+	pts := datagen.Points(datagen.Clustered, 4000, area, 3)
+	queries := []geom.Rect{
+		geom.NewRect(100, 100, 300, 250),
+		geom.NewRect(0, 0, 1000, 1000),
+		geom.NewRect(990, 990, 999, 999),
+		geom.NewRect(-50, -50, -10, -10), // empty
+	}
+	for _, tech := range []sindex.Technique{sindex.Grid, sindex.STR, sindex.QuadTree, sindex.Hilbert} {
+		sys := newSys()
+		if _, err := sys.LoadPoints("pts", pts, tech); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			var want []string
+			for _, p := range pts {
+				if q.ContainsPoint(p) {
+					want = append(want, pointKey(p))
+				}
+			}
+			got, rep, err := RangeQueryPoints(sys, "pts", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotKeys := make([]string, len(got))
+			for i, p := range got {
+				gotKeys[i] = pointKey(p)
+			}
+			sort.Strings(want)
+			sort.Strings(gotKeys)
+			if len(gotKeys) != len(want) {
+				t.Fatalf("%v/%v: %d results, want %d", tech, q, len(gotKeys), len(want))
+			}
+			for i := range want {
+				if gotKeys[i] != want[i] {
+					t.Fatalf("%v/%v: result %d mismatch", tech, q, i)
+				}
+			}
+			// Small queries must not touch every partition.
+			if q.Area() < 1e5 && rep.SplitsTotal > 4 && rep.Splits == rep.SplitsTotal {
+				t.Errorf("%v: small query processed all %d partitions", tech, rep.SplitsTotal)
+			}
+		}
+	}
+}
+
+func TestRangeQueryHeapFileScansAll(t *testing.T) {
+	area := geom.NewRect(0, 0, 100, 100)
+	pts := datagen.Points(datagen.Uniform, 2000, area, 5)
+	sys := newSys()
+	if err := sys.LoadPointsHeap("heap", pts); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(10, 10, 20, 20)
+	got, rep, err := RangeQueryPoints(sys, "heap", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range pts {
+		if q.ContainsPoint(p) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("%d results, want %d", len(got), want)
+	}
+	if rep.Splits != rep.SplitsTotal {
+		t.Error("heap file has no pruning information; all blocks must be read")
+	}
+}
+
+func TestRangeQueryRegionsDeduplicates(t *testing.T) {
+	area := geom.NewRect(0, 0, 400, 400)
+	polys := datagen.RandomPolygons(300, 5, 30, area, 7)
+	regions := make([]geom.Region, len(polys))
+	for i, pg := range polys {
+		regions[i] = geom.RegionOf(pg)
+	}
+	q := geom.NewRect(100, 100, 320, 300)
+	var want int
+	for _, rg := range regions {
+		if rg.Bounds().Intersects(q) {
+			want++
+		}
+	}
+	for _, tech := range []sindex.Technique{sindex.Grid, sindex.QuadTree, sindex.STR} {
+		sys := newSys()
+		if _, err := sys.LoadRegions("regs", regions, tech); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := RangeQueryRegions(sys, "regs", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want {
+			t.Fatalf("%v: %d results, want %d (replication dedup broken?)", tech, len(got), want)
+		}
+	}
+}
+
+func TestKNNMatchesLinearScan(t *testing.T) {
+	area := geom.NewRect(0, 0, 1000, 1000)
+	pts := datagen.Points(datagen.Clustered, 3000, area, 11)
+	sys := newSys()
+	if _, err := sys.LoadPoints("pts", pts, sindex.Grid); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		q geom.Point
+		k int
+	}{
+		{geom.Pt(500, 500), 10},
+		{geom.Pt(1, 1), 5},       // corner
+		{geom.Pt(2000, 2000), 7}, // outside the space entirely
+		{geom.Pt(333.3, 777.7), 1},
+		{geom.Pt(500, 500), 3000}, // k = n
+	} {
+		got, _, err := KNN(sys, "pts", tc.q, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists := make([]float64, len(pts))
+		for i, p := range pts {
+			dists[i] = p.Dist(tc.q)
+		}
+		sort.Float64s(dists)
+		k := tc.k
+		if k > len(pts) {
+			k = len(pts)
+		}
+		if len(got) != k {
+			t.Fatalf("q=%v k=%d: got %d results", tc.q, tc.k, len(got))
+		}
+		for i, p := range got {
+			if d := p.Dist(tc.q) - dists[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("q=%v k=%d: neighbour %d dist %g, want %g", tc.q, tc.k, i, p.Dist(tc.q), dists[i])
+			}
+		}
+	}
+}
+
+func joinOracle(a, b []geom.Region) int {
+	n := 0
+	for _, x := range a {
+		for _, y := range b {
+			if x.Bounds().Intersects(y.Bounds()) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestSpatialJoinIndexedMatchesOracle(t *testing.T) {
+	area := geom.NewRect(0, 0, 500, 500)
+	aPolys := datagen.RandomPolygons(150, 5, 20, area, 13)
+	bPolys := datagen.RandomPolygons(120, 4, 25, area, 17)
+	a := make([]geom.Region, len(aPolys))
+	for i, pg := range aPolys {
+		a[i] = geom.RegionOf(pg)
+	}
+	b := make([]geom.Region, len(bPolys))
+	for i, pg := range bPolys {
+		b[i] = geom.RegionOf(pg)
+	}
+	want := joinOracle(a, b)
+	for _, tech := range []sindex.Technique{sindex.Grid, sindex.STR, sindex.QuadTree} {
+		sys := newSys()
+		if _, err := sys.LoadRegions("a", a, tech); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.LoadRegions("b", b, tech); err != nil {
+			t.Fatal(err)
+		}
+		pairs, _, err := SpatialJoinIndexed(sys, "a", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != want {
+			t.Fatalf("%v: %d pairs, want %d", tech, len(pairs), want)
+		}
+	}
+}
+
+func TestSpatialJoinPBSMMatchesOracle(t *testing.T) {
+	area := geom.NewRect(0, 0, 500, 500)
+	aPolys := datagen.RandomPolygons(100, 5, 20, area, 19)
+	bPolys := datagen.RandomPolygons(90, 4, 25, area, 23)
+	a := make([]geom.Region, len(aPolys))
+	for i, pg := range aPolys {
+		a[i] = geom.RegionOf(pg)
+	}
+	b := make([]geom.Region, len(bPolys))
+	for i, pg := range bPolys {
+		b[i] = geom.RegionOf(pg)
+	}
+	want := joinOracle(a, b)
+	sys := newSys()
+	if err := sys.LoadRegionsHeap("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadRegionsHeap("b", b); err != nil {
+		t.Fatal(err)
+	}
+	for _, gridSide := range []int{1, 4, 9} {
+		pairs, _, err := SpatialJoinPBSM(sys, "a", "b", gridSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != want {
+			t.Fatalf("grid %d: %d pairs, want %d", gridSide, len(pairs), want)
+		}
+	}
+}
+
+func TestPlaneSweepJoinMatchesNestedLoop(t *testing.T) {
+	area := geom.NewRect(0, 0, 200, 200)
+	aPolys := datagen.RandomPolygons(60, 4, 15, area, 29)
+	bPolys := datagen.RandomPolygons(70, 4, 18, area, 31)
+	enc := func(polys []geom.Polygon) []string {
+		out := make([]string, len(polys))
+		for i, pg := range polys {
+			out[i] = geomio.EncodeRegion(geom.RegionOf(pg))
+		}
+		return out
+	}
+	la, lb := enc(aPolys), enc(bPolys)
+	count := 0
+	err := planeSweepJoin(la, lb, func(_, _ string, _ geom.Rect) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, x := range aPolys {
+		for _, y := range bPolys {
+			if x.Bounds().Intersects(y.Bounds()) {
+				want++
+			}
+		}
+	}
+	if count != want {
+		t.Fatalf("sweep found %d, nested loop %d", count, want)
+	}
+}

@@ -1,0 +1,196 @@
+package ops
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/mapreduce"
+)
+
+// PlotConfig controls the distributed plot operation.
+type PlotConfig struct {
+	// Width and Height of the output raster in pixels.
+	Width, Height int
+	// Extent is the world rectangle mapped onto the raster; when empty it
+	// defaults to the file's index space (or data MBR for heap files).
+	Extent geom.Rect
+}
+
+// Plot rasterizes a points file into a density image, the visualization
+// operation of the SpatialHadoop family (HadoopViz): every map task
+// renders its partition into a partial raster, partial rasters are
+// composited by summing counts, and the final image grades pixel
+// intensity by point density. The returned image is ready for PNG
+// encoding; EncodePlotPNG wraps that.
+func Plot(sys *core.System, file string, cfg PlotConfig) (*image.Gray, *mapreduce.Report, error) {
+	if cfg.Width <= 0 {
+		cfg.Width = 512
+	}
+	if cfg.Height <= 0 {
+		cfg.Height = 512
+	}
+	f, err := sys.Open(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	extent := cfg.Extent
+	if extent.IsEmpty() || extent.Area() == 0 {
+		if f.Index != nil {
+			extent = f.Index.Space
+		} else {
+			pts, err := sys.ReadPoints(file)
+			if err != nil {
+				return nil, nil, err
+			}
+			extent = geom.RectOf(pts)
+		}
+	}
+	if extent.IsEmpty() || extent.Width() <= 0 || extent.Height() <= 0 {
+		return nil, nil, fmt.Errorf("ops: plot extent is empty")
+	}
+
+	counts := make([]uint32, cfg.Width*cfg.Height)
+	out := file + ".plot.out"
+	job := &mapreduce.Job{
+		Name:   "plot",
+		Splits: f.Splits(),
+		Filter: func(splits []*mapreduce.Split) []*mapreduce.Split {
+			var keep []*mapreduce.Split
+			for _, s := range splits {
+				if s.MBR.Intersects(extent) {
+					keep = append(keep, s)
+				}
+			}
+			return keep
+		},
+		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+			// Render the partition into a sparse partial raster and ship
+			// the non-zero pixels, mirroring HadoopViz's partial images.
+			local := make(map[int]uint32)
+			pts, err := geomio.DecodePoints(split.Records())
+			if err != nil {
+				return err
+			}
+			for _, p := range pts {
+				px, py, ok := rasterize(p, extent, cfg.Width, cfg.Height)
+				if !ok {
+					continue
+				}
+				local[py*cfg.Width+px]++
+			}
+			for pix, c := range local {
+				ctx.Emit(fmt.Sprintf("%d", pix%sysReducers(sys)), fmt.Sprintf("%d:%d", pix, c))
+			}
+			ctx.Inc("plot.partial.pixels", int64(len(local)))
+			return nil
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key string, values []string) error {
+			// Composite: sum the partial counts per pixel.
+			sums := make(map[int]uint32)
+			for _, v := range values {
+				var pix int
+				var c uint32
+				if _, err := fmt.Sscanf(v, "%d:%d", &pix, &c); err != nil {
+					return err
+				}
+				sums[pix] += c
+			}
+			for pix, c := range sums {
+				ctx.Write(fmt.Sprintf("%d:%d", pix, c))
+			}
+			return nil
+		},
+		NumReducers: sysReducers(sys),
+		Output:      out,
+	}
+	rep, err := sys.Cluster().Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := sys.FS().ReadAll(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	var max uint32
+	for _, rec := range recs {
+		var pix int
+		var c uint32
+		if _, err := fmt.Sscanf(rec, "%d:%d", &pix, &c); err != nil {
+			return nil, nil, err
+		}
+		if pix >= 0 && pix < len(counts) {
+			counts[pix] += c
+			if counts[pix] > max {
+				max = counts[pix]
+			}
+		}
+	}
+
+	img := image.NewGray(image.Rect(0, 0, cfg.Width, cfg.Height))
+	if max > 0 {
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			// Square-root grading keeps sparse areas visible.
+			v := 55 + 200*sqrtRatio(c, max)
+			img.SetGray(i%cfg.Width, i/cfg.Width, color.Gray{Y: uint8(v)})
+		}
+	}
+	return img, rep, nil
+}
+
+func sysReducers(sys *core.System) int {
+	w := sys.Cluster().Workers()
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// rasterize maps a world point to pixel coordinates (y axis flipped so
+// north is up).
+func rasterize(p geom.Point, extent geom.Rect, w, h int) (int, int, bool) {
+	if !extent.ContainsPoint(p) {
+		return 0, 0, false
+	}
+	px := int((p.X - extent.MinX) / extent.Width() * float64(w))
+	py := int((extent.MaxY - p.Y) / extent.Height() * float64(h))
+	if px >= w {
+		px = w - 1
+	}
+	if py >= h {
+		py = h - 1
+	}
+	return px, py, true
+}
+
+func sqrtRatio(c, max uint32) float64 {
+	return math.Sqrt(float64(c) / float64(max))
+}
+
+// EncodePlotPNG renders the plot to PNG bytes.
+func EncodePlotPNG(img *image.Gray) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// PlotDataURL is a convenience for embedding small plots in reports.
+func PlotDataURL(img *image.Gray) (string, error) {
+	b, err := EncodePlotPNG(img)
+	if err != nil {
+		return "", err
+	}
+	return "data:image/png;base64," + base64.StdEncoding.EncodeToString(b), nil
+}

@@ -1,0 +1,116 @@
+package ops
+
+import (
+	"bytes"
+	"testing"
+
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/sindex"
+)
+
+func TestPlotMatchesDirectRasterization(t *testing.T) {
+	area := geom.NewRect(0, 0, 1000, 1000)
+	pts := datagen.Points(datagen.Clustered, 5000, area, 91)
+	sys := newSys()
+	f, err := sys.LoadPoints("pts", pts, sindex.Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PlotConfig{Width: 64, Height: 64, Extent: f.Index.Space}
+	img, _, err := Plot(sys, "pts", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct rasterization oracle: the set of lit pixels must coincide.
+	lit := map[[2]int]bool{}
+	for _, p := range pts {
+		if px, py, ok := rasterize(p, cfg.Extent, cfg.Width, cfg.Height); ok {
+			lit[[2]int{px, py}] = true
+		}
+	}
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			on := img.GrayAt(x, y).Y > 0
+			if on != lit[[2]int{x, y}] {
+				t.Fatalf("pixel (%d,%d) lit=%v, oracle=%v", x, y, on, lit[[2]int{x, y}])
+			}
+		}
+	}
+}
+
+func TestPlotExtentFiltersPartitions(t *testing.T) {
+	area := geom.NewRect(0, 0, 1000, 1000)
+	pts := datagen.Points(datagen.Uniform, 8000, area, 93)
+	sys := newSys()
+	if _, err := sys.LoadPoints("pts", pts, sindex.Grid); err != nil {
+		t.Fatal(err)
+	}
+	// Zoomed-in extent: only the overlapping partitions are rendered.
+	img, rep, err := Plot(sys, "pts", PlotConfig{Width: 32, Height: 32, Extent: geom.NewRect(0, 0, 120, 120)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SplitsTotal > 4 && rep.Splits == rep.SplitsTotal {
+		t.Errorf("zoomed plot processed all %d partitions", rep.SplitsTotal)
+	}
+	any := false
+	for y := 0; y < 32 && !any; y++ {
+		for x := 0; x < 32; x++ {
+			if img.GrayAt(x, y).Y > 0 {
+				any = true
+				break
+			}
+		}
+	}
+	if !any {
+		t.Error("zoomed plot is blank")
+	}
+}
+
+func TestPlotPNGEncoding(t *testing.T) {
+	area := geom.NewRect(0, 0, 100, 100)
+	pts := datagen.Points(datagen.Gaussian, 1000, area, 95)
+	sys := newSys()
+	if _, err := sys.LoadPoints("pts", pts, sindex.Grid); err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := Plot(sys, "pts", PlotConfig{Width: 16, Height: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodePlotPNG(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(b, []byte("\x89PNG")) {
+		t.Error("not a PNG")
+	}
+	url, err := PlotDataURL(img)
+	if err != nil || len(url) < 30 || url[:22] != "data:image/png;base64," {
+		t.Errorf("bad data URL: %v %v", url[:30], err)
+	}
+}
+
+func TestPlotHeapFile(t *testing.T) {
+	pts := datagen.Points(datagen.Uniform, 2000, geom.NewRect(0, 0, 10, 10), 97)
+	sys := newSys()
+	if err := sys.LoadPointsHeap("pts", pts); err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := Plot(sys, "pts", PlotConfig{Width: 8, Height: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := 0
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if img.GrayAt(x, y).Y > 0 {
+				lit++
+			}
+		}
+	}
+	if lit != 64 { // 2000 uniform points light every cell of an 8x8 grid
+		t.Errorf("%d of 64 pixels lit", lit)
+	}
+}

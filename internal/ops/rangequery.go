@@ -1,0 +1,296 @@
+// Package ops implements the operations layer of SpatialHadoop (the
+// SIGMOD'14 system paper): range queries, k-nearest-neighbour queries and
+// distributed spatial join. Each operation follows the same shape as the
+// computational geometry suite: a filter step prunes partitions using the
+// global index, and map tasks process the survivors with local indexes.
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/mapreduce"
+)
+
+// RangeQueryPoints returns all points of the (indexed or heap) file that
+// lie inside query. With an indexed file, the filter step prunes every
+// partition whose boundary misses the query, and map tasks use the local
+// R-tree indexes; with a heap file every block is scanned.
+func RangeQueryPoints(sys *core.System, file string, query geom.Rect) ([]geom.Point, *mapreduce.Report, error) {
+	f, err := sys.Open(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := file + ".range.out"
+	job := &mapreduce.Job{
+		Name:   "range-points",
+		Splits: f.Splits(),
+		Filter: func(splits []*mapreduce.Split) []*mapreduce.Split {
+			var keep []*mapreduce.Split
+			for _, s := range splits {
+				if s.MBR.Intersects(query) {
+					keep = append(keep, s)
+				}
+			}
+			return keep
+		},
+		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+			for _, b := range split.Blocks {
+				idx, err := sys.LocalIndex(b)
+				if err != nil {
+					return err
+				}
+				recs := b.Records()
+				for _, id := range idx.Search(query, nil) {
+					ctx.Write(recs[id])
+				}
+			}
+			return nil
+		},
+		Output: out,
+	}
+	rep, err := sys.Cluster().Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	pts, err := sys.ReadPoints(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pts, rep, nil
+}
+
+// RangeQueryRegions returns all regions whose MBR intersects query.
+// Replicated records (disjoint partitioning) are deduplicated with the
+// reference-point rule: a region is reported only by the partition that
+// contains the top-left corner of the intersection of its MBR with the
+// query, so each match is produced exactly once.
+func RangeQueryRegions(sys *core.System, file string, query geom.Rect) ([]geom.Region, *mapreduce.Report, error) {
+	f, err := sys.Open(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	disjoint := f.Index != nil && f.Index.Disjoint()
+	out := file + ".range.out"
+	job := &mapreduce.Job{
+		Name:   "range-regions",
+		Splits: f.Splits(),
+		Filter: func(splits []*mapreduce.Split) []*mapreduce.Split {
+			var keep []*mapreduce.Split
+			for _, s := range splits {
+				if s.MBR.Intersects(query) {
+					keep = append(keep, s)
+				}
+			}
+			return keep
+		},
+		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+			for _, rec := range split.Records() {
+				rg, err := geomio.DecodeRegion(rec)
+				if err != nil {
+					return err
+				}
+				b := rg.Bounds()
+				if !b.Intersects(query) {
+					continue
+				}
+				if disjoint {
+					ref := geom.Point{X: b.Intersect(query).MinX, Y: b.Intersect(query).MinY}
+					if !split.MBR.ContainsPointExclusive(ref) && !onMaxEdge(split.MBR, ref) {
+						continue
+					}
+				}
+				ctx.Write(rec)
+			}
+			return nil
+		},
+		Output: out,
+	}
+	rep, err := sys.Cluster().Run(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	regs, err := sys.ReadRegions(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return regs, rep, nil
+}
+
+// onMaxEdge reports whether p sits on the maximum edges of r, the one case
+// half-open containment misses for the cells at the top/right of the index.
+func onMaxEdge(r geom.Rect, p geom.Point) bool {
+	if !r.ContainsPoint(p) {
+		return false
+	}
+	return p.X == r.MaxX || p.Y == r.MaxY
+}
+
+// knnCandidate pairs a point record with its distance for shuffling.
+type knnCandidate struct {
+	dist float64
+	rec  string
+}
+
+func encodeCandidate(c knnCandidate) string {
+	return strconv.FormatFloat(c.dist, 'g', 17, 64) + ";" + c.rec
+}
+
+func decodeCandidate(s string) (knnCandidate, error) {
+	i := strings.IndexByte(s, ';')
+	if i < 0 {
+		return knnCandidate{}, fmt.Errorf("ops: bad knn candidate %q", s)
+	}
+	d, err := strconv.ParseFloat(s[:i], 64)
+	if err != nil {
+		return knnCandidate{}, err
+	}
+	return knnCandidate{dist: d, rec: s[i+1:]}, nil
+}
+
+// KNN returns the k nearest points to q in the file, with the two-round
+// protocol of SpatialHadoop: round one processes only the partition
+// containing q; if the k-th distance reaches beyond that partition's
+// boundary, a second round processes every partition intersecting the
+// correctness circle. The returned report is from the final round.
+func KNN(sys *core.System, file string, q geom.Point, k int) ([]geom.Point, *mapreduce.Report, error) {
+	f, err := sys.Open(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	run := func(filter mapreduce.FilterFunc, out string) (*mapreduce.Report, []knnCandidate, error) {
+		job := &mapreduce.Job{
+			Name:   "knn",
+			Splits: f.Splits(),
+			Filter: filter,
+			Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+				for _, b := range split.Blocks {
+					idx, err := sys.LocalIndex(b)
+					if err != nil {
+						return err
+					}
+					recs := b.Records()
+					for _, nb := range idx.Nearest(q, k) {
+						ctx.Emit("k", encodeCandidate(knnCandidate{dist: nb.Dist, rec: recs[nb.Entry.ID]}))
+					}
+				}
+				return nil
+			},
+			Reduce: func(ctx *mapreduce.TaskContext, key string, values []string) error {
+				cands := make([]knnCandidate, 0, len(values))
+				for _, v := range values {
+					c, err := decodeCandidate(v)
+					if err != nil {
+						return err
+					}
+					cands = append(cands, c)
+				}
+				sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+				if len(cands) > k {
+					cands = cands[:k]
+				}
+				for _, c := range cands {
+					ctx.Write(encodeCandidate(c))
+				}
+				return nil
+			},
+			Output: out,
+		}
+		rep, err := sys.Cluster().Run(job)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs, err := sys.FS().ReadAll(out)
+		if err != nil {
+			return nil, nil, err
+		}
+		cands := make([]knnCandidate, 0, len(recs))
+		for _, r := range recs {
+			c, err := decodeCandidate(r)
+			if err != nil {
+				return nil, nil, err
+			}
+			cands = append(cands, c)
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+		return rep, cands, nil
+	}
+
+	// Round 1: only the partition containing q (or, for a heap file, all
+	// blocks — there is no pruning information).
+	round1 := func(splits []*mapreduce.Split) []*mapreduce.Split {
+		var best *mapreduce.Split
+		for _, s := range splits {
+			if s.MBR.ContainsPoint(q) && (best == nil || s.MBR.Area() < best.MBR.Area()) {
+				best = s
+			}
+		}
+		if best == nil {
+			return splits
+		}
+		return []*mapreduce.Split{best}
+	}
+	rep, cands, err := run(round1, file+".knn.r1")
+	if err != nil {
+		return nil, nil, err
+	}
+
+	needSecond := len(cands) < k
+	if !needSecond && len(cands) > 0 {
+		radius := cands[min(k, len(cands))-1].dist
+		// If the correctness circle escapes the round-1 partition, other
+		// partitions may hold closer points.
+		circle := geom.Rect{MinX: q.X - radius, MinY: q.Y - radius, MaxX: q.X + radius, MaxY: q.Y + radius}
+		splits := f.Splits()
+		r1 := round1(splits)
+		if len(r1) != 1 || !r1[0].MBR.ContainsRect(circle) {
+			needSecond = true
+		}
+	}
+	if needSecond {
+		radius := 0.0
+		if len(cands) >= k {
+			radius = cands[k-1].dist
+		}
+		filter := func(splits []*mapreduce.Split) []*mapreduce.Split {
+			if radius == 0 {
+				return splits
+			}
+			var keep []*mapreduce.Split
+			for _, s := range splits {
+				if s.MBR.MinDistPoint(q) <= radius {
+					keep = append(keep, s)
+				}
+			}
+			return keep
+		}
+		rep, cands, err = run(filter, file+".knn.r2")
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	pts := make([]geom.Point, len(cands))
+	for i, c := range cands {
+		p, err := geomio.DecodePoint(c.rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts[i] = p
+	}
+	return pts, rep, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

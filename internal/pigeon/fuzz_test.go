@@ -1,0 +1,24 @@
+package pigeon
+
+import "testing"
+
+// FuzzParse checks the parser never panics on arbitrary scripts.
+func FuzzParse(f *testing.F) {
+	f.Add("pts = GENERATE uniform 100;")
+	f.Add("DUMP x LIMIT(3);")
+	f.Add("a = LOAD 'f' AS points; b = INDEX a BY 'grid';")
+	f.Add("= ; ( ) , '")
+	f.Add("-- just a comment")
+	f.Add("x = RANGE y RECT(1,2,3,4);")
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, st := range stmts {
+			if st.Op == "" {
+				t.Fatalf("parsed statement with empty op from %q", src)
+			}
+		}
+	})
+}

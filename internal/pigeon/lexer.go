@@ -1,0 +1,103 @@
+// Package pigeon implements the language layer of the SIGMOD'14 system
+// paper: a small Pig-Latin-like declarative language for spatial
+// processing. Scripts are sequences of statements that load or generate
+// datasets, index them, run the system and CG_Hadoop operations, and dump
+// or store results:
+//
+//	pts    = GENERATE clustered 100000 SEED(7);
+//	idx    = INDEX pts BY 'str+';
+//	nearby = RANGE idx RECT(1000, 1000, 5000, 4000);
+//	sky    = SKYLINE idx;            -- also: CONVEXHULL, UNION, VORONOI,
+//	nn     = ANN idx;                --  DELAUNAY, CLOSESTPAIR, FARTHESTPAIR,
+//	j      = JOIN zidx widx;         --  KNN ... POINT(x,y) K(k)
+//	DUMP sky LIMIT(10);
+//	STORE nearby INTO 'nearby.txt';
+//	PLOT idx INTO 'density.png' SIZE(512, 512);
+//	DESCRIBE idx;
+//
+// The interpreter executes each statement as the corresponding MapReduce
+// job(s) on a core.System.
+package pigeon
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota
+	tokNumber
+	tokString
+	tokPunct // = ( ) , ;
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+// lex splits a script into tokens. Comments run from "--" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != '\'' {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("pigeon: line %d: unterminated string", line)
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("pigeon: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], pos: i, line: line})
+			i = j + 1
+		case strings.ContainsRune("=(),;", rune(c)):
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i, line: line})
+			i++
+		case c == '+' || c == '-' || c == '.' || unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (strings.ContainsRune("+-.eE", rune(src[j])) || unicode.IsDigit(rune(src[j]))) {
+				// Stop a trailing +/- that is not an exponent sign.
+				if (src[j] == '+' || src[j] == '-') && j > i && src[j-1] != 'e' && src[j-1] != 'E' {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], pos: i, line: line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i, line: line})
+			i = j
+		default:
+			return nil, fmt.Errorf("pigeon: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}

@@ -1,0 +1,162 @@
+package pigeon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Statement is one parsed pigeon statement.
+type Statement struct {
+	// Target is the assigned variable ("" for DUMP/STORE/DESCRIBE).
+	Target string
+	// Op is the uppercased operation keyword.
+	Op string
+	// Args are the operand variables, in order.
+	Args []string
+	// Strings are quoted-literal operands (paths, technique names).
+	Strings []string
+	// Numbers are the numeric operands (rect coordinates, k, n, seed...).
+	Numbers []float64
+	// Line for error reporting.
+	Line int
+}
+
+// operations and their shapes: verb -> (assigns result, min/max var args).
+var statementShapes = map[string]struct {
+	assigns bool
+}{
+	"LOAD": {true}, "GENERATE": {true}, "INDEX": {true},
+	"RANGE": {true}, "KNN": {true}, "JOIN": {true},
+	"SKYLINE": {true}, "CONVEXHULL": {true}, "UNION": {true},
+	"VORONOI": {true}, "DELAUNAY": {true},
+	"CLOSESTPAIR": {true}, "FARTHESTPAIR": {true},
+	"ANN":  {true},
+	"DUMP": {false}, "STORE": {false}, "DESCRIBE": {false}, "PLOT": {false},
+}
+
+// Parse turns a script into statements.
+func Parse(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Statement
+	for !p.at(tokEOF) {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return fmt.Errorf("pigeon: line %d: expected %q, found %q", p.cur().line, s, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+// statement parses either "<var> = VERB operands ;" or "VERB operands ;".
+func (p *parser) statement() (Statement, error) {
+	var st Statement
+	if !p.at(tokIdent) {
+		return st, fmt.Errorf("pigeon: line %d: expected identifier, found %q", p.cur().line, p.cur().text)
+	}
+	first := p.next()
+	st.Line = first.line
+
+	verb := strings.ToUpper(first.text)
+	if _, isVerb := statementShapes[verb]; isVerb && !p.atPunct("=") {
+		st.Op = verb
+	} else {
+		st.Target = first.text
+		if err := p.expectPunct("="); err != nil {
+			return st, err
+		}
+		if !p.at(tokIdent) {
+			return st, fmt.Errorf("pigeon: line %d: expected operation after '='", p.cur().line)
+		}
+		st.Op = strings.ToUpper(p.next().text)
+	}
+	shape, ok := statementShapes[st.Op]
+	if !ok {
+		return st, fmt.Errorf("pigeon: line %d: unknown operation %q", st.Line, st.Op)
+	}
+	if shape.assigns && st.Target == "" {
+		return st, fmt.Errorf("pigeon: line %d: %s must be assigned to a variable", st.Line, st.Op)
+	}
+	if !shape.assigns && st.Target != "" {
+		return st, fmt.Errorf("pigeon: line %d: %s does not produce a result", st.Line, st.Op)
+	}
+
+	// Operands: identifiers, strings, numbers, and helper forms
+	// RECT(a,b,c,d) / POINT(x,y) whose numbers are flattened, plus
+	// keyword-prefixed numbers (K 5, SEED 9, LIMIT 3) whose keywords are
+	// recorded as args.
+	for !p.atPunct(";") {
+		t := p.cur()
+		switch {
+		case t.kind == tokEOF:
+			return st, fmt.Errorf("pigeon: line %d: missing ';'", st.Line)
+		case t.kind == tokString:
+			st.Strings = append(st.Strings, t.text)
+			p.next()
+		case t.kind == tokNumber:
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return st, fmt.Errorf("pigeon: line %d: bad number %q", t.line, t.text)
+			}
+			st.Numbers = append(st.Numbers, v)
+			p.next()
+		case t.kind == tokIdent:
+			p.next()
+			if p.atPunct("(") {
+				p.next()
+				for !p.atPunct(")") {
+					nt := p.cur()
+					if nt.kind != tokNumber {
+						return st, fmt.Errorf("pigeon: line %d: expected number in %s(...)", nt.line, t.text)
+					}
+					v, err := strconv.ParseFloat(nt.text, 64)
+					if err != nil {
+						return st, fmt.Errorf("pigeon: line %d: bad number %q", nt.line, nt.text)
+					}
+					st.Numbers = append(st.Numbers, v)
+					p.next()
+					if p.atPunct(",") {
+						p.next()
+					}
+				}
+				p.next() // ')'
+				st.Args = append(st.Args, strings.ToUpper(t.text))
+			} else {
+				st.Args = append(st.Args, t.text)
+			}
+		case t.kind == tokPunct && t.text == ",":
+			p.next()
+		default:
+			return st, fmt.Errorf("pigeon: line %d: unexpected token %q", t.line, t.text)
+		}
+	}
+	p.next() // ';'
+	return st, nil
+}

@@ -1,0 +1,123 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialhadoop/internal/geom"
+)
+
+func randEntries(rng *rand.Rand, n int) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		es[i] = Entry{
+			MBR: geom.NewRect(x, y, x+rng.Float64()*10, y+rng.Float64()*10),
+			ID:  i,
+		}
+	}
+	return es
+}
+
+func linearSearch(es []Entry, q geom.Rect) []int {
+	var out []int
+	for _, e := range es {
+		if e.MBR.Intersects(q) {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+func TestSearchMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 100, 2000} {
+		es := randEntries(rng, n)
+		tr := Bulk(es, 8)
+		if tr.Len() != n {
+			t.Fatalf("len = %d, want %d", tr.Len(), n)
+		}
+		for q := 0; q < 30; q++ {
+			x, y := rng.Float64()*1000, rng.Float64()*1000
+			query := geom.NewRect(x, y, x+rng.Float64()*200, y+rng.Float64()*200)
+			got := tr.Search(query, nil)
+			want := linearSearch(es, query)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: got %d results, want %d", n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d: result %d = %d, want %d", n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNearestMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	tr := BulkPoints(pts, 8)
+	for q := 0; q < 20; q++ {
+		query := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		k := 1 + rng.Intn(10)
+		got := tr.Nearest(query, k)
+		if len(got) != k {
+			t.Fatalf("got %d neighbours, want %d", len(got), k)
+		}
+		dists := make([]float64, len(pts))
+		for i, p := range pts {
+			dists[i] = p.Dist(query)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if diff := nb.Dist - dists[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("neighbour %d dist %g, want %g", i, nb.Dist, dists[i])
+			}
+			if i > 0 && got[i].Dist < got[i-1].Dist {
+				t.Fatal("neighbours not in increasing order")
+			}
+		}
+	}
+}
+
+func TestNearestMoreThanAvailable(t *testing.T) {
+	tr := BulkPoints([]geom.Point{{X: 1, Y: 1}, {X: 2, Y: 2}}, 4)
+	got := tr.Nearest(geom.Pt(0, 0), 10)
+	if len(got) != 2 {
+		t.Fatalf("got %d, want 2", len(got))
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Bulk(nil, 4)
+	if got := tr.Search(geom.NewRect(0, 0, 1, 1), nil); got != nil {
+		t.Errorf("search on empty = %v", got)
+	}
+	if got := tr.Nearest(geom.Pt(0, 0), 3); got != nil {
+		t.Errorf("nearest on empty = %v", got)
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Error("bounds of empty tree should be empty")
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	es := randEntries(rng, 300)
+	tr := Bulk(es, 8)
+	count := 0
+	tr.Visit(geom.NewRect(0, 0, 1000, 1000), func(Entry) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("visited %d, want early stop at 5", count)
+	}
+}

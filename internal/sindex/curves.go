@@ -1,0 +1,50 @@
+package sindex
+
+// zInterleave returns the Z-order (Morton) value of grid coordinates
+// (x, y): their bits interleaved, x in the even positions.
+func zInterleave(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+// spread inserts a zero bit between each bit of v.
+func spread(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// hilbertD2XY returns the distance along the Hilbert curve of order
+// log2(n) at grid cell (x, y). n must be a power of two; coordinates are
+// clamped into [0, n).
+func hilbertD2XY(n uint32, x, y uint32) uint64 {
+	if x >= n {
+		x = n - 1
+	}
+	if y >= n {
+		y = n - 1
+	}
+	var d uint64
+	for s := n / 2; s > 0; s /= 2 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}

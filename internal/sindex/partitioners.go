@@ -1,0 +1,272 @@
+package sindex
+
+import (
+	"math"
+	"sort"
+
+	"spatialhadoop/internal/geom"
+)
+
+// Build computes a global index for the given technique from a sample of
+// the data, targeting the given number of cells. The sample is what the
+// SpatialHadoop loader draws in its first pass; the returned index then
+// routes the full dataset in the second pass.
+func Build(t Technique, sample []geom.Point, space geom.Rect, numCells int) *GlobalIndex {
+	if numCells < 1 {
+		numCells = 1
+	}
+	gi := &GlobalIndex{Technique: t, Space: space, curveRes: 1 << 15}
+	switch t {
+	case Grid:
+		gi.Cells = gridCells(space, numCells)
+	case STR, STRPlus:
+		gi.Cells = strCells(sample, space, numCells, t == STRPlus)
+	case QuadTree:
+		gi.Cells = quadCells(sample, space, numCells)
+	case KDTree:
+		gi.Cells = kdCells(sample, space, numCells)
+	case ZCurve, Hilbert:
+		gi.Cells = curveCells(gi, sample, numCells)
+	default:
+		gi.Cells = gridCells(space, numCells)
+	}
+	for i := range gi.Cells {
+		gi.Cells[i].ID = i
+		gi.Cells[i].Content = geom.EmptyRect()
+	}
+	return gi
+}
+
+// gridCells tiles the space with a uniform ~sqrt(n) x sqrt(n) grid.
+func gridCells(space geom.Rect, numCells int) []Cell {
+	nx := int(math.Ceil(math.Sqrt(float64(numCells))))
+	ny := (numCells + nx - 1) / nx
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	cw := space.Width() / float64(nx)
+	ch := space.Height() / float64(ny)
+	cells := make([]Cell, 0, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			cells = append(cells, Cell{Boundary: geom.Rect{
+				MinX: space.MinX + float64(ix)*cw,
+				MinY: space.MinY + float64(iy)*ch,
+				MaxX: space.MinX + float64(ix+1)*cw,
+				MaxY: space.MinY + float64(iy)*ch + ch,
+			}})
+		}
+	}
+	return cells
+}
+
+// strCells implements the Sort-Tile-Recursive packing: slice the sample
+// into vertical strips of equal count, then cut each strip horizontally
+// into cells of equal count. In STR mode the cell boundary is the MBR of
+// the sample contents (cells may overlap once real data is assigned); in
+// STR+ (disjoint) mode the boundaries are extended so the cells exactly
+// tile the space.
+func strCells(sample []geom.Point, space geom.Rect, numCells int, disjoint bool) []Cell {
+	if len(sample) == 0 {
+		return gridCells(space, numCells)
+	}
+	nStrips := int(math.Ceil(math.Sqrt(float64(numCells))))
+	perStrip := (numCells + nStrips - 1) / nStrips
+
+	byX := make([]geom.Point, len(sample))
+	copy(byX, sample)
+	sort.Slice(byX, func(i, j int) bool { return byX[i].Less(byX[j]) })
+
+	var cells []Cell
+	stripSize := (len(byX) + nStrips - 1) / nStrips
+	for s := 0; s < nStrips; s++ {
+		lo := s * stripSize
+		if lo >= len(byX) {
+			break
+		}
+		hi := lo + stripSize
+		if hi > len(byX) {
+			hi = len(byX)
+		}
+		strip := make([]geom.Point, hi-lo)
+		copy(strip, byX[lo:hi])
+		sort.Slice(strip, func(i, j int) bool { return strip[i].Y < strip[j].Y })
+
+		// Disjoint x-range of this strip when tiling.
+		sMinX, sMaxX := space.MinX, space.MaxX
+		if disjoint {
+			if s > 0 {
+				sMinX = byX[lo].X
+			}
+			if hi < len(byX) {
+				sMaxX = byX[hi].X
+			}
+		}
+
+		cellSize := (len(strip) + perStrip - 1) / perStrip
+		if cellSize < 1 {
+			cellSize = 1
+		}
+		for c := 0; c*cellSize < len(strip); c++ {
+			clo := c * cellSize
+			chi := clo + cellSize
+			if chi > len(strip) {
+				chi = len(strip)
+			}
+			var boundary geom.Rect
+			if disjoint {
+				minY, maxY := space.MinY, space.MaxY
+				if clo > 0 {
+					minY = strip[clo].Y
+				}
+				if chi < len(strip) {
+					maxY = strip[chi].Y
+				}
+				boundary = geom.Rect{MinX: sMinX, MinY: minY, MaxX: sMaxX, MaxY: maxY}
+			} else {
+				boundary = geom.RectOf(strip[clo:chi])
+			}
+			cells = append(cells, Cell{Boundary: boundary})
+		}
+	}
+	return cells
+}
+
+// quadCells recursively splits the space into quadrants until each leaf
+// holds at most capacity sample points; the leaves tile the space.
+func quadCells(sample []geom.Point, space geom.Rect, numCells int) []Cell {
+	capacity := len(sample) / numCells
+	if capacity < 1 {
+		capacity = 1
+	}
+	var cells []Cell
+	var rec func(r geom.Rect, pts []geom.Point, depth int)
+	rec = func(r geom.Rect, pts []geom.Point, depth int) {
+		if len(pts) <= capacity || depth >= 20 {
+			cells = append(cells, Cell{Boundary: r})
+			return
+		}
+		c := r.Center()
+		quads := [4]geom.Rect{
+			{MinX: r.MinX, MinY: r.MinY, MaxX: c.X, MaxY: c.Y},
+			{MinX: c.X, MinY: r.MinY, MaxX: r.MaxX, MaxY: c.Y},
+			{MinX: r.MinX, MinY: c.Y, MaxX: c.X, MaxY: r.MaxY},
+			{MinX: c.X, MinY: c.Y, MaxX: r.MaxX, MaxY: r.MaxY},
+		}
+		var parts [4][]geom.Point
+		for _, p := range pts {
+			q := 0
+			if p.X >= c.X {
+				q |= 1
+			}
+			if p.Y >= c.Y {
+				q |= 2
+			}
+			parts[q] = append(parts[q], p)
+		}
+		for i := range quads {
+			rec(quads[i], parts[i], depth+1)
+		}
+	}
+	rec(space, sample, 0)
+	return cells
+}
+
+// kdCells builds a K-d tree over the sample (median splits, alternating
+// axes) whose leaves tile the space.
+func kdCells(sample []geom.Point, space geom.Rect, numCells int) []Cell {
+	capacity := len(sample) / numCells
+	if capacity < 1 {
+		capacity = 1
+	}
+	pts := make([]geom.Point, len(sample))
+	copy(pts, sample)
+	var cells []Cell
+	var rec func(r geom.Rect, pts []geom.Point, axis int, depth int)
+	rec = func(r geom.Rect, pts []geom.Point, axis, depth int) {
+		if len(pts) <= capacity || depth >= 30 {
+			cells = append(cells, Cell{Boundary: r})
+			return
+		}
+		if axis == 0 {
+			sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		} else {
+			sort.Slice(pts, func(i, j int) bool { return pts[i].Y < pts[j].Y })
+		}
+		mid := len(pts) / 2
+		split := pts[mid]
+		left, right := r, r
+		if axis == 0 {
+			left.MaxX, right.MinX = split.X, split.X
+		} else {
+			left.MaxY, right.MinY = split.Y, split.Y
+		}
+		rec(left, pts[:mid], 1-axis, depth+1)
+		rec(right, pts[mid:], 1-axis, depth+1)
+	}
+	rec(space, pts, 0, 0)
+	return cells
+}
+
+// curveCells sorts the sample along the space-filling curve and chunks it
+// into equal-count cells; each cell records its curve range (for
+// assignment) and the MBR of its contents (for filtering).
+func curveCells(gi *GlobalIndex, sample []geom.Point, numCells int) []Cell {
+	if len(sample) == 0 {
+		cells := gridCells(gi.Space, numCells)
+		step := (uint64(1)<<62 + uint64(len(cells)) - 1) / uint64(len(cells))
+		for i := range cells {
+			cells[i].CurveLo = uint64(i) * step
+			cells[i].CurveHi = uint64(i+1) * step
+		}
+		return cells
+	}
+	type cp struct {
+		v uint64
+		p geom.Point
+	}
+	cps := make([]cp, len(sample))
+	for i, p := range sample {
+		cps[i] = cp{v: gi.curveValue(p), p: p}
+	}
+	sort.Slice(cps, func(i, j int) bool { return cps[i].v < cps[j].v })
+	chunk := (len(cps) + numCells - 1) / numCells
+	if chunk < 1 {
+		chunk = 1
+	}
+	var cells []Cell
+	maxCurve := uint64(math.MaxUint64)
+	for c := 0; c*chunk < len(cps); c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(cps) {
+			hi = len(cps)
+		}
+		mbr := geom.EmptyRect()
+		for _, e := range cps[lo:hi] {
+			mbr = mbr.ExpandPoint(e.p)
+		}
+		cell := Cell{Boundary: mbr}
+		if c == 0 {
+			cell.CurveLo = 0
+		} else {
+			cell.CurveLo = cps[lo].v
+		}
+		if hi == len(cps) {
+			cell.CurveHi = maxCurve
+		} else {
+			cell.CurveHi = cps[hi].v
+		}
+		if cell.CurveHi < cell.CurveLo {
+			cell.CurveHi = cell.CurveLo
+		}
+		cells = append(cells, cell)
+	}
+	if len(cells) > 0 {
+		cells[len(cells)-1].CurveHi = maxCurve
+	}
+	return cells
+}

@@ -1,0 +1,334 @@
+// Package voronoi implements the in-memory Voronoi diagram engine used by
+// the distributed Voronoi construction of paper §5: a Bowyer–Watson
+// incremental Delaunay triangulation, Voronoi region extraction by
+// half-plane clipping against Delaunay neighbours, and the dangerous-zone
+// safety rule (paper Theorem 1) with the boundary-BFS optimization that
+// lets each partition flush final regions early.
+package voronoi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"spatialhadoop/internal/geom"
+)
+
+// Delaunay is a Delaunay triangulation of a set of sites.
+type Delaunay struct {
+	// sites are the real input points; three synthetic "super" vertices
+	// are appended internally at indices n, n+1, n+2.
+	sites []geom.Point
+	pts   []geom.Point // sites + super vertices
+	tris  []triangle
+	free  []int
+	last  int // last created triangle, walk start
+}
+
+type triangle struct {
+	v     [3]int // vertex indices, CCW
+	adj   [3]int // adj[i] is the triangle across edge (v[i], v[(i+1)%3]); -1 if none
+	alive bool
+}
+
+// NewDelaunay triangulates the given sites. Duplicate points are
+// triangulated once (they share a site's region). The input slice is not
+// modified.
+func NewDelaunay(sites []geom.Point) *Delaunay {
+	d := &Delaunay{sites: sites}
+	n := len(sites)
+	d.pts = make([]geom.Point, n, n+3)
+	copy(d.pts, sites)
+
+	// Super triangle comfortably containing the data.
+	bb := geom.RectOf(sites)
+	if bb.IsEmpty() {
+		bb = geom.NewRect(0, 0, 1, 1)
+	}
+	cx, cy := bb.Center().X, bb.Center().Y
+	m := 16 * (1 + bb.Width() + bb.Height())
+	s0 := geom.Point{X: cx - 2*m, Y: cy - m}
+	s1 := geom.Point{X: cx + 2*m, Y: cy - m}
+	s2 := geom.Point{X: cx, Y: cy + 2*m}
+	d.pts = append(d.pts, s0, s1, s2)
+	d.tris = append(d.tris, triangle{v: [3]int{n, n + 1, n + 2}, adj: [3]int{-1, -1, -1}, alive: true})
+	d.last = 0
+
+	// Randomized insertion order for expected near-linear behaviour.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	seen := make(map[geom.Point]bool, n)
+	for _, i := range order {
+		p := d.pts[i]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		d.insert(i)
+	}
+	return d
+}
+
+// NumSites returns the number of (real) sites.
+func (d *Delaunay) NumSites() int { return len(d.sites) }
+
+// Site returns site i.
+func (d *Delaunay) Site(i int) geom.Point { return d.sites[i] }
+
+// isSuper reports whether vertex index v is a synthetic super vertex.
+func (d *Delaunay) isSuper(v int) bool { return v >= len(d.sites) }
+
+// insert adds point index pi via the Bowyer–Watson cavity algorithm.
+func (d *Delaunay) insert(pi int) {
+	p := d.pts[pi]
+	t0 := d.locate(p)
+
+	// Collect the cavity: triangles whose circumcircle contains p,
+	// connected to the containing triangle.
+	bad := map[int]bool{t0: true}
+	queue := []int{t0}
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, nb := range d.tris[t].adj {
+			if nb < 0 || bad[nb] {
+				continue
+			}
+			if d.circumContains(nb, p) {
+				bad[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+
+	// Boundary edges of the cavity, directed CCW around it.
+	type bedge struct {
+		a, b    int
+		outside int
+	}
+	var boundary []bedge
+	for t := range bad {
+		tr := &d.tris[t]
+		for i := 0; i < 3; i++ {
+			nb := tr.adj[i]
+			if nb < 0 || !bad[nb] {
+				boundary = append(boundary, bedge{a: tr.v[i], b: tr.v[(i+1)%3], outside: nb})
+			}
+		}
+	}
+
+	// Remove cavity triangles.
+	for t := range bad {
+		d.tris[t].alive = false
+		d.free = append(d.free, t)
+	}
+
+	// Retriangulate: one new triangle per boundary edge.
+	newByFirst := make(map[int]int, len(boundary)) // edge start vertex -> new triangle
+	created := make([]int, 0, len(boundary))
+	for _, e := range boundary {
+		t := d.alloc(triangle{v: [3]int{e.a, e.b, pi}, adj: [3]int{e.outside, -1, -1}, alive: true})
+		if e.outside >= 0 {
+			d.setAdj(e.outside, e.b, e.a, t)
+		}
+		newByFirst[e.a] = t
+		created = append(created, t)
+	}
+	// Link consecutive new triangles: edge (b, pi) of triangle (a,b,pi)
+	// pairs with edge (pi, b) of the triangle starting at b.
+	for _, t := range created {
+		tr := &d.tris[t]
+		b := tr.v[1]
+		next, ok := newByFirst[b]
+		if !ok {
+			panic(fmt.Sprintf("voronoi: cavity boundary not closed at vertex %d", b))
+		}
+		tr.adj[1] = next        // edge (b, pi)
+		d.tris[next].adj[2] = t // edge (pi, a=b) of the next triangle
+	}
+	d.last = created[0]
+}
+
+// alloc stores a triangle, reusing freed slots.
+func (d *Delaunay) alloc(t triangle) int {
+	if n := len(d.free); n > 0 {
+		idx := d.free[n-1]
+		d.free = d.free[:n-1]
+		d.tris[idx] = t
+		return idx
+	}
+	d.tris = append(d.tris, t)
+	return len(d.tris) - 1
+}
+
+// setAdj updates triangle t's adjacency across directed edge (a, b).
+func (d *Delaunay) setAdj(t, a, b, neighbor int) {
+	tr := &d.tris[t]
+	for i := 0; i < 3; i++ {
+		if tr.v[i] == a && tr.v[(i+1)%3] == b {
+			tr.adj[i] = neighbor
+			return
+		}
+	}
+	panic(fmt.Sprintf("voronoi: edge (%d,%d) not found in triangle %d", a, b, t))
+}
+
+// locate returns a triangle containing p, walking from the last created
+// triangle and falling back to a scan if the walk cycles.
+func (d *Delaunay) locate(p geom.Point) int {
+	t := d.last
+	if t < 0 || t >= len(d.tris) || !d.tris[t].alive {
+		t = d.anyAlive()
+	}
+	for steps := 0; steps < 4*len(d.tris)+16; steps++ {
+		tr := &d.tris[t]
+		moved := false
+		for i := 0; i < 3; i++ {
+			a, b := d.pts[tr.v[i]], d.pts[tr.v[(i+1)%3]]
+			if geom.Area2(a, b, p) < 0 {
+				nb := tr.adj[i]
+				if nb >= 0 {
+					t = nb
+					moved = true
+					break
+				}
+			}
+		}
+		if !moved {
+			return t
+		}
+	}
+	// Defensive fallback: exhaustive scan.
+	for i := range d.tris {
+		if d.tris[i].alive && d.triContains(i, p) {
+			return i
+		}
+	}
+	panic("voronoi: point location failed")
+}
+
+func (d *Delaunay) anyAlive() int {
+	for i := range d.tris {
+		if d.tris[i].alive {
+			return i
+		}
+	}
+	panic("voronoi: no live triangles")
+}
+
+func (d *Delaunay) triContains(t int, p geom.Point) bool {
+	tr := &d.tris[t]
+	for i := 0; i < 3; i++ {
+		if geom.Area2(d.pts[tr.v[i]], d.pts[tr.v[(i+1)%3]], p) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// circumContains reports whether the circumcircle of triangle t strictly
+// contains p. Triangles with exactly one super vertex are handled
+// symbolically (their circumcircle degenerates to the half-plane left of
+// the real edge), which keeps the predicate exact where it matters.
+func (d *Delaunay) circumContains(t int, p geom.Point) bool {
+	tr := &d.tris[t]
+	super := -1
+	nSuper := 0
+	for i, v := range tr.v {
+		if d.isSuper(v) {
+			super = i
+			nSuper++
+		}
+	}
+	switch nSuper {
+	case 1:
+		u := d.pts[tr.v[(super+1)%3]]
+		v := d.pts[tr.v[(super+2)%3]]
+		return geom.Area2(u, v, p) > 0
+	default:
+		a, b, c := d.pts[tr.v[0]], d.pts[tr.v[1]], d.pts[tr.v[2]]
+		return geom.InCircle(a, b, c, p)
+	}
+}
+
+// Neighbors returns, for every site, the indices of its Delaunay-adjacent
+// real sites (sorted). Sites adjacent to a super vertex are on the hull of
+// the triangulation and their Voronoi regions are unbounded.
+func (d *Delaunay) Neighbors() ([][]int, []bool) {
+	n := len(d.sites)
+	adj := make([]map[int]bool, n)
+	onHull := make([]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool, 8)
+	}
+	for ti := range d.tris {
+		tr := &d.tris[ti]
+		if !tr.alive {
+			continue
+		}
+		for i := 0; i < 3; i++ {
+			a, b := tr.v[i], tr.v[(i+1)%3]
+			switch {
+			case d.isSuper(a) && !d.isSuper(b):
+				onHull[b] = true
+			case d.isSuper(b) && !d.isSuper(a):
+				onHull[a] = true
+			case !d.isSuper(a) && !d.isSuper(b):
+				adj[a][b] = true
+				adj[b][a] = true
+			}
+		}
+	}
+	out := make([][]int, n)
+	for i, m := range adj {
+		lst := make([]int, 0, len(m))
+		for v := range m {
+			lst = append(lst, v)
+		}
+		sort.Ints(lst)
+		out[i] = lst
+	}
+	return out, onHull
+}
+
+// Triangles returns the vertex triples of all live triangles consisting
+// purely of real sites.
+func (d *Delaunay) Triangles() [][3]int {
+	var out [][3]int
+	for i := range d.tris {
+		tr := &d.tris[i]
+		if !tr.alive {
+			continue
+		}
+		if d.isSuper(tr.v[0]) || d.isSuper(tr.v[1]) || d.isSuper(tr.v[2]) {
+			continue
+		}
+		out = append(out, tr.v)
+	}
+	return out
+}
+
+// CheckDelaunay verifies the empty-circumcircle property of every real
+// triangle against every site, in O(T*n); it is a test oracle only.
+func (d *Delaunay) CheckDelaunay() error {
+	for _, tv := range d.Triangles() {
+		a, b, c := d.pts[tv[0]], d.pts[tv[1]], d.pts[tv[2]]
+		for i, p := range d.sites {
+			if i == tv[0] || i == tv[1] || i == tv[2] {
+				continue
+			}
+			if p.Equal(a) || p.Equal(b) || p.Equal(c) {
+				continue
+			}
+			if geom.InCircle(a, b, c, p) {
+				return fmt.Errorf("voronoi: site %v inside circumcircle of (%v,%v,%v)", p, a, b, c)
+			}
+		}
+	}
+	return nil
+}

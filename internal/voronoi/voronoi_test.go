@@ -1,0 +1,208 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+)
+
+func TestDelaunayTiny(t *testing.T) {
+	sites := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 8}}
+	d := NewDelaunay(sites)
+	tris := d.Triangles()
+	if len(tris) != 1 {
+		t.Fatalf("triangles = %d, want 1", len(tris))
+	}
+	if err := d.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelaunayEmptyCircumcircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{4, 10, 50, 200, 800} {
+		sites := make([]geom.Point, n)
+		for i := range sites {
+			sites[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		d := NewDelaunay(sites)
+		if err := d.CheckDelaunay(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Euler: a triangulation of n points with h hull points has
+		// 2n - 2 - h triangles.
+		_, onHull := d.Neighbors()
+		h := 0
+		for _, b := range onHull {
+			if b {
+				h++
+			}
+		}
+		if got, want := len(d.Triangles()), 2*n-2-h; got != want {
+			t.Errorf("n=%d: triangles = %d, want %d (h=%d)", n, got, want, h)
+		}
+	}
+}
+
+func TestDelaunayDuplicates(t *testing.T) {
+	sites := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 8}, {X: 0, Y: 0}, {X: 10, Y: 0}}
+	d := NewDelaunay(sites)
+	if err := d.CheckDelaunay(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	clip := geom.NewRect(0, 0, 1000, 1000)
+	for trial := 0; trial < 5; trial++ {
+		n := 30 + rng.Intn(150)
+		sites := make([]geom.Point, n)
+		for i := range sites {
+			sites[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		vd := New(sites)
+		for i := 0; i < n; i++ {
+			got := vd.Region(i, clip).Area()
+			want := BruteRegion(sites, i, clip).Area()
+			if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+				t.Fatalf("trial %d site %d: area %g, want %g", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRegionsPartitionTheClipRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	clip := geom.NewRect(0, 0, 100, 100)
+	sites := datagen.Points(datagen.Uniform, 200, clip, 4)
+	vd := New(sites)
+	total := 0.0
+	for i := range sites {
+		total += vd.Region(i, clip).Area()
+	}
+	if math.Abs(total-clip.Area()) > 1e-6*clip.Area() {
+		t.Errorf("region areas sum to %g, want %g", total, clip.Area())
+	}
+	// Random point membership: the containing region's site is nearest.
+	for k := 0; k < 200; k++ {
+		p := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		nearest := NearestSite(sites, p)
+		if !vd.Region(nearest, clip).ContainsPoint(p) {
+			t.Fatalf("point %v not in region of its nearest site", p)
+		}
+	}
+}
+
+func TestSafetyRuleIsSound(t *testing.T) {
+	// Compute the VD of a partition's sites; every safe region must be
+	// identical (same area) in the VD of the partition's sites plus
+	// arbitrary outside sites.
+	part := geom.NewRect(0, 0, 100, 100)
+	inside := datagen.Points(datagen.Uniform, 300, part, 11)
+	outside := datagen.Points(datagen.Uniform, 300, geom.NewRect(-200, -200, 400, 400), 12)
+	var outsideOnly []geom.Point
+	for _, p := range outside {
+		if !part.ContainsPoint(p) {
+			outsideOnly = append(outsideOnly, p)
+		}
+	}
+	local := New(inside)
+	global := New(append(append([]geom.Point{}, inside...), outsideOnly...))
+
+	clip := geom.NewRect(-500, -500, 600, 600)
+	safe := local.SafeSites(part)
+	nSafe := 0
+	for i, s := range safe {
+		if !s {
+			continue
+		}
+		nSafe++
+		la := local.Region(i, clip).Area()
+		ga := global.Region(i, clip).Area()
+		if math.Abs(la-ga) > 1e-6*math.Max(1, la) {
+			t.Fatalf("safe region %d changed after adding outside sites: %g vs %g", i, la, ga)
+		}
+	}
+	if nSafe == 0 {
+		t.Fatal("expected some safe regions for 300 interior sites")
+	}
+	t.Logf("safe: %d / %d", nSafe, len(inside))
+}
+
+func TestFrontierMatchesDirect(t *testing.T) {
+	part := geom.NewRect(0, 0, 1000, 1000)
+	for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Gaussian, datagen.Clustered} {
+		sites := datagen.Points(dist, 600, part, 31)
+		vd := New(sites)
+		direct := vd.SafeSites(part)
+		frontier, apps := vd.SafeSitesFrontier(part)
+		for i := range direct {
+			if direct[i] != frontier[i] {
+				t.Fatalf("%v: site %d classified %v directly but %v by frontier",
+					dist, i, direct[i], frontier[i])
+			}
+		}
+		if apps >= len(sites) {
+			t.Errorf("%v: frontier applied rule %d times for %d sites (no saving)", dist, apps, len(sites))
+		}
+	}
+}
+
+// TestCollinearSitesFallback checks the degenerate configuration the
+// Delaunay dual cannot represent: all sites on one line. Region falls back
+// to brute-force clipping, so the regions must still tile the clip rect.
+func TestCollinearSitesFallback(t *testing.T) {
+	clip := geom.NewRect(0, 0, 100, 100)
+	sites := []geom.Point{
+		{X: 10, Y: 50}, {X: 30, Y: 50}, {X: 55, Y: 50}, {X: 80, Y: 50},
+	}
+	vd := New(sites)
+	total := 0.0
+	for i := range sites {
+		area := vd.Region(i, clip).Area()
+		if area <= 0 {
+			t.Fatalf("site %d has empty region", i)
+		}
+		total += area
+	}
+	if math.Abs(total-clip.Area()) > 1e-6*clip.Area() {
+		t.Errorf("collinear regions sum to %g, want %g", total, clip.Area())
+	}
+	// Bisector correctness: midpoint of each gap is equidistant, points
+	// clearly on one side belong to that side's region.
+	if !vd.Region(0, clip).ContainsPoint(geom.Pt(5, 90)) {
+		t.Error("leftmost region should own the left edge")
+	}
+	if !vd.Region(3, clip).ContainsPoint(geom.Pt(99, 1)) {
+		t.Error("rightmost region should own the right edge")
+	}
+}
+
+func TestSingleAndTwoSites(t *testing.T) {
+	clip := geom.NewRect(0, 0, 10, 10)
+	one := New([]geom.Point{{X: 3, Y: 3}})
+	if got := one.Region(0, clip).Area(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("single site region area %g, want 100", got)
+	}
+	two := New([]geom.Point{{X: 2, Y: 5}, {X: 8, Y: 5}})
+	a0 := two.Region(0, clip).Area()
+	a1 := two.Region(1, clip).Area()
+	if math.Abs(a0-50) > 1e-9 || math.Abs(a1-50) > 1e-9 {
+		t.Errorf("two-site halves: %g, %g (want 50, 50)", a0, a1)
+	}
+}
+
+func TestOpenRegionsNeverSafe(t *testing.T) {
+	part := geom.NewRect(0, 0, 10, 10)
+	sites := datagen.Points(datagen.Uniform, 100, part, 3)
+	vd := New(sites)
+	for i := 0; i < vd.NumSites(); i++ {
+		if vd.IsOpen(i) && vd.Safe(i, part) {
+			t.Fatalf("open region %d classified safe", i)
+		}
+	}
+}
