@@ -12,13 +12,27 @@
 //	shadoop -op voronoi -n 100000 -index grid
 //	shadoop -op union -polygons zips.txt -index grid
 //	shadoop -op join -polygons a.txt -polygons2 b.txt -index str+
+//
+// Observability flags:
+//
+//	-trace out.json    write the final job's trace as Chrome trace_event
+//	                   JSON (open in chrome://tracing or ui.perfetto.dev);
+//	                   one span per map attempt, shuffle, reduce partition
+//	                   and commit
+//	-tracejsonl out.jsonl  write the same trace as one span per line
+//	-metrics           print the job summary (per-phase times, top-5
+//	                   slowest tasks, skewed partitions, histograms) and
+//	                   the system metrics (index build and fill stats,
+//	                   filter prune ratio, DFS traffic)
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -48,6 +62,9 @@ func main() {
 		k         = flag.Int("k", 10, "kNN k")
 		seed      = flag.Int64("seed", 1, "seed for generated data")
 		out       = flag.String("out", "", "output file for -op plot (default plot.png)")
+		traceFile = flag.String("trace", "", "write the job trace as Chrome trace_event JSON to this file")
+		traceJSL  = flag.String("tracejsonl", "", "write the job trace as JSONL spans to this file")
+		metrics   = flag.Bool("metrics", false, "print the job metrics summary and system metrics")
 	)
 	flag.Parse()
 
@@ -61,6 +78,24 @@ func main() {
 		fmt.Printf("%s: %v wall; %d/%d partitions processed; counters: shuffle=%dB output=%d\n",
 			what, wall.Round(time.Millisecond), rep.Splits, rep.SplitsTotal,
 			rep.Counters[mapreduce.CounterShuffleBytes], rep.OutputCount)
+		if *traceFile != "" && rep.Trace != nil {
+			if err := writeTrace(*traceFile, rep.Trace.WriteChromeTrace); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace: wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceFile)
+		}
+		if *traceJSL != "" && rep.Trace != nil {
+			if err := writeTrace(*traceJSL, rep.Trace.WriteJSONL); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace: wrote %s\n", *traceJSL)
+		}
+		if *metrics {
+			fmt.Println("---- job metrics ----")
+			rep.WriteSummary(os.Stdout)
+			fmt.Println("---- system metrics ----")
+			printSystemMetrics(os.Stdout, sys)
+		}
 	}
 
 	needsPoints := map[string]bool{
@@ -250,6 +285,44 @@ func orDefault(v, def string) string {
 		return def
 	}
 	return v
+}
+
+// writeTrace exports a trace with the given writer function to path.
+func writeTrace(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printSystemMetrics dumps the system registry: index build and fill
+// statistics plus DFS traffic.
+func printSystemMetrics(w io.Writer, sys *core.System) {
+	snap := sys.Metrics().Snapshot()
+	for _, name := range snap.SortedCounterNames() {
+		fmt.Fprintf(w, "  %-28s %d\n", name, snap.Counters[name])
+	}
+	gauges := make([]string, 0, len(snap.Gauges))
+	for n := range snap.Gauges {
+		gauges = append(gauges, n)
+	}
+	sort.Strings(gauges)
+	for _, n := range gauges {
+		fmt.Fprintf(w, "  %-28s %.3f\n", n, snap.Gauges[n])
+	}
+	hists := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		hists = append(hists, n)
+	}
+	sort.Strings(hists)
+	for _, n := range hists {
+		fmt.Fprintf(w, "  %-28s %s\n", n, snap.Histograms[n])
+	}
 }
 
 // loadOrGeneratePoints reads "x,y" lines from path, or generates points.

@@ -8,26 +8,46 @@
 //	shbench -list
 //	shbench -exp fig22 -scale 0.5
 //	shbench -exp all -workers 25 > results.txt
+//
+// Profiling and observability:
+//
+//	-cpuprofile cpu.pprof   capture a CPU profile of the run
+//	-memprofile mem.pprof   capture a heap profile at exit
+//	-obsdir obs/            persist job traces (.trace.jsonl) and metric
+//	                        snapshots (.metrics.json) next to the tables
+//
+// Profiles open with `go tool pprof`; traces with chrome://tracing after
+// conversion, or directly with any JSONL reader.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"spatialhadoop/internal/bench"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (see -list)")
-		scale     = flag.Float64("scale", 1.0, "dataset size multiplier")
-		workers   = flag.Int("workers", 25, "simulated cluster size")
-		blockSize = flag.Int64("blocksize", 256<<10, "DFS block size in bytes")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		list      = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "all", "experiment to run (see -list)")
+		scale      = flag.Float64("scale", 1.0, "dataset size multiplier")
+		workers    = flag.Int("workers", 25, "simulated cluster size")
+		blockSize  = flag.Int64("blocksize", 256<<10, "DFS block size in bytes")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		obsDir     = flag.String("obsdir", "", "persist job traces and metric snapshots into this directory")
 	)
 	flag.Parse()
+
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "shbench:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -35,15 +55,45 @@ func main() {
 		}
 		return
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	cfg := bench.Config{
 		Scale:     *scale,
 		Workers:   *workers,
 		BlockSize: *blockSize,
 		Seed:      *seed,
 		W:         os.Stdout,
+		ObsDir:    *obsDir,
 	}
 	if err := bench.Run(*exp, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "shbench:", err)
-		os.Exit(1)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		fatal(err)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 }

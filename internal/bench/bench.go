@@ -9,11 +9,15 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
-	"spatialhadoop/internal/mapreduce"
 	"time"
+
+	"spatialhadoop/internal/mapreduce"
 )
 
 // Config controls an experiment run.
@@ -28,6 +32,10 @@ type Config struct {
 	Seed int64
 	// W receives the result tables.
 	W io.Writer
+	// ObsDir, when non-empty, receives per-job observability artifacts:
+	// <name>.trace.jsonl (the span log) and <name>.metrics.json (the
+	// metrics snapshot) for the jobs the experiments persist.
+	ObsDir string
 }
 
 // withDefaults fills zero fields.
@@ -144,6 +152,45 @@ func (t *table) flush() {
 	fmt.Fprintln(t.w)
 	for _, r := range t.rows {
 		printRow(r)
+	}
+}
+
+// persistObs writes a job's trace and metrics snapshot into cfg.ObsDir,
+// so a benchmark run leaves per-task evidence next to its timing tables.
+// It is a no-op without -obsdir; persistence failures are reported on the
+// result writer but do not fail the experiment.
+func persistObs(cfg Config, name string, rep *mapreduce.Report) {
+	if cfg.ObsDir == "" || rep == nil || rep.Trace == nil {
+		return
+	}
+	fail := func(err error) { fmt.Fprintf(cfg.W, "obs: %s: %v\n", name, err) }
+	if err := os.MkdirAll(cfg.ObsDir, 0o755); err != nil {
+		fail(err)
+		return
+	}
+	tf, err := os.Create(filepath.Join(cfg.ObsDir, name+".trace.jsonl"))
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := rep.Trace.WriteJSONL(tf); err == nil {
+		err = tf.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		tf.Close()
+		fail(err)
+	}
+	if rep.Metrics != nil {
+		data, err := json.MarshalIndent(rep.Metrics, "", "  ")
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := os.WriteFile(filepath.Join(cfg.ObsDir, name+".metrics.json"), data, 0o644); err != nil {
+			fail(err)
+		}
 	}
 }
 

@@ -54,6 +54,8 @@ func runFig24(cfg Config) error {
 		if err != nil {
 			return err
 		}
+		persistObs(cfg, fmt.Sprintf("fig24-skyline-hadoop-%d", n), repH)
+		persistObs(cfg, fmt.Sprintf("fig24-skyline-shadoop-%d", n), repS)
 		simH := simDur(dHadoop, repH, cfg.Workers)
 		simS := simDur(dSH, repS, cfg.Workers)
 		t.add(fmt.Sprintf("%d", n), ms(dSingle), ms(simH), ms(simS),

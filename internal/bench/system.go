@@ -2,10 +2,12 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"spatialhadoop/internal/core"
 	"spatialhadoop/internal/datagen"
 	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/mapreduce"
 	"spatialhadoop/internal/ops"
 	"spatialhadoop/internal/sindex"
 )
@@ -109,14 +111,19 @@ func runSigmod14(cfg Config) error {
 		sys  *core.System
 	}{{"heap (Hadoop)", sysHeap}, {"indexed (SHadoop)", sysIdx}} {
 		var nres, parts int
+		var rqRep *mapreduce.Report
 		d, err := timed(func() error {
 			res, rep, err := ops.RangeQueryPoints(tc.sys, "pts", q)
-			nres, parts = len(res), rep.Splits
+			if rep != nil {
+				nres, parts = len(res), rep.Splits
+				rqRep = rep
+			}
 			return err
 		})
 		if err != nil {
 			return err
 		}
+		persistObs(cfg, "sigmod14-rangequery-"+strings.Fields(tc.name)[0], rqRep)
 		t.add(tc.name, ms(d), fmt.Sprintf("%d", parts), fmt.Sprintf("%d", nres))
 	}
 	t.flush()

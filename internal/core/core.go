@@ -10,13 +10,26 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"spatialhadoop/internal/dfs"
 	"spatialhadoop/internal/geom"
 	"spatialhadoop/internal/geomio"
 	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/obs"
 	"spatialhadoop/internal/rtree"
 	"spatialhadoop/internal/sindex"
+)
+
+// System-level metric names (index loads and file-system traffic; per-job
+// metrics live in the mapreduce.Report of each run).
+const (
+	MetricIndexBuildUS      = "sindex.build_us"
+	MetricPartitionsCreated = "sindex.partitions.created"
+	MetricPartitionsEmpty   = "sindex.partitions.empty"
+	MetricPartitionOverflow = "sindex.partitions.overflow"
+	MetricPartitionFill     = "sindex.partition.fill"
+	GaugePartitionImbalance = "sindex.partition.imbalance"
 )
 
 // Config configures a System.
@@ -39,6 +52,10 @@ type System struct {
 	fs      *dfs.FileSystem
 	cluster *mapreduce.Cluster
 	cfg     Config
+
+	// metrics is the system-level registry: index build and fill stats,
+	// file-system traffic. Per-job metrics live in each job's Report.
+	metrics *obs.Registry
 
 	// localIndexes caches per-block R-trees, modelling SpatialHadoop's
 	// persisted local indexes.
@@ -67,15 +84,22 @@ func NewWithFS(cfg Config, fs *dfs.FileSystem) *System {
 	if cfg.SampleSize <= 0 {
 		cfg.SampleSize = 10000
 	}
+	reg := obs.NewRegistry()
+	fs.SetMetrics(reg)
 	return &System{
 		fs:      fs,
 		cluster: mapreduce.NewCluster(fs, cfg.Workers),
 		cfg:     cfg,
+		metrics: reg,
 	}
 }
 
 // FS returns the file system.
 func (s *System) FS() *dfs.FileSystem { return s.fs }
+
+// Metrics returns the system-level metrics registry (index builds,
+// file-system traffic).
+func (s *System) Metrics() *obs.Registry { return s.metrics }
 
 // Cluster returns the compute cluster.
 func (s *System) Cluster() *mapreduce.Cluster { return s.cluster }
@@ -143,7 +167,9 @@ func (s *System) LoadPoints(name string, pts []geom.Point, t sindex.Technique) (
 	}
 	// Expand slightly so max-edge points fall strictly inside cells.
 	space = space.Buffer(1e-9 * (1 + space.Width() + space.Height()))
+	buildStart := time.Now()
 	gi := sindex.Build(t, s.samplePoints(pts), space, s.numCells(totalBytes))
+	s.recordBuild(time.Since(buildStart), gi)
 
 	byCell := make([][]string, len(gi.Cells))
 	for i, p := range pts {
@@ -173,7 +199,9 @@ func (s *System) LoadRegions(name string, regions []geom.Region, t sindex.Techni
 		space = geom.NewRect(0, 0, 1, 1)
 	}
 	space = space.Buffer(1e-9 * (1 + space.Width() + space.Height()))
+	buildStart := time.Now()
 	gi := sindex.Build(t, s.samplePoints(centers), space, s.numCells(totalBytes))
+	s.recordBuild(time.Since(buildStart), gi)
 
 	byCell := make([][]string, len(gi.Cells))
 	for i, rg := range regions {
@@ -186,8 +214,34 @@ func (s *System) LoadRegions(name string, regions []geom.Region, t sindex.Techni
 	return s.writeIndexed(name, gi, byCell)
 }
 
+// recordBuild registers one global index construction with the metrics.
+func (s *System) recordBuild(d time.Duration, gi *sindex.GlobalIndex) {
+	s.metrics.Observe(MetricIndexBuildUS, float64(d.Microseconds()))
+	s.metrics.Inc(MetricPartitionsCreated, int64(len(gi.Cells)))
+}
+
+// recordFill registers the post-assignment partition fill statistics.
+func (s *System) recordFill(gi *sindex.GlobalIndex, byCell [][]string) {
+	perRecs := make([]int, len(byCell))
+	perBytes := make([]int64, len(byCell))
+	for i, cellRecs := range byCell {
+		perRecs[i] = len(cellRecs)
+		for _, r := range cellRecs {
+			perBytes[i] += int64(len(r)) + 1
+		}
+		if len(cellRecs) > 0 {
+			s.metrics.Observe(MetricPartitionFill, float64(len(cellRecs)))
+		}
+	}
+	ps := gi.Stats(perRecs, perBytes, s.fs.BlockSize())
+	s.metrics.Inc(MetricPartitionsEmpty, int64(ps.Empty))
+	s.metrics.Inc(MetricPartitionOverflow, int64(ps.Overflowing))
+	s.metrics.SetGauge(GaugePartitionImbalance, ps.Imbalance())
+}
+
 // writeIndexed writes the partitioned records and the master index.
 func (s *System) writeIndexed(name string, gi *sindex.GlobalIndex, byCell [][]string) (*IndexedFile, error) {
+	s.recordFill(gi, byCell)
 	w, err := s.fs.CreateOrReplace(name)
 	if err != nil {
 		return nil, err

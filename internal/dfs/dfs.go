@@ -66,6 +66,20 @@ type File struct {
 	Master []byte
 }
 
+// Sink receives file-system metrics. obs.Registry satisfies it; the
+// narrow interface keeps dfs free of an observability dependency.
+type Sink interface {
+	Inc(name string, delta int64)
+}
+
+// Metric names emitted by the file system when a Sink is attached.
+const (
+	MetricBlocksWritten  = "dfs.blocks.written"
+	MetricRecordsWritten = "dfs.records.written"
+	MetricBlocksRead     = "dfs.blocks.read"
+	MetricRecordsRead    = "dfs.records.read"
+)
+
 // FileSystem is the distributed file system facade: a name node plus data
 // nodes. It is safe for concurrent use.
 type FileSystem struct {
@@ -75,6 +89,22 @@ type FileSystem struct {
 	nextBlock BlockID
 	nextNode  int
 	nodeBytes []int64
+	metrics   Sink
+}
+
+// SetMetrics attaches a metrics sink; the file system then reports blocks
+// and records read and written. A nil sink disables reporting.
+func (fs *FileSystem) SetMetrics(s Sink) {
+	fs.mu.Lock()
+	fs.metrics = s
+	fs.mu.Unlock()
+}
+
+// sink returns the attached sink, or nil.
+func (fs *FileSystem) sink() Sink {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.metrics
 }
 
 // New creates an empty file system.
@@ -177,6 +207,10 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	fs := w.fs
+	if s := fs.sink(); s != nil {
+		s.Inc(MetricBlocksWritten, int64(len(w.file.Blocks)))
+		s.Inc(MetricRecordsWritten, w.file.Records)
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	for _, b := range w.file.Blocks {
@@ -239,6 +273,10 @@ func (fs *FileSystem) ReadAll(name string) ([]string, error) {
 	f, err := fs.Open(name)
 	if err != nil {
 		return nil, err
+	}
+	if s := fs.sink(); s != nil {
+		s.Inc(MetricBlocksRead, int64(len(f.Blocks)))
+		s.Inc(MetricRecordsRead, f.Records)
 	}
 	out := make([]string, 0, f.Records)
 	for _, b := range f.Blocks {

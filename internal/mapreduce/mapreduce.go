@@ -1,10 +1,18 @@
 // Package mapreduce implements the MapReduce runtime the paper's
 // algorithms run on: a master that turns a job into map and reduce tasks,
-// a pool of simulated worker nodes, a hash shuffle, combiners, counters,
+// a pool of simulated worker nodes, a hash shuffle, combiners, job metrics,
 // and a CommitJob hook (used by the Voronoi H-merge step). The spatial
 // extensions of SpatialHadoop plug in through the Filter hook, which plays
 // the role of the SpatialFileSplitter: it sees the global index of the
 // input and decides which splits become map tasks.
+//
+// Every job run is observed: an obs.Trace records one span per map
+// attempt, shuffle, reduce partition and commit, and an obs.Registry
+// collects counters, gauges and histograms. Tasks buffer their metrics in
+// task-local obs.TaskMetrics and the runtime merges a buffer into the
+// registry only when the attempt succeeds, so hot paths take no locks per
+// emitted value and retried attempts are never double-counted. The Report
+// returned by Run embeds the trace and a metrics snapshot.
 package mapreduce
 
 import (
@@ -17,6 +25,8 @@ import (
 
 	"spatialhadoop/internal/dfs"
 	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/obs"
+	"spatialhadoop/internal/sindex"
 )
 
 // Split is the unit of work handed to one map task. For heap files a split
@@ -85,6 +95,7 @@ type Pair struct {
 type TaskContext struct {
 	job     *runningJob
 	split   *Split // nil in reduce tasks
+	metrics *obs.TaskMetrics
 	out     []string
 	emitted []Pair
 }
@@ -106,8 +117,26 @@ func (c *TaskContext) Write(record string) {
 	c.out = append(c.out, record)
 }
 
-// Inc adds delta to a named job counter.
-func (c *TaskContext) Inc(name string, delta int64) { c.job.counters.Inc(name, delta) }
+// Inc adds delta to a named job counter. The increment lands in the task's
+// local buffer (no locks) and becomes visible in the job metrics only when
+// the attempt succeeds, so retried attempts never double-count.
+func (c *TaskContext) Inc(name string, delta int64) {
+	if c.metrics != nil {
+		c.metrics.Inc(name, delta)
+		return
+	}
+	c.job.reg.Inc(name, delta)
+}
+
+// Observe records one observation into a named job histogram, buffered
+// like Inc.
+func (c *TaskContext) Observe(name string, v float64) {
+	if c.metrics != nil {
+		c.metrics.Observe(name, v)
+		return
+	}
+	c.job.reg.Observe(name, v)
+}
 
 // Config returns the job configuration value for key ("" when absent).
 // It models Hadoop's job configuration broadcast: small values (such as the
@@ -160,36 +189,23 @@ type Job struct {
 	Conf map[string]string
 }
 
-// Counters is a set of named atomic counters.
+// Counters is a compatibility shim over the job's obs.Registry, retained
+// for callers written against the original flat counter map. Increments
+// take the registry mutex (they are mutex-based, not atomics), which is
+// why the runtime's hot paths use per-task obs.TaskMetrics buffers merged
+// once per task instead of this type.
 type Counters struct {
-	mu sync.Mutex
-	m  map[string]int64
+	reg *obs.Registry
 }
 
 // Inc adds delta to counter name.
-func (c *Counters) Inc(name string, delta int64) {
-	c.mu.Lock()
-	c.m[name] += delta
-	c.mu.Unlock()
-}
+func (c *Counters) Inc(name string, delta int64) { c.reg.Inc(name, delta) }
 
 // Get returns the value of counter name.
-func (c *Counters) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[name]
-}
+func (c *Counters) Get(name string) int64 { return c.reg.Counter(name) }
 
 // Snapshot returns a copy of all counters.
-func (c *Counters) Snapshot() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
-	}
-	return out
-}
+func (c *Counters) Snapshot() map[string]int64 { return c.reg.Snapshot().Counters }
 
 // Standard counter names maintained by the runtime.
 const (
@@ -199,9 +215,26 @@ const (
 	CounterMapRecordsIn   = "map.records.in"
 	CounterMapRecordsOut  = "map.records.out"
 	CounterShuffleBytes   = "shuffle.bytes"
+	CounterShufflePairs   = "shuffle.pairs"
 	CounterReduceGroups   = "reduce.groups"
 	CounterOutputRecords  = "output.records"
 	CounterTaskRetries    = "task.retries"
+)
+
+// Gauge names maintained by the runtime.
+const (
+	// GaugeFilterPruneRatio is the fraction of splits the filter function
+	// pruned (0 when the job had no filter or no splits).
+	GaugeFilterPruneRatio = "filter.prune.ratio"
+)
+
+// Histogram names maintained by the runtime.
+const (
+	HistMapTaskDurationUS    = "map.task.duration_us"
+	HistMapTaskRecordsIn     = "map.task.records_in"
+	HistMapTaskShuffleBytes  = "map.task.shuffle_bytes"
+	HistReduceTaskDurationUS = "reduce.task.duration_us"
+	HistReducePartRecords    = "reduce.partition.records"
 )
 
 // Report summarizes one finished job.
@@ -228,6 +261,13 @@ type Report struct {
 	MapTaskMax    time.Duration
 	ReduceWorkSum time.Duration
 	ReduceTaskMax time.Duration
+
+	// Metrics is the job's full metrics snapshot (Counters above is its
+	// counter section, kept for compatibility).
+	Metrics *obs.Snapshot
+	// Trace is the job's span log: one span per map attempt, shuffle,
+	// reduce partition and commit, under a single job root span.
+	Trace *obs.Trace
 }
 
 // SimulatedParallel estimates the job's makespan on a cluster with the
@@ -301,8 +341,9 @@ func (c *Cluster) Workers() int { return c.workers }
 func (c *Cluster) InjectFailures(k int) { c.failEvery = k }
 
 type runningJob struct {
-	job      *Job
-	counters *Counters
+	job   *Job
+	reg   *obs.Registry
+	trace *obs.Trace
 }
 
 // transientError marks injected failures so the scheduler retries them.
@@ -321,7 +362,8 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 		return nil, fmt.Errorf("mapreduce: job %q has no output file", job.Name)
 	}
 	start := time.Now()
-	rj := &runningJob{job: job, counters: &Counters{m: make(map[string]int64)}}
+	rj := &runningJob{job: job, reg: obs.NewRegistry(), trace: obs.NewTrace(job.Name)}
+	root := rj.trace.Start(job.Name, obs.PhaseJob, 0, -1)
 
 	splits := job.Splits
 	if splits == nil {
@@ -332,12 +374,19 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 		}
 	}
 	total := len(splits)
-	rj.counters.Inc(CounterSplitsTotal, int64(total))
+	rj.reg.Inc(CounterSplitsTotal, int64(total))
 	if job.Filter != nil {
+		fspan := rj.trace.Start("filter", obs.PhaseFilter, root.ID, -1)
+		fspan.RecordsIn = int64(total)
 		splits = job.Filter(splits)
-		rj.counters.Inc(CounterSplitsFiltered, int64(total-len(splits)))
+		fspan.RecordsOut = int64(len(splits))
+		fspan.Finish(obs.OutcomeOK)
+		rj.reg.Inc(CounterSplitsFiltered, int64(total-len(splits)))
 	}
-	rj.counters.Inc(CounterSplitsMapped, int64(len(splits)))
+	rj.reg.Inc(CounterSplitsMapped, int64(len(splits)))
+	if total > 0 {
+		rj.reg.SetGauge(GaugeFilterPruneRatio, float64(total-len(splits))/float64(total))
+	}
 
 	// ---- Map phase ----
 	mapStart := time.Now()
@@ -357,16 +406,39 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			for attempt := 0; ; attempt++ {
+				span := rj.trace.Start(fmt.Sprintf("map-%d", i), obs.PhaseMap, root.ID, i)
+				span.Partition = splits[i].Partition
+				span.Attempt = attempt
 				taskStart := time.Now()
-				pairs, out, err := c.runMapTask(rj, splits[i])
+				pairs, out, tm, err := c.runMapTask(rj, splits[i])
 				if err == nil {
-					results[i] = mapResult{pairs: pairs, out: out, dur: time.Since(taskStart)}
+					dur := time.Since(taskStart)
+					// Shuffle bytes are summed here, once per successful
+					// task, instead of under a registry mutex per pair.
+					var bytes int64
+					for _, p := range pairs {
+						bytes += int64(len(p.Key) + len(p.Value))
+					}
+					tm.Inc(CounterShuffleBytes, bytes)
+					tm.Inc(CounterShufflePairs, int64(len(pairs)))
+					tm.Observe(HistMapTaskDurationUS, float64(dur.Microseconds()))
+					tm.Observe(HistMapTaskRecordsIn, float64(splits[i].NumRecords()))
+					tm.Observe(HistMapTaskShuffleBytes, float64(bytes))
+					rj.reg.Merge(tm)
+					span.RecordsIn = int64(splits[i].NumRecords())
+					span.RecordsOut = int64(len(pairs) + len(out))
+					span.Bytes = bytes
+					span.Finish(obs.OutcomeOK)
+					results[i] = mapResult{pairs: pairs, out: out, dur: dur}
 					return
 				}
+				// The attempt's metric buffer is dropped with the attempt.
 				if _, transient := err.(transientError); transient && attempt < 3 {
-					rj.counters.Inc(CounterTaskRetries, 1)
+					span.Finish(obs.OutcomeRetry)
+					rj.reg.Inc(CounterTaskRetries, 1)
 					continue
 				}
+				span.Finish(obs.OutcomeFailed)
 				errs[i] = err
 				return
 			}
@@ -389,6 +461,7 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 
 	// ---- Shuffle ----
 	shuffleStart := time.Now()
+	shSpan := rj.trace.Start("shuffle", obs.PhaseShuffle, root.ID, -1)
 	numRed := job.NumReducers
 	if numRed <= 0 {
 		numRed = 1
@@ -398,14 +471,19 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 		groups[i] = make(map[string][]string)
 	}
 	var directOut []string
+	var shufflePairs, shuffleBytes int64
 	for _, r := range results {
 		directOut = append(directOut, r.out...)
 		for _, p := range r.pairs {
-			rj.counters.Inc(CounterShuffleBytes, int64(len(p.Key)+len(p.Value)))
+			shufflePairs++
+			shuffleBytes += int64(len(p.Key) + len(p.Value))
 			g := groups[partitionOf(p.Key, numRed)]
 			g[p.Key] = append(g[p.Key], p.Value)
 		}
 	}
+	shSpan.RecordsIn = shufflePairs
+	shSpan.Bytes = shuffleBytes
+	shSpan.Finish(obs.OutcomeOK)
 	shuffleTime := time.Since(shuffleStart)
 
 	// ---- Reduce phase ----
@@ -422,21 +500,34 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 				defer rwg.Done()
 				rsem <- struct{}{}
 				defer func() { <-rsem }()
+				span := rj.trace.Start(fmt.Sprintf("reduce-%d", ri), obs.PhaseReduce, root.ID, ri)
 				taskStart := time.Now()
-				defer func() { reduceDur[ri] = time.Since(taskStart) }()
 				keys := make([]string, 0, len(groups[ri]))
-				for k := range groups[ri] {
+				var valuesIn int64
+				for k, vs := range groups[ri] {
 					keys = append(keys, k)
+					valuesIn += int64(len(vs))
 				}
 				sort.Strings(keys)
-				ctx := &TaskContext{job: rj}
+				tm := obs.NewTaskMetrics()
+				ctx := &TaskContext{job: rj, metrics: tm}
 				for _, k := range keys {
-					rj.counters.Inc(CounterReduceGroups, 1)
+					tm.Inc(CounterReduceGroups, 1)
 					if err := job.Reduce(ctx, k, groups[ri][k]); err != nil {
 						rerrs[ri] = err
+						span.Finish(obs.OutcomeFailed)
+						reduceDur[ri] = time.Since(taskStart)
 						return
 					}
 				}
+				dur := time.Since(taskStart)
+				reduceDur[ri] = dur
+				tm.Observe(HistReduceTaskDurationUS, float64(dur.Microseconds()))
+				tm.Observe(HistReducePartRecords, float64(valuesIn))
+				rj.reg.Merge(tm)
+				span.RecordsIn = valuesIn
+				span.RecordsOut = int64(len(ctx.out))
+				span.Finish(obs.OutcomeOK)
 				reduceOut[ri] = ctx.out
 			}(ri)
 		}
@@ -458,6 +549,7 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 
 	// ---- Output + commit ----
 	commitStart := time.Now()
+	cSpan := rj.trace.Start("commit", obs.PhaseCommit, root.ID, -1)
 	w, err := c.fs.CreateOrReplace(job.Output)
 	if err != nil {
 		return nil, err
@@ -477,22 +569,28 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 	}
 	if job.Commit != nil {
 		if err := job.Commit(c, writeRec); err != nil {
+			cSpan.Finish(obs.OutcomeFailed)
 			return nil, fmt.Errorf("mapreduce: job %q commit failed: %w", job.Name, err)
 		}
 	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	rj.counters.Inc(CounterOutputRecords, outCount)
+	rj.reg.Inc(CounterOutputRecords, outCount)
+	cSpan.RecordsOut = outCount
+	cSpan.Finish(obs.OutcomeOK)
 	commitTime := time.Since(commitStart)
+	root.RecordsOut = outCount
+	root.Finish(obs.OutcomeOK)
 
+	snap := rj.reg.Snapshot()
 	return &Report{
 		Job:         job.Name,
 		Splits:      len(splits),
 		SplitsTotal: total,
 		MapTasks:    len(splits),
 		ReduceTasks: numRed,
-		Counters:    rj.counters.Snapshot(),
+		Counters:    snap.Counters,
 		MapTime:     mapTime,
 		ShuffleTime: shuffleTime,
 		ReduceTime:  reduceTime,
@@ -506,24 +604,31 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 		MapTaskMax:    mapTaskMax,
 		ReduceWorkSum: reduceWorkSum,
 		ReduceTaskMax: reduceTaskMax,
+
+		Metrics: snap,
+		Trace:   rj.trace,
 	}, nil
 }
 
-// runMapTask executes one map attempt, applying the combiner to its output.
-func (c *Cluster) runMapTask(rj *runningJob, split *Split) ([]Pair, []string, error) {
+// runMapTask executes one map attempt, applying the combiner to its
+// output. The attempt's metrics stay in the returned TaskMetrics buffer;
+// the caller merges it into the job registry only on success, so a failed
+// attempt's counts (including the combiner re-run) are discarded with it.
+func (c *Cluster) runMapTask(rj *runningJob, split *Split) ([]Pair, []string, *obs.TaskMetrics, error) {
 	if c.failEvery > 0 {
 		c.mu.Lock()
 		c.attempts++
 		n := c.attempts
 		c.mu.Unlock()
 		if n%c.failEvery == 0 {
-			return nil, nil, transientError{attempt: n}
+			return nil, nil, nil, transientError{attempt: n}
 		}
 	}
-	ctx := &TaskContext{job: rj, split: split}
-	rj.counters.Inc(CounterMapRecordsIn, int64(split.NumRecords()))
+	tm := obs.NewTaskMetrics()
+	ctx := &TaskContext{job: rj, split: split, metrics: tm}
+	tm.Inc(CounterMapRecordsIn, int64(split.NumRecords()))
 	if err := rj.job.Map(ctx, split); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	pairs := ctx.emitted
 	if rj.job.Combine != nil && len(pairs) > 0 {
@@ -535,18 +640,18 @@ func (c *Cluster) runMapTask(rj *runningJob, split *Split) ([]Pair, []string, er
 			}
 			grouped[p.Key] = append(grouped[p.Key], p.Value)
 		}
-		cctx := &TaskContext{job: rj, split: split}
+		cctx := &TaskContext{job: rj, split: split, metrics: tm}
 		for _, k := range order {
 			if err := rj.job.Combine(cctx, k, grouped[k]); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 		}
 		// Direct writes from the combiner join the map task's output.
 		ctx.out = append(ctx.out, cctx.out...)
 		pairs = cctx.emitted
 	}
-	rj.counters.Inc(CounterMapRecordsOut, int64(len(pairs)))
-	return pairs, ctx.out, nil
+	tm.Inc(CounterMapRecordsOut, int64(len(pairs)))
+	return pairs, ctx.out, tm, nil
 }
 
 // partitionOf hashes a key to a reducer index.
@@ -558,13 +663,21 @@ func partitionOf(key string, n int) int {
 
 // MakeSplits builds the default (unfiltered) splits for the input files:
 // one split per partition for indexed files, one split per block for heap
-// files.
+// files. When a file carries a master index attachment, each partition
+// split gets the real cell boundary and content MBR from the global index,
+// so filter functions can prune even on the default split path.
 func (c *Cluster) MakeSplits(inputs []string) ([]*Split, error) {
 	var splits []*Split
 	for _, name := range inputs {
 		f, err := c.fs.Open(name)
 		if err != nil {
 			return nil, err
+		}
+		var gi *sindex.GlobalIndex
+		if len(f.Master) > 0 {
+			if g, derr := sindex.Decode(f.Master); derr == nil {
+				gi = g
+			}
 		}
 		byPart := make(map[string][]*dfs.Block)
 		var order []string
@@ -582,7 +695,14 @@ func (c *Cluster) MakeSplits(inputs []string) ([]*Split, error) {
 			continue
 		}
 		for _, key := range order {
-			splits = append(splits, &Split{Partition: key, MBR: geom.WorldRect(), Blocks: byPart[key]})
+			s := &Split{Partition: key, MBR: geom.WorldRect(), Blocks: byPart[key]}
+			if gi != nil {
+				if cell, ok := gi.CellByKey(key); ok {
+					s.MBR = cell.Boundary
+					s.ContentMBR = cell.Content
+				}
+			}
+			splits = append(splits, s)
 		}
 	}
 	return splits, nil

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span phases used by the MapReduce runtime. A trace has exactly one
+// PhaseJob root span; every other span is its child.
+const (
+	PhaseJob     = "job"
+	PhaseFilter  = "filter"
+	PhaseMap     = "map"
+	PhaseShuffle = "shuffle"
+	PhaseReduce  = "reduce"
+	PhaseCommit  = "commit"
+)
+
+// Span outcomes.
+const (
+	OutcomeOK     = "ok"
+	OutcomeRetry  = "retry" // transient failure, the task was re-attempted
+	OutcomeFailed = "failed"
+)
+
+// Span is one traced unit of work: a map attempt, the shuffle, one reduce
+// partition, or the commit step. Field writes after Trace.Start and before
+// Finish are owned by the executing goroutine; the Trace only reads spans
+// after the job ends.
+type Span struct {
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent,omitempty"` // 0 = no parent (the root job span)
+	Name   string `json:"name"`
+	Phase  string `json:"phase"`
+	// Task is the task ordinal within its phase (-1 when not task-scoped).
+	Task int `json:"task"`
+	// Partition is the split/partition id the span worked on, if any.
+	Partition string `json:"partition,omitempty"`
+	// Attempt numbers retries of the same task, starting at 0.
+	Attempt    int    `json:"attempt"`
+	RecordsIn  int64  `json:"records_in"`
+	RecordsOut int64  `json:"records_out"`
+	Bytes      int64  `json:"bytes"`
+	Outcome    string `json:"outcome"`
+	// StartUS/DurUS are microseconds relative to the trace origin.
+	StartUS int64 `json:"start_us"`
+	DurUS   int64 `json:"dur_us"`
+
+	start time.Time
+}
+
+// Finish stamps the span's duration and outcome.
+func (s *Span) Finish(outcome string) {
+	s.DurUS = int64(time.Since(s.start) / time.Microsecond)
+	if s.DurUS < 1 {
+		s.DurUS = 1 // zero-width spans vanish in trace viewers
+	}
+	s.Outcome = outcome
+}
+
+// Trace is the in-memory span log of one job. Starting spans is safe from
+// concurrent tasks; export runs after the job finishes.
+type Trace struct {
+	Job string `json:"job"`
+
+	mu     sync.Mutex
+	origin time.Time
+	spans  []*Span
+	nextID int64
+}
+
+// NewTrace creates a trace whose span timestamps are relative to now.
+func NewTrace(job string) *Trace {
+	return &Trace{Job: job, origin: time.Now()}
+}
+
+// Start opens a new span. parent is the enclosing span's ID (0 for the
+// root). task is the task ordinal within the phase, or -1.
+func (t *Trace) Start(name, phase string, parent int64, task int) *Span {
+	now := time.Now()
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{
+		ID:      t.nextID,
+		Parent:  parent,
+		Name:    name,
+		Phase:   phase,
+		Task:    task,
+		StartUS: int64(now.Sub(t.origin) / time.Microsecond),
+		start:   now,
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Spans returns the recorded spans in start order.
+func (t *Trace) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// WriteJSONL writes one JSON object per span, one per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range t.Spans() {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL re-parses the output of WriteJSONL.
+func ParseJSONL(data []byte) ([]*Span, error) {
+	var out []*Span
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		s := &Span{}
+		if err := json.Unmarshal(line, s); err != nil {
+			return nil, fmt.Errorf("obs: bad span line %q: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one trace_event entry in the Chrome/Perfetto JSON format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTID lays spans out on viewer rows: one row for the job/shuffle/
+// commit master work, one row per map task and one per reduce partition.
+func chromeTID(s *Span) int64 {
+	switch s.Phase {
+	case PhaseMap:
+		return 1000 + int64(s.Task)
+	case PhaseReduce:
+		return 2000 + int64(s.Task)
+	default:
+		return 0
+	}
+}
+
+// WriteChromeTrace writes the trace in Chrome trace_event JSON, loadable
+// in chrome://tracing and https://ui.perfetto.dev.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	ct := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans))}
+	for _, s := range spans {
+		args := map[string]string{
+			"phase":       s.Phase,
+			"outcome":     s.Outcome,
+			"records_in":  fmt.Sprint(s.RecordsIn),
+			"records_out": fmt.Sprint(s.RecordsOut),
+			"bytes":       fmt.Sprint(s.Bytes),
+			"attempt":     fmt.Sprint(s.Attempt),
+		}
+		if s.Partition != "" {
+			args["partition"] = s.Partition
+		}
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Phase,
+			Ph:   "X", // complete event: ts + dur
+			TS:   s.StartUS,
+			Dur:  s.DurUS,
+			PID:  1,
+			TID:  chromeTID(s),
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ct)
+}
+
+// ValidateChromeTrace checks that data is structurally valid trace_event
+// JSON: parseable, at least one event, and every event a complete ("X")
+// event with a name, category and non-negative timing. It lets tests
+// verify exported traces without eyeballing a viewer.
+func ValidateChromeTrace(data []byte) error {
+	var ct chromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		return fmt.Errorf("obs: invalid chrome trace: %w", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		return fmt.Errorf("obs: chrome trace has no events")
+	}
+	for i, e := range ct.TraceEvents {
+		if e.Name == "" || e.Cat == "" {
+			return fmt.Errorf("obs: event %d missing name/cat", i)
+		}
+		if e.Ph != "X" {
+			return fmt.Errorf("obs: event %d has ph %q, want \"X\"", i, e.Ph)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			return fmt.Errorf("obs: event %d has negative timing", i)
+		}
+	}
+	return nil
+}

@@ -80,11 +80,14 @@ func SpatialJoinIndexed(sys *core.System, left, right string) ([]JoinPair, *mapr
 			lrecs := split.Records()
 			rrecs := split.ExtraRecords()
 			return planeSweepJoin(lrecs, rrecs, func(lrec, rrec string, overlap geom.Rect) {
+				ctx.Inc(CounterJoinCandidates, 1)
 				ref := geom.Point{X: overlap.MinX, Y: overlap.MinY}
 				if lDisjoint && !(pb.left.ContainsPointExclusive(ref) || onMaxEdge(pb.left, ref)) {
+					ctx.Inc(CounterDedupDropped, 1)
 					return
 				}
 				if rDisjoint && !(pb.right.ContainsPointExclusive(ref) || onMaxEdge(pb.right, ref)) {
+					ctx.Inc(CounterDedupDropped, 1)
 					return
 				}
 				ctx.Write(lrec + "\t" + rrec)

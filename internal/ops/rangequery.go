@@ -17,6 +17,21 @@ import (
 	"spatialhadoop/internal/mapreduce"
 )
 
+// Counter names reported by the operations; like every TaskContext
+// counter they are buffered per task and merged once at task end.
+const (
+	// CounterRangeBlocksScanned counts blocks whose local index was probed.
+	CounterRangeBlocksScanned = "ops.range.blocks.scanned"
+	// CounterRangeMatches counts records matching the query predicate.
+	CounterRangeMatches = "ops.range.matches"
+	// CounterDedupDropped counts replicated matches suppressed by the
+	// reference-point rule (disjoint partitioning only).
+	CounterDedupDropped = "ops.dedup.dropped"
+	// CounterJoinCandidates counts MBR-intersecting pairs the plane sweep
+	// reported before deduplication.
+	CounterJoinCandidates = "ops.join.candidates"
+)
+
 // RangeQueryPoints returns all points of the (indexed or heap) file that
 // lie inside query. With an indexed file, the filter step prunes every
 // partition whose boundary misses the query, and map tasks use the local
@@ -45,8 +60,10 @@ func RangeQueryPoints(sys *core.System, file string, query geom.Rect) ([]geom.Po
 				if err != nil {
 					return err
 				}
+				ctx.Inc(CounterRangeBlocksScanned, 1)
 				recs := b.Records()
 				for _, id := range idx.Search(query, nil) {
+					ctx.Inc(CounterRangeMatches, 1)
 					ctx.Write(recs[id])
 				}
 			}
@@ -102,9 +119,11 @@ func RangeQueryRegions(sys *core.System, file string, query geom.Rect) ([]geom.R
 				if disjoint {
 					ref := geom.Point{X: b.Intersect(query).MinX, Y: b.Intersect(query).MinY}
 					if !split.MBR.ContainsPointExclusive(ref) && !onMaxEdge(split.MBR, ref) {
+						ctx.Inc(CounterDedupDropped, 1)
 						continue
 					}
 				}
+				ctx.Inc(CounterRangeMatches, 1)
 				ctx.Write(rec)
 			}
 			return nil

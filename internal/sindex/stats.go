@@ -1,0 +1,63 @@
+package sindex
+
+// PartitionStats summarizes how well a built global index filled its
+// partitions. The loader computes it after record assignment and feeds it
+// to the observability layer; the imbalance ratio is the quantity paper
+// Table 1's skew column is about.
+type PartitionStats struct {
+	// Cells is the number of cells in the index.
+	Cells int
+	// Empty counts cells that received no records.
+	Empty int
+	// Overflowing counts cells whose payload exceeds one block.
+	Overflowing int
+	// MaxRecords and TotalRecords describe the fill distribution.
+	MaxRecords   int
+	TotalRecords int
+	// MaxBytes and TotalBytes do the same in encoded bytes.
+	MaxBytes   int64
+	TotalBytes int64
+}
+
+// Imbalance returns max/avg records over non-empty cells (1.0 is a
+// perfectly balanced index; higher means skew leaked into the partitions).
+func (ps PartitionStats) Imbalance() float64 {
+	filled := ps.Cells - ps.Empty
+	if filled == 0 || ps.TotalRecords == 0 {
+		return 0
+	}
+	avg := float64(ps.TotalRecords) / float64(filled)
+	return float64(ps.MaxRecords) / avg
+}
+
+// Stats computes fill statistics for the index given per-cell record
+// counts and encoded byte sizes (indexed by cell ID) and the block size
+// that defines overflow.
+func (gi *GlobalIndex) Stats(perCellRecords []int, perCellBytes []int64, blockSize int64) PartitionStats {
+	ps := PartitionStats{Cells: len(gi.Cells)}
+	for i := range gi.Cells {
+		var recs int
+		var bytes int64
+		if i < len(perCellRecords) {
+			recs = perCellRecords[i]
+		}
+		if i < len(perCellBytes) {
+			bytes = perCellBytes[i]
+		}
+		if recs == 0 {
+			ps.Empty++
+		}
+		if blockSize > 0 && bytes > blockSize {
+			ps.Overflowing++
+		}
+		if recs > ps.MaxRecords {
+			ps.MaxRecords = recs
+		}
+		if bytes > ps.MaxBytes {
+			ps.MaxBytes = bytes
+		}
+		ps.TotalRecords += recs
+		ps.TotalBytes += bytes
+	}
+	return ps
+}
