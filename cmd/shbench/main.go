@@ -18,6 +18,12 @@
 //
 // Profiles open with `go tool pprof`; traces with chrome://tracing after
 // conversion, or directly with any JSONL reader.
+//
+// Benchmark baseline:
+//
+//	-benchjson BENCH_hotpath.json   run the hot-path suite (decode cache,
+//	                                partitioned shuffle, e2e queries) and
+//	                                write machine-readable results
 package main
 
 import (
@@ -41,6 +47,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		obsDir     = flag.String("obsdir", "", "persist job traces and metric snapshots into this directory")
+		benchJSON  = flag.String("benchjson", "", "run the hot-path benchmark suite and write JSON results to this file")
 	)
 	flag.Parse()
 
@@ -78,7 +85,12 @@ func main() {
 		W:         os.Stdout,
 		ObsDir:    *obsDir,
 	}
-	if err := bench.Run(*exp, cfg); err != nil {
+	if *benchJSON != "" {
+		if err := bench.WriteHotpathJSON(cfg, *benchJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "shbench: wrote", *benchJSON)
+	} else if err := bench.Run(*exp, cfg); err != nil {
 		if *cpuProfile != "" {
 			pprof.StopCPUProfile()
 		}

@@ -14,7 +14,6 @@ import (
 	"spatialhadoop/internal/core"
 	"spatialhadoop/internal/datagen"
 	"spatialhadoop/internal/geom"
-	"spatialhadoop/internal/geomio"
 	"spatialhadoop/internal/sindex"
 	"spatialhadoop/internal/voronoi"
 )
@@ -45,7 +44,7 @@ func main() {
 	// safety rule.
 	stage := make(map[geom.Point]int, len(sites)) // 0 local, 1 vmerge, 2 hmerge
 	for _, split := range f.Splits() {
-		pts, err := geomio.DecodePoints(split.Records())
+		pts, err := split.Points()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,355 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialhadoop/internal/cg"
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/sindex"
+)
+
+func init() {
+	register("hotpath", "Hot path: decoded-block cache, map-side partitioned shuffle", runHotpath)
+}
+
+// HotpathResult is one benchmark measurement of the hot-path suite.
+type HotpathResult struct {
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Extra carries per-benchmark context (records decoded, pairs merged).
+	Extra map[string]int64 `json:"extra,omitempty"`
+}
+
+// HotpathReport is the machine-readable perf baseline written as
+// BENCH_hotpath.json: the raw measurements plus the derived speedups the
+// acceptance criteria track. Baseline entries measure the pre-optimization
+// strategy (re-parse per visit, sequential hash-per-pair merge) over the
+// same data as their optimized counterparts.
+type HotpathReport struct {
+	Scale      float64         `json:"scale"`
+	Workers    int             `json:"workers"`
+	BlockSize  int64           `json:"block_size"`
+	Seed       int64           `json:"seed"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Benchmarks []HotpathResult `json:"benchmarks"`
+	// Derived speedups: optimized vs baseline, >1 is faster.
+	Derived map[string]float64 `json:"derived"`
+}
+
+// runBench runs one testing.B body three times and records the fastest
+// repetition, damping GC and scheduler noise (this simulated cluster often
+// runs on small CI machines where a single repetition jitters by >10%).
+func (r *HotpathReport) runBench(name string, extra map[string]int64, body func(b *testing.B)) {
+	best := HotpathResult{Name: name, Extra: extra}
+	for rep := 0; rep < 3; rep++ {
+		res := testing.Benchmark(body)
+		if ns := float64(res.NsPerOp()); best.Iters == 0 || ns < best.NsPerOp {
+			best.Iters, best.NsPerOp = res.N, ns
+		}
+	}
+	r.Benchmarks = append(r.Benchmarks, best)
+}
+
+// median returns the middle value of xs (sorted copy).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// nsOf returns the ns/op of a recorded benchmark.
+func (r *HotpathReport) nsOf(name string) float64 {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b.NsPerOp
+		}
+	}
+	return 0
+}
+
+// derive records the baseline/optimized ratio under the given key.
+func (r *HotpathReport) derive(key, baseline, optimized string) {
+	b, o := r.nsOf(baseline), r.nsOf(optimized)
+	if o > 0 {
+		r.Derived[key] = b / o
+	}
+}
+
+// sequentialShuffleBaseline reproduces the pre-optimization pipeline end
+// to end: every Emit appends to one flat per-task buffer, then the master
+// runs one sequential loop over every emitted pair with a fresh stdlib
+// FNV-1a hasher per key, grouping into per-reducer maps. It is kept here
+// as the measured baseline the partitioned shuffle is compared against.
+func sequentialShuffleBaseline(perTask [][]mapreduce.Pair, numRed int) []map[string][]string {
+	// Emit stage: the old TaskContext buffered pairs in a single slice.
+	emitted := make([][]mapreduce.Pair, len(perTask))
+	for ti, pairs := range perTask {
+		var buf []mapreduce.Pair
+		for _, p := range pairs {
+			buf = append(buf, p)
+		}
+		emitted[ti] = buf
+	}
+	// Merge stage: hash every pair on the master, one hasher each.
+	groups := make([]map[string][]string, numRed)
+	for i := range groups {
+		groups[i] = make(map[string][]string)
+	}
+	for _, pairs := range emitted {
+		for _, p := range pairs {
+			h := fnv.New32a()
+			h.Write([]byte(p.Key))
+			g := groups[int(h.Sum32()%uint32(numRed))]
+			g[p.Key] = append(g[p.Key], p.Value)
+		}
+	}
+	return groups
+}
+
+// partitionedShuffle mirrors the optimized pipeline: every Emit hashes the
+// key inline (allocation-free) and buckets the pair into its reducer's
+// shard, then the master merges per reducer in parallel goroutines with no
+// hashing left to do.
+func partitionedShuffle(perTask [][]mapreduce.Pair, numRed int) []map[string][]string {
+	// Emit stage: map-side bucketing, as the new TaskContext does.
+	shardsByTask := make([][][]mapreduce.Pair, len(perTask))
+	for ti, pairs := range perTask {
+		shards := make([][]mapreduce.Pair, numRed)
+		for _, p := range pairs {
+			si := 0
+			if numRed > 1 {
+				const (
+					offset32 = 2166136261
+					prime32  = 16777619
+				)
+				h := uint32(offset32)
+				for i := 0; i < len(p.Key); i++ {
+					h ^= uint32(p.Key[i])
+					h *= prime32
+				}
+				si = int(h % uint32(numRed))
+			}
+			shards[si] = append(shards[si], p)
+		}
+		shardsByTask[ti] = shards
+	}
+	// Merge stage: per-reducer concatenation, one goroutine each.
+	groups := make([]map[string][]string, numRed)
+	var wg sync.WaitGroup
+	for ri := 0; ri < numRed; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			g := make(map[string][]string)
+			for _, shards := range shardsByTask {
+				for _, p := range shards[ri] {
+					g[p.Key] = append(g[p.Key], p.Value)
+				}
+			}
+			groups[ri] = g
+		}(ri)
+	}
+	wg.Wait()
+	return groups
+}
+
+// RunHotpath measures the hot-path suite at the given configuration and
+// returns the report. It covers the three optimization axes end to end:
+// record decode (uncached re-parse vs the block cache), the shuffle merge
+// (sequential hash-per-pair vs map-side partitioned, at 1/4/16 reducers),
+// and two whole operations (repeated range query, skyline) whose wall
+// clock the caches compound into.
+func RunHotpath(cfg Config) (*HotpathReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &HotpathReport{
+		Scale:      cfg.Scale,
+		Workers:    cfg.Workers,
+		BlockSize:  cfg.BlockSize,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Derived:    make(map[string]float64),
+	}
+
+	// ---- Decode: repeated-query visit over an indexed file ----
+	n := cfg.n(200000)
+	pts := datagen.Points(datagen.Clustered, n, benchArea, cfg.Seed)
+	sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+	f, err := sys.LoadPoints("pts", pts, sindex.STRPlus)
+	if err != nil {
+		return nil, err
+	}
+	splits := f.Splits()
+	var records int64
+	for _, s := range splits {
+		records += int64(s.NumRecords())
+	}
+	decodeExtra := map[string]int64{"records": records, "splits": int64(len(splits))}
+	// Baseline: what every map attempt used to pay — re-parse the text
+	// records of every split on each visit.
+	rep.runBench("decode/uncached", decodeExtra, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range splits {
+				if _, err := geomio.DecodePoints(s.Records()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	// Optimized: the decoded-block cache (first visit parses, the rest of
+	// the run — retried attempts, later jobs of a pipeline — hit it).
+	rep.runBench("decode/cached", decodeExtra, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range splits {
+				if _, err := s.Points(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	rep.derive("decode_cached_speedup", "decode/uncached", "decode/cached")
+
+	// ---- Shuffle merge at 1/4/16 reducers ----
+	// The pair set mirrors a shuffle-heavy job: many tasks, skewed key
+	// cardinality, short values.
+	nTasks := cfg.Workers
+	pairsPerTask := cfg.n(20000)
+	perTask := make([][]mapreduce.Pair, nTasks)
+	for ti := range perTask {
+		pairs := make([]mapreduce.Pair, pairsPerTask)
+		for i := range pairs {
+			pairs[i] = mapreduce.Pair{
+				Key:   fmt.Sprintf("cell-%04d", (ti*31+i)%512),
+				Value: fmt.Sprintf("%d", i),
+			}
+		}
+		perTask[ti] = pairs
+	}
+	totalPairs := int64(nTasks) * int64(pairsPerTask)
+	// The two shuffle designs differ by ~10% on a single core (the parallel
+	// merge only pays off with spare cores), which is within the drift of
+	// two independent testing.Benchmark runs. Measure them interleaved —
+	// alternating single iterations, comparing medians — so both sides see
+	// the same GC and scheduler weather.
+	const shuffleRounds = 75
+	for _, numRed := range []int{1, 4, 16} {
+		extra := map[string]int64{"pairs": totalPairs, "reducers": int64(numRed)}
+		seqName := fmt.Sprintf("shuffle/sequential/r=%d", numRed)
+		parName := fmt.Sprintf("shuffle/partitioned/r=%d", numRed)
+		sequentialShuffleBaseline(perTask, numRed) // warm up both paths
+		partitionedShuffle(perTask, numRed)
+		runtime.GC() // start each comparison block from a clean heap
+		seqNs := make([]float64, 0, shuffleRounds)
+		parNs := make([]float64, 0, shuffleRounds)
+		ratios := make([]float64, 0, shuffleRounds)
+		timed := func(f func([][]mapreduce.Pair, int) []map[string][]string) float64 {
+			runtime.GC() // collect the previous side's garbage outside the window
+			t0 := time.Now()
+			f(perTask, numRed)
+			return float64(time.Since(t0))
+		}
+		for round := 0; round < shuffleRounds; round++ {
+			var s, p float64
+			if round%2 == 0 { // alternate order to cancel any ordering bias
+				s = timed(sequentialShuffleBaseline)
+				p = timed(partitionedShuffle)
+			} else {
+				p = timed(partitionedShuffle)
+				s = timed(sequentialShuffleBaseline)
+			}
+			seqNs = append(seqNs, s)
+			parNs = append(parNs, p)
+			ratios = append(ratios, s/p)
+		}
+		rep.Benchmarks = append(rep.Benchmarks,
+			HotpathResult{Name: seqName, Iters: shuffleRounds, NsPerOp: median(seqNs), Extra: extra},
+			HotpathResult{Name: parName, Iters: shuffleRounds, NsPerOp: median(parNs), Extra: extra},
+		)
+		// The speedup is the median of per-round ratios, not the ratio of
+		// medians: the two timings of one round share GC and scheduler
+		// weather, so their ratio is far more stable than either median.
+		rep.Derived[fmt.Sprintf("shuffle_speedup_r%d", numRed)] = median(ratios)
+	}
+
+	// ---- End-to-end: repeated range query on the warm system ----
+	q := geom.NewRect(4e5, 4e5, 5e5, 5e5)
+	if _, _, err := ops.RangeQueryPoints(sys, "pts", q); err != nil {
+		return nil, err
+	}
+	rep.runBench("e2e/range-query-repeated", map[string]int64{"records": records}, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ops.RangeQueryPoints(sys, "pts", q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// ---- End-to-end: skyline (cold first run populates the cache) ----
+	if _, _, err := cg.SkylineSHadoop(sys, "pts"); err != nil {
+		return nil, err
+	}
+	rep.runBench("e2e/skyline-repeated", map[string]int64{"records": records}, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cg.SkylineSHadoop(sys, "pts"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	return rep, nil
+}
+
+// WriteHotpathJSON runs the hot-path suite and writes the report to path.
+func WriteHotpathJSON(cfg Config, path string) error {
+	rep, err := RunHotpath(cfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// runHotpath is the table-printing experiment wrapper around RunHotpath.
+func runHotpath(cfg Config) error {
+	rep, err := RunHotpath(cfg)
+	if err != nil {
+		return err
+	}
+	t := newTable(cfg.W, "benchmark", "iters", "ms/op")
+	for _, b := range rep.Benchmarks {
+		t.add(b.Name, fmt.Sprintf("%d", b.Iters), fmt.Sprintf("%.3f", b.NsPerOp/1e6))
+	}
+	t.flush()
+	fmt.Fprintln(cfg.W)
+	dt := newTable(cfg.W, "derived", "speedup")
+	for _, k := range []string{
+		"decode_cached_speedup",
+		"shuffle_speedup_r1", "shuffle_speedup_r4", "shuffle_speedup_r16",
+	} {
+		if v, ok := rep.Derived[k]; ok {
+			dt.add(k, fmt.Sprintf("%.1fx", v))
+		}
+	}
+	dt.flush()
+	fmt.Fprintln(cfg.W, "\nExpected: cached decode orders of magnitude over re-parse; partitioned")
+	fmt.Fprintln(cfg.W, "shuffle ahead of the sequential merge from 4 reducers up (r=1 has no")
+	fmt.Fprintln(cfg.W, "parallelism to exploit, only the cheaper inline hash).")
+	return nil
+}

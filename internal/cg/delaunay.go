@@ -85,7 +85,7 @@ func DelaunaySHadoop(sys *core.System, file string) ([]Triangle, *mapreduce.Repo
 		Name:   "delaunay",
 		Splits: f.Splits(),
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}

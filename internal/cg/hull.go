@@ -70,7 +70,7 @@ func hullJob(name string, splits []*mapreduce.Split, filter mapreduce.FilterFunc
 		Splits: splits,
 		Filter: filter,
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}
@@ -272,7 +272,7 @@ func ConvexHullEnhanced(sys *core.System, file string) ([]geom.Point, *mapreduce
 			if err != nil {
 				return err
 			}
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}

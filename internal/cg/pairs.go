@@ -36,7 +36,7 @@ func ClosestPairSHadoop(sys *core.System, file string) (geom.PointPair, *mapredu
 		Name:   "closestpair",
 		Splits: f.Splits(),
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}
@@ -112,7 +112,7 @@ func FarthestPairHadoop(sys *core.System, file string) (geom.PointPair, *mapredu
 		Name:   "farthestpair-hadoop",
 		Splits: f.Splits(),
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}
@@ -206,11 +206,11 @@ func FarthestPairSHadoop(sys *core.System, file string) (geom.PointPair, *mapred
 		Splits: f.Splits(),
 		Filter: FarthestPairFilter,
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}
-			extra, err := geomio.DecodePoints(split.ExtraRecords())
+			extra, err := split.ExtraPoints()
 			if err != nil {
 				return err
 			}

@@ -62,7 +62,7 @@ func skylineJob(name string, splits []*mapreduce.Split, filter mapreduce.FilterF
 		Splits: splits,
 		Filter: filter,
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}
@@ -211,7 +211,7 @@ func SkylineOutputSensitive(sys *core.System, file string, reduceComm bool) ([]g
 			} else {
 				ctx.Inc("cg.sky.points.shipped", int64(len(skyPts)))
 			}
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}

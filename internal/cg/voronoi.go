@@ -131,7 +131,7 @@ func VoronoiSHadoop(sys *core.System, file string) ([]SiteRegion, *mapreduce.Rep
 			"space": geomio.EncodeRect(space),
 		},
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}
@@ -296,7 +296,7 @@ func VoronoiHadoop(sys *core.System, file string, space geom.Rect) ([]SiteRegion
 		Splits:      f.Splits(),
 		NumReducers: strips,
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}

@@ -324,7 +324,7 @@ func (s *System) LocalIndex(b *dfs.Block) (*rtree.Tree, error) {
 	if t, ok := s.localIndexes.Load(b); ok {
 		return t.(*rtree.Tree), nil
 	}
-	pts, err := geomio.DecodePoints(b.Records())
+	pts, err := b.Points() // served from the block's decode cache
 	if err != nil {
 		return nil, err
 	}

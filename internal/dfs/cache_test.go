@@ -1,0 +1,228 @@
+package dfs
+
+import (
+	"fmt"
+	"testing"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+)
+
+// writePoints stores n encoded points in one file and returns them.
+func writePoints(t *testing.T, fs *FileSystem, name string, n int) []geom.Point {
+	t.Helper()
+	pts := make([]geom.Point, n)
+	recs := make([]string, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i), Y: float64(2 * i)}
+		recs[i] = geomio.EncodePoint(pts[i])
+	}
+	if err := fs.WriteFile(name, recs); err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func TestBlockPointsCached(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 20, DataNodes: 2})
+	want := writePoints(t, fs, "pts", 50)
+	f, err := fs.Open("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(f.Blocks))
+	}
+	b := f.Blocks[0]
+	first, err := b.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(want) {
+		t.Fatalf("decoded %d points, want %d", len(first), len(want))
+	}
+	for i, p := range first {
+		if p != want[i] {
+			t.Fatalf("point %d = %v, want %v", i, p, want[i])
+		}
+	}
+	second, err := b.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cache must serve the identical backing array, not a re-parse.
+	if &first[0] != &second[0] {
+		t.Error("second Points() call re-decoded instead of hitting the cache")
+	}
+}
+
+func TestBlockPointsInvalidatedOnWrite(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 20, DataNodes: 2})
+	w, err := fs.Create("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteRecord(geomio.EncodePoint(geom.Pt(1, 1)))
+	f, _ := fs.Open("pts")
+	b := f.Blocks[0]
+	pts, err := b.Points()
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("Points = %v, %v; want one point", pts, err)
+	}
+	// Appending to the open block must drop the decoded view.
+	w.WriteRecord(geomio.EncodePoint(geom.Pt(2, 2)))
+	pts, err = b.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[1] != geom.Pt(2, 2) {
+		t.Fatalf("Points after write = %v, want both points (stale cache?)", pts)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateOrReplaceDropsDecodedPoints(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 20, DataNodes: 2})
+	writePoints(t, fs, "out", 10)
+	f, _ := fs.Open("out")
+	old, err := f.Blocks[0].Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) != 10 {
+		t.Fatalf("decoded %d points, want 10", len(old))
+	}
+
+	// Replace the file with different content, as every job output commit
+	// does. A reader opening the new file must see only the new points.
+	w, err := fs.CreateOrReplace("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteRecord(geomio.EncodePoint(geom.Pt(99, 99)))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nf, err := fs.Open("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []geom.Point
+	for _, b := range nf.Blocks {
+		pts, err := b.Points()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, pts...)
+	}
+	if len(got) != 1 || got[0] != geom.Pt(99, 99) {
+		t.Fatalf("replaced file decodes to %v, want [{99 99}] (stale decoded points)", got)
+	}
+}
+
+func TestBlockPointsError(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 20, DataNodes: 2})
+	if err := fs.WriteFile("bad", []string{"not-a-point"}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Open("bad")
+	if _, err := f.Blocks[0].Points(); err == nil {
+		t.Fatal("Points on malformed records did not error")
+	}
+	// The error is cached too: the second call must also report it.
+	if _, err := f.Blocks[0].Points(); err == nil {
+		t.Fatal("cached Points error was lost")
+	}
+}
+
+func TestBlockPayloadCachedAndInvalidated(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 20, DataNodes: 2})
+	w, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteRecord("a")
+	w.WriteRecord("b")
+	f, _ := fs.Open("f")
+	b := f.Blocks[0]
+
+	builds := 0
+	build := func(recs []string) (any, error) {
+		builds++
+		return fmt.Sprintf("decoded:%d", len(recs)), nil
+	}
+	for i := 0; i < 3; i++ {
+		v, err := b.Payload(build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != "decoded:2" {
+			t.Fatalf("payload = %v", v)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("payload built %d times, want 1", builds)
+	}
+
+	w.WriteRecord("c") // invalidates
+	v, err := b.Payload(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "decoded:3" {
+		t.Fatalf("payload after write = %v, want decoded:3", v)
+	}
+	if builds != 2 {
+		t.Fatalf("payload built %d times after invalidation, want 2", builds)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBlockPointsUncached(b *testing.B) {
+	fs := New(Config{BlockSize: 1 << 20, DataNodes: 2})
+	pts := make([]geom.Point, 4096)
+	recs := make([]string, len(pts))
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * 1.25, Y: float64(i) * 3.5}
+		recs[i] = geomio.EncodePoint(pts[i])
+	}
+	if err := fs.WriteFile("pts", recs); err != nil {
+		b.Fatal(err)
+	}
+	f, _ := fs.Open("pts")
+	blk := f.Blocks[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := geomio.DecodePoints(blk.Records()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlockPointsCached(b *testing.B) {
+	fs := New(Config{BlockSize: 1 << 20, DataNodes: 2})
+	pts := make([]geom.Point, 4096)
+	recs := make([]string, len(pts))
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * 1.25, Y: float64(i) * 3.5}
+		recs[i] = geomio.EncodePoint(pts[i])
+	}
+	if err := fs.WriteFile("pts", recs); err != nil {
+		b.Fatal(err)
+	}
+	f, _ := fs.Open("pts")
+	blk := f.Blocks[0]
+	if _, err := blk.Points(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blk.Points(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -14,6 +14,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
 )
 
 // DefaultBlockSize is the default block capacity in bytes. The paper uses
@@ -46,6 +50,25 @@ type Block struct {
 	Bytes int64
 
 	records []string
+
+	// cache holds lazily decoded views of the records (parsed points, an
+	// operation-chosen payload). It is swapped out wholesale on write, so
+	// a reader that already holds a slot keeps a consistent snapshot.
+	cache atomic.Pointer[blockCache]
+}
+
+// blockCache is one generation of decoded views over a block's records.
+// Each view is built at most once per generation under its own sync.Once;
+// writes install a fresh generation rather than resetting, keeping the
+// fast path a single atomic load.
+type blockCache struct {
+	ptsOnce sync.Once
+	pts     []geom.Point
+	ptsErr  error
+
+	payloadOnce sync.Once
+	payload     any
+	payloadErr  error
 }
 
 // Records returns the records stored in the block. The returned slice must
@@ -54,6 +77,47 @@ func (b *Block) Records() []string { return b.records }
 
 // NumRecords returns the number of records in the block.
 func (b *Block) NumRecords() int { return len(b.records) }
+
+// cacheSlot returns the current cache generation, installing one if the
+// block has never been decoded.
+func (b *Block) cacheSlot() *blockCache {
+	for {
+		if c := b.cache.Load(); c != nil {
+			return c
+		}
+		if b.cache.CompareAndSwap(nil, &blockCache{}) {
+			continue // reload the slot we just installed
+		}
+	}
+}
+
+// invalidate drops all decoded views; the writer calls it whenever the
+// block's records change so no reader ever sees stale decodes.
+func (b *Block) invalidate() { b.cache.Store(nil) }
+
+// Points returns the block's records decoded as points, parsing them at
+// most once per block lifetime (SpatialHadoop re-reads the same blocks
+// across map attempts and across the jobs of a pipeline; the text parse is
+// the dominant per-visit cost). The returned slice is shared between all
+// callers and must not be modified — every geometry kernel copies before
+// sorting.
+func (b *Block) Points() ([]geom.Point, error) {
+	c := b.cacheSlot()
+	c.ptsOnce.Do(func() { c.pts, c.ptsErr = geomio.DecodePoints(b.records) })
+	return c.pts, c.ptsErr
+}
+
+// Payload returns the block's decoded payload, building it with build on
+// first use and caching it for the block's lifetime — the generic slot for
+// non-point record types (regions, segments). All callers of a block must
+// agree on the payload type; the returned value is shared and must be
+// treated as read-only. Like Points, the cache is dropped when the block
+// is written.
+func (b *Block) Payload(build func(records []string) (any, error)) (any, error) {
+	c := b.cacheSlot()
+	c.payloadOnce.Do(func() { c.payload, c.payloadErr = build(b.records) })
+	return c.payload, c.payloadErr
+}
 
 // File is the name-node metadata for one file.
 type File struct {
@@ -184,6 +248,9 @@ func (w *Writer) WriteRecord(rec string) {
 	w.cur.Bytes += sz
 	w.file.Bytes += sz
 	w.file.Records++
+	if w.cur.cache.Load() != nil { // skip the store barrier on the common path
+		w.cur.invalidate()
+	}
 }
 
 // cut starts a new block on the next data node (round-robin placement).

@@ -189,4 +189,8 @@ func DecodeRect(s string) (geom.Rect, error) {
 	return geom.Rect{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, nil
 }
 
-func formatF(f float64) string { return strconv.FormatFloat(f, 'g', 17, 64) }
+// formatF formats with the shortest round-trip representation ('g', -1):
+// ParseFloat recovers the exact bits, like the old fixed 17-digit form,
+// but typical coordinates encode in far fewer digits, which roughly halves
+// both the format and the re-parse cost on the record hot path.
+func formatF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -17,7 +17,6 @@ package mapreduce
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
@@ -53,22 +52,73 @@ type Split struct {
 	Tag string
 }
 
-// Records returns all records of the primary block group.
+// Records returns all records of the primary block group. For single-block
+// splits the block's record slice is returned directly (no copy); it must
+// not be modified.
 func (s *Split) Records() []string {
-	var out []string
+	if len(s.Blocks) == 1 {
+		return s.Blocks[0].Records()
+	}
+	n := 0
+	for _, b := range s.Blocks {
+		n += b.NumRecords()
+	}
+	out := make([]string, 0, n)
 	for _, b := range s.Blocks {
 		out = append(out, b.Records()...)
 	}
 	return out
 }
 
-// ExtraRecords returns the records of the secondary block group.
+// ExtraRecords returns the records of the secondary block group, sharing
+// the block's slice for single-block groups like Records.
 func (s *Split) ExtraRecords() []string {
-	var out []string
+	if len(s.Extra) == 1 {
+		return s.Extra[0].Records()
+	}
+	n := 0
+	for _, b := range s.Extra {
+		n += b.NumRecords()
+	}
+	out := make([]string, 0, n)
 	for _, b := range s.Extra {
 		out = append(out, b.Records()...)
 	}
 	return out
+}
+
+// Points returns the records of the primary block group decoded as points,
+// served from each block's decode cache: a block is parsed once per file
+// lifetime, not once per map attempt, so retried attempts and multi-job
+// pipelines (index build → query → query) skip the strconv hot path
+// entirely. The returned slice is shared for single-block splits and must
+// not be modified.
+func (s *Split) Points() ([]geom.Point, error) {
+	return blocksPoints(s.Blocks)
+}
+
+// ExtraPoints is Points for the secondary block group of pair splits.
+func (s *Split) ExtraPoints() ([]geom.Point, error) {
+	return blocksPoints(s.Extra)
+}
+
+func blocksPoints(blocks []*dfs.Block) ([]geom.Point, error) {
+	if len(blocks) == 1 {
+		return blocks[0].Points()
+	}
+	n := 0
+	for _, b := range blocks {
+		n += b.NumRecords()
+	}
+	out := make([]geom.Point, 0, n)
+	for _, b := range blocks {
+		pts, err := b.Points()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
 }
 
 // NumRecords returns the record count across both groups.
@@ -97,15 +147,40 @@ type TaskContext struct {
 	split   *Split // nil in reduce tasks
 	metrics *obs.TaskMetrics
 	out     []string
-	emitted []Pair
+	// shards is the map-side partitioned shuffle output: emitted pairs are
+	// bucketed by reducer as they are produced, so the master-side shuffle
+	// only concatenates per-reducer runs instead of hashing every pair in
+	// one sequential loop.
+	shards  [][]Pair
+	nshards int
 }
 
 // Split returns the split being processed (nil in a reduce task).
 func (c *TaskContext) Split() *Split { return c.split }
 
-// Emit produces an intermediate pair for the shuffle.
+// Emit produces an intermediate pair for the shuffle, bucketing it into
+// the destination reducer's shard at emit time.
 func (c *TaskContext) Emit(key, value string) {
-	c.emitted = append(c.emitted, Pair{Key: key, Value: value})
+	if c.shards == nil {
+		if c.nshards < 1 {
+			c.nshards = 1
+		}
+		c.shards = make([][]Pair, c.nshards)
+	}
+	si := 0
+	if c.nshards > 1 {
+		si = partitionOf(key, c.nshards)
+	}
+	c.shards[si] = append(c.shards[si], Pair{Key: key, Value: value})
+}
+
+// numEmitted returns the pair count across all shards.
+func (c *TaskContext) numEmitted() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += len(sh)
+	}
+	return n
 }
 
 // Write writes a record directly to the job output, bypassing the shuffle.
@@ -344,6 +419,9 @@ type runningJob struct {
 	job   *Job
 	reg   *obs.Registry
 	trace *obs.Trace
+	// nshards is the effective reducer count; map tasks bucket their
+	// emitted pairs into this many shards.
+	nshards int
 }
 
 // transientError marks injected failures so the scheduler retries them.
@@ -362,7 +440,11 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 		return nil, fmt.Errorf("mapreduce: job %q has no output file", job.Name)
 	}
 	start := time.Now()
-	rj := &runningJob{job: job, reg: obs.NewRegistry(), trace: obs.NewTrace(job.Name)}
+	numRed := job.NumReducers
+	if numRed <= 0 {
+		numRed = 1
+	}
+	rj := &runningJob{job: job, reg: obs.NewRegistry(), trace: obs.NewTrace(job.Name), nshards: numRed}
 	root := rj.trace.Start(job.Name, obs.PhaseJob, 0, -1)
 
 	splits := job.Splits
@@ -391,8 +473,14 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 	// ---- Map phase ----
 	mapStart := time.Now()
 	type mapResult struct {
-		pairs []Pair
-		out   []string
+		// shards holds the task's emitted pairs pre-bucketed by reducer.
+		shards [][]Pair
+		out    []string
+		// pairs/bytes are the task's shuffle totals, computed once here and
+		// reused by both the task counters and the shuffle span, so the two
+		// never disagree.
+		pairs int64
+		bytes int64
 		dur   time.Duration
 	}
 	results := make([]mapResult, len(splits))
@@ -410,26 +498,29 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 				span.Partition = splits[i].Partition
 				span.Attempt = attempt
 				taskStart := time.Now()
-				pairs, out, tm, err := c.runMapTask(rj, splits[i])
+				shards, out, tm, err := c.runMapTask(rj, splits[i])
 				if err == nil {
 					dur := time.Since(taskStart)
-					// Shuffle bytes are summed here, once per successful
+					// Shuffle totals are summed here, once per successful
 					// task, instead of under a registry mutex per pair.
-					var bytes int64
-					for _, p := range pairs {
-						bytes += int64(len(p.Key) + len(p.Value))
+					var pairs, bytes int64
+					for _, shard := range shards {
+						pairs += int64(len(shard))
+						for _, p := range shard {
+							bytes += int64(len(p.Key) + len(p.Value))
+						}
 					}
 					tm.Inc(CounterShuffleBytes, bytes)
-					tm.Inc(CounterShufflePairs, int64(len(pairs)))
+					tm.Inc(CounterShufflePairs, pairs)
 					tm.Observe(HistMapTaskDurationUS, float64(dur.Microseconds()))
 					tm.Observe(HistMapTaskRecordsIn, float64(splits[i].NumRecords()))
 					tm.Observe(HistMapTaskShuffleBytes, float64(bytes))
 					rj.reg.Merge(tm)
 					span.RecordsIn = int64(splits[i].NumRecords())
-					span.RecordsOut = int64(len(pairs) + len(out))
+					span.RecordsOut = pairs + int64(len(out))
 					span.Bytes = bytes
 					span.Finish(obs.OutcomeOK)
-					results[i] = mapResult{pairs: pairs, out: out, dur: dur}
+					results[i] = mapResult{shards: shards, out: out, pairs: pairs, bytes: bytes, dur: dur}
 					return
 				}
 				// The attempt's metric buffer is dropped with the attempt.
@@ -460,27 +551,44 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 	}
 
 	// ---- Shuffle ----
+	// Map tasks already bucketed their pairs by reducer, so the merge is
+	// embarrassingly parallel: one goroutine per reducer concatenates that
+	// reducer's shard from every task, in task order (which keeps the
+	// grouped value order identical to the old sequential loop). The totals
+	// come from the per-task sums recorded in the map phase — the same
+	// numbers already merged into the task counters — rather than a second
+	// walk over every pair.
 	shuffleStart := time.Now()
 	shSpan := rj.trace.Start("shuffle", obs.PhaseShuffle, root.ID, -1)
-	numRed := job.NumReducers
-	if numRed <= 0 {
-		numRed = 1
-	}
 	groups := make([]map[string][]string, numRed)
-	for i := range groups {
-		groups[i] = make(map[string][]string)
+	var swg sync.WaitGroup
+	ssem := make(chan struct{}, c.execSlots())
+	for ri := 0; ri < numRed; ri++ {
+		swg.Add(1)
+		go func(ri int) {
+			defer swg.Done()
+			ssem <- struct{}{}
+			defer func() { <-ssem }()
+			g := make(map[string][]string)
+			for _, r := range results {
+				if ri >= len(r.shards) {
+					continue // task emitted nothing
+				}
+				for _, p := range r.shards[ri] {
+					g[p.Key] = append(g[p.Key], p.Value)
+				}
+			}
+			groups[ri] = g
+		}(ri)
 	}
 	var directOut []string
 	var shufflePairs, shuffleBytes int64
 	for _, r := range results {
 		directOut = append(directOut, r.out...)
-		for _, p := range r.pairs {
-			shufflePairs++
-			shuffleBytes += int64(len(p.Key) + len(p.Value))
-			g := groups[partitionOf(p.Key, numRed)]
-			g[p.Key] = append(g[p.Key], p.Value)
-		}
+		shufflePairs += r.pairs
+		shuffleBytes += r.bytes
 	}
+	swg.Wait()
 	shSpan.RecordsIn = shufflePairs
 	shSpan.Bytes = shuffleBytes
 	shSpan.Finish(obs.OutcomeOK)
@@ -611,10 +719,11 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 }
 
 // runMapTask executes one map attempt, applying the combiner to its
-// output. The attempt's metrics stay in the returned TaskMetrics buffer;
-// the caller merges it into the job registry only on success, so a failed
+// output, and returns the task's emitted pairs bucketed by reducer shard.
+// The attempt's metrics stay in the returned TaskMetrics buffer; the
+// caller merges it into the job registry only on success, so a failed
 // attempt's counts (including the combiner re-run) are discarded with it.
-func (c *Cluster) runMapTask(rj *runningJob, split *Split) ([]Pair, []string, *obs.TaskMetrics, error) {
+func (c *Cluster) runMapTask(rj *runningJob, split *Split) ([][]Pair, []string, *obs.TaskMetrics, error) {
 	if c.failEvery > 0 {
 		c.mu.Lock()
 		c.attempts++
@@ -625,40 +734,63 @@ func (c *Cluster) runMapTask(rj *runningJob, split *Split) ([]Pair, []string, *o
 		}
 	}
 	tm := obs.NewTaskMetrics()
-	ctx := &TaskContext{job: rj, split: split, metrics: tm}
+	ctx := &TaskContext{job: rj, split: split, metrics: tm, nshards: rj.nshards}
 	tm.Inc(CounterMapRecordsIn, int64(split.NumRecords()))
 	if err := rj.job.Map(ctx, split); err != nil {
 		return nil, nil, nil, err
 	}
-	pairs := ctx.emitted
-	if rj.job.Combine != nil && len(pairs) > 0 {
-		grouped := make(map[string][]string)
-		order := make([]string, 0)
-		for _, p := range pairs {
-			if _, ok := grouped[p.Key]; !ok {
-				order = append(order, p.Key)
+	shards := ctx.shards
+	if rj.job.Combine != nil && ctx.numEmitted() > 0 {
+		// Combine shard by shard: all occurrences of a key live in one
+		// shard, so per-shard grouping sees every value of the key, and the
+		// combiner's own emits re-bucket to the same shard.
+		cctx := &TaskContext{job: rj, split: split, metrics: tm, nshards: rj.nshards}
+		for _, shard := range shards {
+			if len(shard) == 0 {
+				continue
 			}
-			grouped[p.Key] = append(grouped[p.Key], p.Value)
-		}
-		cctx := &TaskContext{job: rj, split: split, metrics: tm}
-		for _, k := range order {
-			if err := rj.job.Combine(cctx, k, grouped[k]); err != nil {
-				return nil, nil, nil, err
+			grouped := make(map[string][]string)
+			order := make([]string, 0)
+			for _, p := range shard {
+				if _, ok := grouped[p.Key]; !ok {
+					order = append(order, p.Key)
+				}
+				grouped[p.Key] = append(grouped[p.Key], p.Value)
+			}
+			for _, k := range order {
+				if err := rj.job.Combine(cctx, k, grouped[k]); err != nil {
+					return nil, nil, nil, err
+				}
 			}
 		}
 		// Direct writes from the combiner join the map task's output.
 		ctx.out = append(ctx.out, cctx.out...)
-		pairs = cctx.emitted
+		shards = cctx.shards
 	}
-	tm.Inc(CounterMapRecordsOut, int64(len(pairs)))
-	return pairs, ctx.out, tm, nil
+	emitted := 0
+	for _, shard := range shards {
+		emitted += len(shard)
+	}
+	tm.Inc(CounterMapRecordsOut, int64(emitted))
+	return shards, ctx.out, tm, nil
 }
 
-// partitionOf hashes a key to a reducer index.
+// partitionOf hashes a key to a reducer index with an inlined FNV-1a loop.
+// The stdlib hash/fnv equivalent allocates a fresh hasher per call, which
+// showed up as the top allocation site of shuffle-heavy jobs; the inline
+// loop produces bit-identical hashes (pinned by TestPartitionOfStability)
+// with zero allocations.
 func partitionOf(key string, n int) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
 }
 
 // MakeSplits builds the default (unfiltered) splits for the input files:

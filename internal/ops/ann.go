@@ -39,7 +39,7 @@ func AllNearestNeighbors(sys *core.System, file string) ([]ANNResult, *mapreduce
 		Name:   "ann-local",
 		Splits: splits,
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}

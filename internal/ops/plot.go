@@ -11,7 +11,6 @@ import (
 
 	"spatialhadoop/internal/core"
 	"spatialhadoop/internal/geom"
-	"spatialhadoop/internal/geomio"
 	"spatialhadoop/internal/mapreduce"
 )
 
@@ -75,7 +74,7 @@ func Plot(sys *core.System, file string, cfg PlotConfig) (*image.Gray, *mapreduc
 			// Render the partition into a sparse partial raster and ship
 			// the non-zero pixels, mirroring HadoopViz's partial images.
 			local := make(map[int]uint32)
-			pts, err := geomio.DecodePoints(split.Records())
+			pts, err := split.Points()
 			if err != nil {
 				return err
 			}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/dfs"
 	"spatialhadoop/internal/geom"
 	"spatialhadoop/internal/geomio"
 	"spatialhadoop/internal/mapreduce"
@@ -107,24 +108,27 @@ func RangeQueryRegions(sys *core.System, file string, query geom.Rect) ([]geom.R
 			return keep
 		},
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			for _, rec := range split.Records() {
-				rg, err := geomio.DecodeRegion(rec)
+			for _, blk := range split.Blocks {
+				regs, err := BlockRegions(blk)
 				if err != nil {
 					return err
 				}
-				b := rg.Bounds()
-				if !b.Intersects(query) {
-					continue
-				}
-				if disjoint {
-					ref := geom.Point{X: b.Intersect(query).MinX, Y: b.Intersect(query).MinY}
-					if !split.MBR.ContainsPointExclusive(ref) && !onMaxEdge(split.MBR, ref) {
-						ctx.Inc(CounterDedupDropped, 1)
+				recs := blk.Records()
+				for i, rg := range regs {
+					b := rg.Bounds()
+					if !b.Intersects(query) {
 						continue
 					}
+					if disjoint {
+						ref := geom.Point{X: b.Intersect(query).MinX, Y: b.Intersect(query).MinY}
+						if !split.MBR.ContainsPointExclusive(ref) && !onMaxEdge(split.MBR, ref) {
+							ctx.Inc(CounterDedupDropped, 1)
+							continue
+						}
+					}
+					ctx.Inc(CounterRangeMatches, 1)
+					ctx.Write(recs[i])
 				}
-				ctx.Inc(CounterRangeMatches, 1)
-				ctx.Write(rec)
 			}
 			return nil
 		},
@@ -139,6 +143,28 @@ func RangeQueryRegions(sys *core.System, file string, query geom.Rect) ([]geom.R
 		return nil, nil, err
 	}
 	return regs, rep, nil
+}
+
+// BlockRegions returns the block's records decoded as regions, cached in
+// the block's generic decoded-payload slot: each region block is parsed
+// once per file lifetime instead of once per map attempt. The returned
+// slice is shared and must not be modified.
+func BlockRegions(b *dfs.Block) ([]geom.Region, error) {
+	v, err := b.Payload(func(recs []string) (any, error) {
+		out := make([]geom.Region, len(recs))
+		for i, r := range recs {
+			rg, err := geomio.DecodeRegion(r)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = rg
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]geom.Region), nil
 }
 
 // onMaxEdge reports whether p sits on the maximum edges of r, the one case
