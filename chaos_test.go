@@ -1,0 +1,269 @@
+// Chaos soak tests: run the paper's operations under a seeded fault plan
+// (transient map/reduce failures, corrupt block reads, stragglers) across
+// several index layouts and chaos seeds, and require the output to be
+// byte-identical to the fault-free run. Injection decisions are hashed
+// from (seed, phase, task, attempt) — never drawn from shared RNG state —
+// so each cell of the matrix is reproducible; on failure the injector's
+// event log can be exported by setting CHAOS_TRACE_DIR.
+package spatialhadoop_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spatialhadoop/internal/cg"
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/fault"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/sindex"
+)
+
+// chaosPolicy keeps soak runs fast: microsecond backoffs and a low
+// speculation threshold, with a deep attempt budget so bursts of injected
+// transients never exhaust it.
+func chaosPolicy() fault.RetryPolicy {
+	p := fault.DefaultRetryPolicy()
+	p.MaxAttempts = 8
+	p.BaseBackoff = 100 * time.Microsecond
+	p.MaxBackoff = 2 * time.Millisecond
+	p.SpeculativeMin = 10 * time.Millisecond
+	return p
+}
+
+// chaosOp is one operation of the soak matrix: setup loads its datasets
+// under the given index technique, run executes it and returns the final
+// job report (whose OutputFile is compared against the fault-free run).
+type chaosOp struct {
+	name  string
+	setup func(t *testing.T, sys *core.System, tech sindex.Technique)
+	run   func(sys *core.System) (*mapreduce.Report, error)
+}
+
+func chaosOps() []chaosOp {
+	area := geom.NewRect(0, 0, 20_000, 20_000)
+	pts := datagen.Points(datagen.Clustered, 4000, area, 71)
+	loadPts := func(t *testing.T, sys *core.System, tech sindex.Technique) {
+		t.Helper()
+		if _, err := sys.LoadPoints("pts", pts, tech); err != nil {
+			t.Fatal(err)
+		}
+	}
+	polysA := datagen.Tessellation(6, 6, area, 3)
+	polysB := datagen.Tessellation(5, 5, area, 4)
+	toRegions := func(pgs []geom.Polygon) []geom.Region {
+		out := make([]geom.Region, len(pgs))
+		for i, pg := range pgs {
+			out[i] = geom.RegionOf(pg)
+		}
+		return out
+	}
+	return []chaosOp{
+		{
+			name:  "rangequery",
+			setup: loadPts,
+			run: func(sys *core.System) (*mapreduce.Report, error) {
+				_, rep, err := ops.RangeQueryPoints(sys, "pts", geom.NewRect(2_000, 2_000, 16_000, 16_000))
+				return rep, err
+			},
+		},
+		{
+			name:  "knn",
+			setup: loadPts,
+			run: func(sys *core.System) (*mapreduce.Report, error) {
+				_, rep, err := ops.KNN(sys, "pts", geom.Pt(10_000, 10_000), 15)
+				return rep, err
+			},
+		},
+		{
+			name: "join",
+			setup: func(t *testing.T, sys *core.System, tech sindex.Technique) {
+				t.Helper()
+				if _, err := sys.LoadRegions("a", toRegions(polysA), tech); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sys.LoadRegions("b", toRegions(polysB), tech); err != nil {
+					t.Fatal(err)
+				}
+			},
+			run: func(sys *core.System) (*mapreduce.Report, error) {
+				_, rep, err := ops.SpatialJoinIndexed(sys, "a", "b")
+				return rep, err
+			},
+		},
+		{
+			name:  "skyline",
+			setup: loadPts,
+			run: func(sys *core.System) (*mapreduce.Report, error) {
+				_, rep, err := cg.SkylineSHadoop(sys, "pts")
+				return rep, err
+			},
+		},
+		{
+			name:  "hull",
+			setup: loadPts,
+			run: func(sys *core.System) (*mapreduce.Report, error) {
+				_, rep, err := cg.ConvexHullSHadoop(sys, "pts")
+				return rep, err
+			},
+		},
+	}
+}
+
+// chaosRun stands up a system under plan, runs op, and returns the output
+// file's records plus the report.
+func chaosRun(t *testing.T, op chaosOp, tech sindex.Technique, plan fault.Plan) ([]string, *mapreduce.Report, *fault.Injector) {
+	t.Helper()
+	sys := core.New(core.Config{BlockSize: 8 << 10, Workers: 6, Seed: 1, Fault: plan})
+	sys.Cluster().SetRetryPolicy(chaosPolicy())
+	op.setup(t, sys, tech)
+	rep, err := op.run(sys)
+	if err != nil {
+		t.Fatalf("%s under %+v: %v", op.name, plan, err)
+	}
+	out, err := sys.FS().ReadAll(rep.OutputFile)
+	if err != nil {
+		t.Fatalf("%s: reading %s: %v", op.name, rep.OutputFile, err)
+	}
+	return out, rep, sys.Cluster().Injector()
+}
+
+// dumpChaosEvents exports a failing cell's fault-event log when
+// CHAOS_TRACE_DIR is set (the artifact CI uploads on soak failures).
+func dumpChaosEvents(t *testing.T, cell string, in *fault.Injector) {
+	dir := os.Getenv("CHAOS_TRACE_DIR")
+	if dir == "" || in == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("chaos trace dir: %v", err)
+		return
+	}
+	path := filepath.Join(dir, cell+".events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Logf("chaos trace: %v", err)
+		return
+	}
+	if err := in.WriteEventsJSONL(f); err == nil {
+		t.Logf("chaos: wrote fault events to %s", path)
+	}
+	f.Close()
+}
+
+// TestChaosSoak is the soak matrix: 5 operations x 3 index layouts x 3
+// chaos seeds, each compared byte-for-byte against the fault-free run of
+// the same cell. Because retried and speculative attempts are idempotent
+// and exactly one attempt per task publishes, chaos must never change a
+// single output record.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak matrix is not -short")
+	}
+	techs := []sindex.Technique{sindex.Grid, sindex.STR, sindex.QuadTree}
+	seeds := []int64{1, 2, 3}
+	var totalFaults int64
+
+	for _, op := range chaosOps() {
+		op := op
+		t.Run(op.name, func(t *testing.T) {
+			for _, tech := range techs {
+				want, _, _ := chaosRun(t, op, tech, fault.Plan{})
+				for _, seed := range seeds {
+					plan := fault.Plan{
+						Seed:             seed,
+						MapFailRate:      0.12,
+						ReduceFailRate:   0.10,
+						StragglerRate:    0.05,
+						CorruptBlockRate: 0.05,
+					}
+					cell := fmt.Sprintf("%s-%s-seed%d", op.name, tech, seed)
+					got, rep, in := chaosRun(t, op, tech, plan)
+					ok := len(got) == len(want)
+					if ok {
+						for i := range want {
+							if got[i] != want[i] {
+								ok = false
+								break
+							}
+						}
+					}
+					if !ok {
+						dumpChaosEvents(t, cell, in)
+						t.Fatalf("%s: output diverged under chaos: %d records vs %d fault-free",
+							cell, len(got), len(want))
+					}
+					for _, name := range []string{
+						mapreduce.CounterRetryMap, mapreduce.CounterRetryReduce,
+						mapreduce.CounterRetryCommit, mapreduce.CounterStragglersInjected,
+						mapreduce.CounterChecksumFailures, mapreduce.CounterSpecLaunched,
+					} {
+						totalFaults += rep.Counters[name]
+					}
+					if in != nil {
+						totalFaults += int64(len(in.Events()))
+					}
+				}
+			}
+		})
+	}
+	if totalFaults == 0 {
+		t.Error("soak matrix injected no faults at all; the plans are inert")
+	}
+}
+
+// TestChaosDeterministicReplay pins the reproducibility claim directly:
+// the same chaos seed produces the same injector event log and the same
+// fault counters on every run of the same cell.
+func TestChaosDeterministicReplay(t *testing.T) {
+	op := chaosOps()[0] // range query
+	plan := fault.Plan{Seed: 9, MapFailRate: 0.3, StragglerRate: 0.1, CorruptBlockRate: 0.1}
+	outA, repA, inA := chaosRun(t, op, sindex.Grid, plan)
+	outB, repB, inB := chaosRun(t, op, sindex.Grid, plan)
+
+	if len(outA) != len(outB) {
+		t.Fatalf("replay changed output: %d vs %d records", len(outA), len(outB))
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("replay changed record %d", i)
+		}
+	}
+	evA, evB := inA.Events(), inB.Events()
+	if len(evA) == 0 {
+		t.Fatal("plan injected nothing; raise the rates")
+	}
+	// Event counts per (phase, task, attempt, kind) must match exactly;
+	// only their interleaving may differ across runs.
+	key := func(e fault.Event) string {
+		return fmt.Sprintf("%s/%d/%d/%s", e.Phase, e.Task, e.Attempt, e.Kind)
+	}
+	countA, countB := map[string]int{}, map[string]int{}
+	for _, e := range evA {
+		countA[key(e)]++
+	}
+	for _, e := range evB {
+		countB[key(e)]++
+	}
+	if len(countA) != len(countB) {
+		t.Fatalf("replay changed event set: %d vs %d distinct events", len(countA), len(countB))
+	}
+	for k, n := range countA {
+		if countB[k] != n {
+			t.Fatalf("event %s: %d vs %d occurrences", k, n, countB[k])
+		}
+	}
+	for _, name := range []string{
+		mapreduce.CounterRetryMap, mapreduce.CounterChecksumFailures,
+		mapreduce.CounterStragglersInjected,
+	} {
+		if repA.Counters[name] != repB.Counters[name] {
+			t.Errorf("counter %s: %d vs %d", name, repA.Counters[name], repB.Counters[name])
+		}
+	}
+}

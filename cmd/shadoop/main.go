@@ -39,6 +39,7 @@ import (
 	"spatialhadoop/internal/cg"
 	"spatialhadoop/internal/core"
 	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/fault"
 	"spatialhadoop/internal/geom"
 	"spatialhadoop/internal/geomio"
 	"spatialhadoop/internal/mapreduce"
@@ -65,10 +66,12 @@ func main() {
 		traceFile = flag.String("trace", "", "write the job trace as Chrome trace_event JSON to this file")
 		traceJSL  = flag.String("tracejsonl", "", "write the job trace as JSONL spans to this file")
 		metrics   = flag.Bool("metrics", false, "print the job metrics summary and system metrics")
+		chaosEv   = flag.String("chaos-events", "", "write the injected fault events as JSONL to this file")
 	)
+	chaosPlan := fault.PlanFlags(flag.CommandLine)
 	flag.Parse()
 
-	sys := core.New(core.Config{Workers: *workers, BlockSize: *blockSize, Seed: *seed})
+	sys := core.New(core.Config{Workers: *workers, BlockSize: *blockSize, Seed: *seed, Fault: chaosPlan()})
 
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, "shadoop:", err)
@@ -95,6 +98,14 @@ func main() {
 			rep.WriteSummary(os.Stdout)
 			fmt.Println("---- system metrics ----")
 			printSystemMetrics(os.Stdout, sys)
+		}
+		if *chaosEv != "" {
+			if in := sys.Cluster().Injector(); in != nil {
+				if err := writeTrace(*chaosEv, in.WriteEventsJSONL); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("chaos: wrote %s (%d fault events)\n", *chaosEv, len(in.Events()))
+			}
 		}
 	}
 

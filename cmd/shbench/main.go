@@ -34,6 +34,7 @@ import (
 	"runtime/pprof"
 
 	"spatialhadoop/internal/bench"
+	"spatialhadoop/internal/fault"
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 		obsDir     = flag.String("obsdir", "", "persist job traces and metric snapshots into this directory")
 		benchJSON  = flag.String("benchjson", "", "run the hot-path benchmark suite and write JSON results to this file")
 	)
+	chaosPlan := fault.PlanFlags(flag.CommandLine)
 	flag.Parse()
 
 	fatal := func(err error) {
@@ -84,6 +86,7 @@ func main() {
 		Seed:      *seed,
 		W:         os.Stdout,
 		ObsDir:    *obsDir,
+		Chaos:     chaosPlan(),
 	}
 	if *benchJSON != "" {
 		if err := bench.WriteHotpathJSON(cfg, *benchJSON); err != nil {

@@ -28,7 +28,7 @@ func runAblationSkyComm(cfg Config) error {
 		// The anti-correlated worst case: the skyline (and hence SKY) is
 		// large and the filter step cannot prune partitions.
 		pts := datagen.Points(datagen.ReverselyCorrelated, n, benchArea, cfg.Seed)
-		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 		f, err := sys.LoadPoints("idx", pts, sindex.Grid)
 		if err != nil {
 			return err
@@ -63,7 +63,7 @@ func runAblationSkyComm(cfg Config) error {
 func runAblationFilter(cfg Config) error {
 	n := cfg.n(200000)
 	pts := datagen.Points(datagen.Clustered, n, benchArea, cfg.Seed)
-	sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+	sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 	if _, err := sys.LoadPoints("idx", pts, sindex.STRPlus); err != nil {
 		return err
 	}
@@ -138,7 +138,7 @@ func runAblationPartitioner(cfg Config) error {
 	pts := datagen.Points(datagen.Clustered, n, benchArea, cfg.Seed)
 	t := newTable(cfg.W, "technique", "skyline(ms)", "hull(ms)", "closest(ms)")
 	for _, tech := range []sindex.Technique{sindex.Grid, sindex.STRPlus, sindex.QuadTree, sindex.KDTree} {
-		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 		if _, err := sys.LoadPoints("idx", pts, tech); err != nil {
 			return err
 		}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"time"
 
+	"spatialhadoop/internal/fault"
 	"spatialhadoop/internal/mapreduce"
 )
 
@@ -36,6 +37,11 @@ type Config struct {
 	// <name>.trace.jsonl (the span log) and <name>.metrics.json (the
 	// metrics snapshot) for the jobs the experiments persist.
 	ObsDir string
+	// Chaos is the seeded fault plan installed on every system the
+	// experiments stand up; a disabled plan injects nothing. Because
+	// injection is deterministic and retried work is idempotent, results
+	// match the fault-free run — only the timings change.
+	Chaos fault.Plan
 }
 
 // withDefaults fills zero fields.

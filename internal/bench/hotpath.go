@@ -187,7 +187,7 @@ func RunHotpath(cfg Config) (*HotpathReport, error) {
 	// ---- Decode: repeated-query visit over an indexed file ----
 	n := cfg.n(200000)
 	pts := datagen.Points(datagen.Clustered, n, benchArea, cfg.Seed)
-	sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+	sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 	f, err := sys.LoadPoints("pts", pts, sindex.STRPlus)
 	if err != nil {
 		return nil, err

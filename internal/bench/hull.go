@@ -27,7 +27,7 @@ func runFig27(cfg Config) error {
 			return nil
 		})
 
-		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 		if err := sys.LoadPointsHeap("heap", pts); err != nil {
 			return err
 		}
@@ -75,7 +75,7 @@ func runFig28(cfg Config) error {
 			_ = cg.ConvexHullSingle(pts)
 			return nil
 		})
-		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 		if err := sys.LoadPointsHeap("heap", pts); err != nil {
 			return err
 		}

@@ -36,7 +36,7 @@ func runFig29(cfg Config) error {
 				_, _ = cg.FarthestPairSingle(pts)
 				return nil
 			})
-			sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+			sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 			if err := sys.LoadPointsHeap("heap", pts); err != nil {
 				return err
 			}
@@ -82,7 +82,7 @@ func runClosestSweep(cfg Config, dist datagen.Distribution, sizes []int, showPru
 			_, _ = cg.ClosestPairSingle(pts)
 			return nil
 		})
-		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 		if _, err := sys.LoadPoints("idx", pts, sindex.STRPlus); err != nil {
 			return err
 		}

@@ -28,7 +28,7 @@ func runFig24(cfg Config) error {
 			return nil
 		})
 
-		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 		if err := sys.LoadPointsHeap("heap", pts); err != nil {
 			return err
 		}
@@ -79,7 +79,7 @@ func runFig25(cfg Config) error {
 			_ = cg.SkylineSingle(pts)
 			return nil
 		})
-		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 		if err := sys.LoadPointsHeap("heap", pts); err != nil {
 			return err
 		}
@@ -120,7 +120,7 @@ func runFig26(cfg Config) error {
 		for _, base := range []int{50000, 100000, 200000} {
 			n := cfg.n(base)
 			pts := datagen.Points(dist, n, benchArea, cfg.Seed)
-			sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+			sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 			if _, err := sys.LoadPoints("idx", pts, sindex.Grid); err != nil {
 				return err
 			}

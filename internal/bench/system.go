@@ -32,7 +32,7 @@ func runTable1(cfg Config) error {
 		sindex.KDTree, sindex.ZCurve, sindex.Hilbert,
 	} {
 		info := sindex.Table1[tech]
-		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 		f, err := sys.LoadPoints("pts", pts, tech)
 		if err != nil {
 			return err
@@ -94,11 +94,11 @@ func runSigmod14(cfg Config) error {
 	n := cfg.n(200000)
 	pts := datagen.Points(datagen.Clustered, n, benchArea, cfg.Seed)
 
-	sysHeap := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+	sysHeap := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 	if err := sysHeap.LoadPointsHeap("pts", pts); err != nil {
 		return err
 	}
-	sysIdx := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+	sysIdx := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 	if _, err := sysIdx.LoadPoints("pts", pts, sindex.STRPlus); err != nil {
 		return err
 	}

@@ -61,7 +61,7 @@ func runFig21(cfg Config) error {
 				return err
 			}
 
-			sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+			sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 			if err := sys.LoadRegionsHeap("heap", regions); err != nil {
 				return err
 			}

@@ -33,7 +33,7 @@ func runExtDelaunay(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 		if _, err := sys.LoadPoints("dt", pts, sindex.STRPlus); err != nil {
 			return err
 		}
@@ -70,7 +70,7 @@ func runVoronoiSweep(cfg Config, dist datagen.Distribution, sizes []int, showPru
 			return err
 		}
 
-		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed})
+		sys := core.New(core.Config{BlockSize: cfg.BlockSize, Workers: cfg.Workers, Seed: cfg.Seed, Fault: cfg.Chaos})
 		if _, err := sys.LoadPoints("vd", pts, sindex.STRPlus); err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/fault"
 	"spatialhadoop/internal/geom"
 	"spatialhadoop/internal/geomio"
 	"spatialhadoop/internal/mapreduce"
@@ -44,6 +45,10 @@ type Config struct {
 	SampleSize int
 	// Seed drives sampling; loads are deterministic given a seed.
 	Seed int64
+	// Fault is the seeded chaos plan installed on the cluster (a disabled
+	// plan injects nothing). Jobs retry, speculate and re-read through the
+	// cluster's fault.RetryPolicy regardless; the plan only adds faults.
+	Fault fault.Plan
 }
 
 // System is a running SpatialHadoop deployment: one file system and one
@@ -86,12 +91,16 @@ func NewWithFS(cfg Config, fs *dfs.FileSystem) *System {
 	}
 	reg := obs.NewRegistry()
 	fs.SetMetrics(reg)
-	return &System{
+	sys := &System{
 		fs:      fs,
 		cluster: mapreduce.NewCluster(fs, cfg.Workers),
 		cfg:     cfg,
 		metrics: reg,
 	}
+	if cfg.Fault.Enabled() {
+		sys.cluster.SetFault(cfg.Fault)
+	}
+	return sys
 }
 
 // FS returns the file system.

@@ -1,0 +1,153 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestChecksumRoundTrip: blocks written through the writer verify clean,
+// including across a SaveDir/LoadDir cycle (checksums are recomputed on
+// load because loading replays the records through a writer).
+func TestChecksumRoundTrip(t *testing.T) {
+	fs := New(Config{BlockSize: 64, DataNodes: 3})
+	w, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetPartition("p0")
+	for i := 0; i < 10; i++ {
+		w.WriteRecord(fmt.Sprintf("record-%03d", i))
+	}
+	w.SetPartition("p1")
+	for i := 0; i < 10; i++ {
+		w.WriteRecord(fmt.Sprintf("other-%03d", i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Open("f")
+	if len(f.Blocks) < 2 {
+		t.Fatalf("blocks = %d, want several", len(f.Blocks))
+	}
+	for i, b := range f.Blocks {
+		if !b.Sealed() {
+			t.Fatalf("block %d not sealed after Close", i)
+		}
+		if b.Checksum() == 0 {
+			t.Errorf("block %d has zero checksum", i)
+		}
+		if err := b.Verify(); err != nil {
+			t.Errorf("block %d: %v", i, err)
+		}
+		if err := b.VerifyCached(); err != nil {
+			t.Errorf("block %d cached: %v", i, err)
+		}
+	}
+	if issues := fs.Scrub(); len(issues) != 0 {
+		t.Errorf("scrub on clean fs reported %v", issues)
+	}
+
+	dir := t.TempDir()
+	if err := fs.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := LoadDir(filepath.Clean(dir), Config{BlockSize: 64, DataNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := fs2.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range f2.Blocks {
+		if err := b.Verify(); err != nil {
+			t.Errorf("reloaded block %d: %v", i, err)
+		}
+	}
+	if _, err := fs2.ReadAll("f"); err != nil {
+		t.Errorf("ReadAll after reload: %v", err)
+	}
+}
+
+// TestChecksumDetectsCorruption: a flipped byte is caught by Verify,
+// VerifyCached, ReadAll and Scrub, with the typed ErrChecksum sentinel.
+func TestChecksumDetectsCorruption(t *testing.T) {
+	fs := New(Config{BlockSize: 1 << 20, DataNodes: 2})
+	if err := fs.WriteFile("f", []string{"alpha", "beta", "gamma"}); err != nil {
+		t.Fatal(err)
+	}
+	// Clean reads succeed and warm the verification cache.
+	if _, err := fs.ReadAll("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptBlock("f", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	f, _ := fs.Open("f")
+	b := f.Blocks[0]
+	err := b.Verify()
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Verify after corruption = %v, want ErrChecksum", err)
+	}
+	var cerr *ChecksumError
+	if !errors.As(err, &cerr) || cerr.Block != b.ID || cerr.Want == cerr.Got {
+		t.Fatalf("checksum error detail = %+v", cerr)
+	}
+	if !cerr.Transient() {
+		t.Error("checksum failures must classify as transient (replica re-read)")
+	}
+	// The corruption invalidated the cached verification.
+	if err := b.VerifyCached(); !errors.Is(err, ErrChecksum) {
+		t.Errorf("VerifyCached after corruption = %v", err)
+	}
+	if _, err := fs.ReadAll("f"); !errors.Is(err, ErrChecksum) {
+		t.Errorf("ReadAll after corruption = %v, want ErrChecksum", err)
+	}
+
+	issues := fs.Scrub()
+	if len(issues) != 1 {
+		t.Fatalf("scrub issues = %v, want exactly one", issues)
+	}
+	if issues[0].File != "f" || issues[0].Block != b.ID {
+		t.Errorf("scrub issue = %+v", issues[0])
+	}
+}
+
+// TestCorruptBlockArgs covers the hook's error paths.
+func TestCorruptBlockArgs(t *testing.T) {
+	fs := New(Config{})
+	if err := fs.CorruptBlock("missing", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing file: %v", err)
+	}
+	fs.WriteFile("f", []string{"x"})
+	if err := fs.CorruptBlock("f", 5); err == nil {
+		t.Error("out-of-range block index must error")
+	}
+}
+
+// TestUnsealedBlockVerifiesTrivially: a file mid-write has an unsealed
+// current block that must not fail verification.
+func TestUnsealedBlockVerifiesTrivially(t *testing.T) {
+	fs := New(Config{})
+	w, _ := fs.Create("f")
+	w.WriteRecord("partial")
+	f, _ := fs.Open("f")
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(f.Blocks))
+	}
+	if f.Blocks[0].Sealed() {
+		t.Fatal("block sealed before Close")
+	}
+	if err := f.Blocks[0].Verify(); err != nil {
+		t.Errorf("unsealed Verify = %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Blocks[0].Sealed() {
+		t.Error("block not sealed by Close")
+	}
+}

@@ -51,6 +51,12 @@ type Block struct {
 
 	records []string
 
+	// crc is the CRC32 checksum stamped when the block was sealed;
+	// sealed distinguishes a finished block from one still being
+	// written (see checksum.go).
+	crc    uint32
+	sealed bool
+
 	// cache holds lazily decoded views of the records (parsed points, an
 	// operation-chosen payload). It is swapped out wholesale on write, so
 	// a reader that already holds a slot keeps a consistent snapshot.
@@ -69,6 +75,9 @@ type blockCache struct {
 	payloadOnce sync.Once
 	payload     any
 	payloadErr  error
+
+	verifyOnce sync.Once
+	verifyErr  error
 }
 
 // Records returns the records stored in the block. The returned slice must
@@ -142,6 +151,7 @@ const (
 	MetricRecordsWritten = "dfs.records.written"
 	MetricBlocksRead     = "dfs.blocks.read"
 	MetricRecordsRead    = "dfs.records.read"
+	MetricBlocksCorrupt  = "dfs.blocks.corrupt"
 )
 
 // FileSystem is the distributed file system facade: a name node plus data
@@ -228,9 +238,12 @@ func (fs *FileSystem) CreateOrReplace(name string) (*Writer, error) {
 }
 
 // SetPartition directs subsequent records to blocks tagged with the given
-// partition key, cutting the current block. The spatial file loader calls
-// it once per partition.
+// partition key, cutting (and sealing) the current block. The spatial
+// file loader calls it once per partition.
 func (w *Writer) SetPartition(key string) {
+	if w.cur != nil {
+		w.cur.seal()
+	}
 	w.cur = nil
 	w.partition = key
 }
@@ -253,8 +266,12 @@ func (w *Writer) WriteRecord(rec string) {
 	}
 }
 
-// cut starts a new block on the next data node (round-robin placement).
+// cut seals the current block and starts a new one on the next data node
+// (round-robin placement).
 func (w *Writer) cut() {
+	if w.cur != nil {
+		w.cur.seal()
+	}
 	fs := w.fs
 	fs.mu.Lock()
 	id := fs.nextBlock
@@ -273,6 +290,9 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
+	if w.cur != nil {
+		w.cur.seal()
+	}
 	fs := w.fs
 	if s := fs.sink(); s != nil {
 		s.Inc(MetricBlocksWritten, int64(len(w.file.Blocks)))
@@ -335,7 +355,10 @@ func (fs *FileSystem) List() []string {
 	return names
 }
 
-// ReadAll returns every record of the file in block order.
+// ReadAll returns every record of the file in block order, verifying
+// each block's checksum on the way (amortized to one CRC pass per block
+// generation). A corrupted block surfaces as a *ChecksumError wrapping
+// ErrChecksum.
 func (fs *FileSystem) ReadAll(name string) ([]string, error) {
 	f, err := fs.Open(name)
 	if err != nil {
@@ -347,6 +370,12 @@ func (fs *FileSystem) ReadAll(name string) ([]string, error) {
 	}
 	out := make([]string, 0, f.Records)
 	for _, b := range f.Blocks {
+		if err := b.VerifyCached(); err != nil {
+			if s := fs.sink(); s != nil {
+				s.Inc(MetricBlocksCorrupt, 1)
+			}
+			return nil, fmt.Errorf("dfs: %s: %w", name, err)
+		}
 		out = append(out, b.records...)
 	}
 	return out, nil

@@ -1,0 +1,28 @@
+package fault
+
+import "flag"
+
+// PlanFlags registers the -chaos-* command-line flags on fs and returns a
+// function that builds the configured Plan once flags are parsed. The
+// returned plan is disabled (injects nothing) unless at least one rate is
+// set, so binaries can register the flags unconditionally.
+func PlanFlags(fs *flag.FlagSet) func() Plan {
+	seed := fs.Int64("chaos-seed", 1, "seed for the chaos fault plan (takes effect when any -chaos-* rate is set)")
+	mapFail := fs.Float64("chaos-map-fail", 0, "probability a map attempt fails with a transient error")
+	reduceFail := fs.Float64("chaos-reduce-fail", 0, "probability a reduce or commit attempt fails with a transient error")
+	permanent := fs.Float64("chaos-permanent", 0, "probability an attempt fails permanently (fails the job)")
+	straggler := fs.Float64("chaos-straggler", 0, "probability an attempt straggles, triggering speculative execution")
+	slowdown := fs.Float64("chaos-straggler-slowdown", 0, "injected straggler delay multiplier (<=1 means 2)")
+	corrupt := fs.Float64("chaos-corrupt", 0, "probability a map attempt reads a corrupted block (retryable checksum mismatch)")
+	return func() Plan {
+		return Plan{
+			Seed:              *seed,
+			MapFailRate:       *mapFail,
+			ReduceFailRate:    *reduceFail,
+			PermanentFailRate: *permanent,
+			StragglerRate:     *straggler,
+			StragglerSlowdown: *slowdown,
+			CorruptBlockRate:  *corrupt,
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RetryPolicy configures how the scheduler handles failed and straggling
+// task attempts. The zero policy is not valid; use DefaultRetryPolicy and
+// override fields.
+type RetryPolicy struct {
+	// MaxAttempts is the attempt budget per task, counting the first
+	// attempt (so MaxAttempts=1 disables retries). Values < 1 mean 1.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it, capped at MaxBackoff. A seeded jitter in
+	// [0.5, 1.0)x is applied so synchronized retries fan out
+	// deterministically.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = no cap).
+	MaxBackoff time.Duration
+	// TaskDeadline bounds one attempt's wall time; an attempt exceeding
+	// it is abandoned with a retryable deadline error (0 = no deadline).
+	TaskDeadline time.Duration
+	// Speculation enables speculative re-execution of stragglers: when a
+	// task has run longer than the straggler threshold, a duplicate
+	// attempt is launched and the first finisher wins.
+	Speculation bool
+	// SpeculativeFactor sets the straggler threshold relative to the
+	// median duration of the phase's completed tasks (values <= 0 mean
+	// 3): a task is a straggler once it runs Factor x median.
+	SpeculativeFactor float64
+	// SpeculativeMin is the floor of the straggler threshold, so tiny
+	// jobs with microsecond medians do not speculate on noise.
+	SpeculativeMin time.Duration
+}
+
+// DefaultRetryPolicy mirrors Hadoop's defaults scaled to the simulated
+// runtime: four attempts per task, millisecond-scale capped backoff, no
+// per-task deadline, and speculation for tasks at least 3x slower than
+// the phase median (with a 50ms floor so unit-scale jobs never pay for
+// the duplicate).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:       4,
+		BaseBackoff:       time.Millisecond,
+		MaxBackoff:        100 * time.Millisecond,
+		Speculation:       true,
+		SpeculativeFactor: 3,
+		SpeculativeMin:    50 * time.Millisecond,
+	}
+}
+
+// maxAttempts returns the effective attempt budget.
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// ShouldRetry reports whether a task that just failed attempt number
+// attempt (0-based) with err has budget left and a retryable error.
+func (p RetryPolicy) ShouldRetry(err error, attempt int) bool {
+	return IsTransient(err) && attempt+1 < p.maxAttempts()
+}
+
+// Backoff returns the deterministic backoff delay before retrying the
+// given attempt (the attempt that failed, 0-based): an exponential ramp
+// from BaseBackoff, capped at MaxBackoff, with a seeded jitter in
+// [0.5, 1.0)x derived from (seed, phase, task, attempt) so two runs with
+// the same seed back off identically while distinct tasks spread out.
+func (p RetryPolicy) Backoff(seed int64, phase string, task, attempt int) time.Duration {
+	if p.BaseBackoff <= 0 {
+		return 0
+	}
+	d := p.BaseBackoff << uint(attempt)
+	if d < p.BaseBackoff { // shift overflow
+		d = p.MaxBackoff
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	// Jitter draws from a distinct coordinate space ("backoff:"+phase)
+	// so it never correlates with the injector's failure decisions.
+	u := Uniform(seed, "backoff:"+phase, task, attempt)
+	return time.Duration(float64(d) * (0.5 + 0.5*u))
+}
+
+// StragglerThreshold returns the run time beyond which a task counts as a
+// straggler, given the median duration of completed tasks in its phase.
+func (p RetryPolicy) StragglerThreshold(median time.Duration) time.Duration {
+	f := p.SpeculativeFactor
+	if f <= 0 {
+		f = 3
+	}
+	th := time.Duration(float64(median) * f)
+	if th < p.SpeculativeMin {
+		th = p.SpeculativeMin
+	}
+	return th
+}
+
+// transientError wraps an error to mark it retryable.
+type transientError struct{ err error }
+
+func (e transientError) Error() string   { return e.err.Error() }
+func (e transientError) Unwrap() error   { return e.err }
+func (e transientError) Transient() bool { return true }
+
+// Transient marks err as transient (retryable). A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientError{err: err}
+}
+
+// Transientf formats a new transient error.
+func Transientf(format string, args ...any) error {
+	return transientError{err: fmt.Errorf(format, args...)}
+}
+
+// IsTransient reports whether err should be retried: it (or any error in
+// its chain) declares itself transient via a `Transient() bool` method,
+// or it is a deadline/cancellation error from an abandoned attempt.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if t, ok := e.(interface{ Transient() bool }); ok {
+			return t.Transient()
+		}
+	}
+	return false
+}
+
+// ErrInjected is the sentinel wrapped by every injector-produced failure,
+// so tests and logs can tell injected faults from organic ones.
+var ErrInjected = errors.New("fault: injected failure")
+
+// InjectedError is a failure manufactured by the Injector.
+type InjectedError struct {
+	Phase     string
+	Task      int
+	Attempt   int
+	Permanent bool
+}
+
+// Error renders the injection coordinates.
+func (e *InjectedError) Error() string {
+	kind := "transient"
+	if e.Permanent {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("fault: injected %s failure (%s task %d attempt %d)", kind, e.Phase, e.Task, e.Attempt)
+}
+
+// Unwrap ties injected errors to the ErrInjected sentinel.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// Transient reports whether the scheduler may retry the attempt.
+func (e *InjectedError) Transient() bool { return !e.Permanent }

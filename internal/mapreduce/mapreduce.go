@@ -16,6 +16,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/fault"
 	"spatialhadoop/internal/geom"
 	"spatialhadoop/internal/obs"
 	"spatialhadoop/internal/sindex"
@@ -153,10 +155,22 @@ type TaskContext struct {
 	// one sequential loop.
 	shards  [][]Pair
 	nshards int
+	// attempt is the attempt ordinal running this task (speculative
+	// duplicates use the disjoint specAttempt range).
+	attempt int
 }
 
 // Split returns the split being processed (nil in a reduce task).
 func (c *TaskContext) Split() *Split { return c.split }
+
+// Attempt returns the attempt number of the running task: retries of the
+// same task count up from 0; speculative duplicates run in a disjoint
+// high range (see Speculative).
+func (c *TaskContext) Attempt() int { return c.attempt }
+
+// Speculative reports whether this attempt is a speculative duplicate
+// launched against a straggling primary attempt.
+func (c *TaskContext) Speculative() bool { return c.attempt >= specAttempt }
 
 // Emit produces an intermediate pair for the shuffle, bucketing it into
 // the destination reducer's shard at emit time.
@@ -296,6 +310,30 @@ const (
 	CounterTaskRetries    = "task.retries"
 )
 
+// Fault-tolerance counter names maintained by the scheduler. They feed
+// the fault table of Report.WriteSummary and the chaos soak assertions.
+const (
+	// CounterRetryMap/Reduce/Commit break CounterTaskRetries down by phase.
+	CounterRetryMap    = "fault.retry.map"
+	CounterRetryReduce = "fault.retry.reduce"
+	CounterRetryCommit = "fault.retry.commit"
+	// CounterSpecLaunched counts speculative duplicate attempts launched
+	// against stragglers; CounterSpecWon counts duplicates that finished
+	// first; CounterSpecSuppressed counts attempts (either side) whose
+	// output was discarded because the other attempt had already won.
+	CounterSpecLaunched   = "fault.spec.launched"
+	CounterSpecWon        = "fault.spec.won"
+	CounterSpecSuppressed = "fault.spec.suppressed"
+	// CounterStragglersInjected counts attempts the injector delayed.
+	CounterStragglersInjected = "fault.stragglers.injected"
+	// CounterDeadlineExceeded counts attempts abandoned at the per-task
+	// deadline.
+	CounterDeadlineExceeded = "fault.deadline.exceeded"
+	// CounterChecksumFailures counts block reads that surfaced a checksum
+	// mismatch (real or injected).
+	CounterChecksumFailures = "fault.checksum.failures"
+)
+
 // Gauge names maintained by the runtime.
 const (
 	// GaugeFilterPruneRatio is the fraction of splits the filter function
@@ -373,13 +411,10 @@ func (r *Report) SimulatedParallel(workers int) time.Duration {
 type Cluster struct {
 	fs      *dfs.FileSystem
 	workers int
-	// failEvery injects a one-shot transient failure into every k-th map
-	// task attempt when > 0 (testing knob: the runtime must retry and must
-	// not duplicate output).
-	failEvery int
 
 	mu       sync.Mutex
-	attempts int
+	injector *fault.Injector
+	policy   fault.RetryPolicy
 }
 
 // NewCluster creates a cluster over fs with the given number of worker
@@ -391,7 +426,7 @@ func NewCluster(fs *dfs.FileSystem, workers int) *Cluster {
 	if workers <= 0 {
 		workers = 1
 	}
-	return &Cluster{fs: fs, workers: workers}
+	return &Cluster{fs: fs, workers: workers, policy: fault.DefaultRetryPolicy()}
 }
 
 // execSlots returns the number of tasks to actually run concurrently.
@@ -412,8 +447,54 @@ func (c *Cluster) FS() *dfs.FileSystem { return c.fs }
 // Workers returns the number of worker slots.
 func (c *Cluster) Workers() int { return c.workers }
 
-// InjectFailures makes every k-th task attempt fail once (0 disables).
-func (c *Cluster) InjectFailures(k int) { c.failEvery = k }
+// SetFault installs a seeded fault plan driving the injector for all
+// subsequent jobs. A disabled (zero) plan clears injection. The injector
+// is replaced wholesale, resetting its event log and legacy counter.
+func (c *Cluster) SetFault(p fault.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !p.Enabled() {
+		c.injector = nil
+		return
+	}
+	c.injector = fault.NewInjector(p)
+}
+
+// Injector returns the cluster's current fault injector (nil when no
+// plan is installed).
+func (c *Cluster) Injector() *fault.Injector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injector
+}
+
+// SetRetryPolicy replaces the scheduler's retry policy for subsequent
+// jobs.
+func (c *Cluster) SetRetryPolicy(p fault.RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policy = p
+}
+
+// RetryPolicy returns the scheduler's current retry policy.
+func (c *Cluster) RetryPolicy() fault.RetryPolicy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policy
+}
+
+// InjectFailures makes every k-th map task attempt fail once with a
+// transient error (0 disables).
+//
+// Deprecated: InjectFailures is a shim over SetFault, kept for callers of
+// the original knob; new code should install a fault.Plan directly.
+func (c *Cluster) InjectFailures(k int) {
+	if k <= 0 {
+		c.SetFault(fault.Plan{})
+		return
+	}
+	c.SetFault(fault.Plan{FailEveryKth: k})
+}
 
 type runningJob struct {
 	job   *Job
@@ -424,15 +505,14 @@ type runningJob struct {
 	nshards int
 }
 
-// transientError marks injected failures so the scheduler retries them.
-type transientError struct{ attempt int }
-
-func (e transientError) Error() string {
-	return fmt.Sprintf("mapreduce: injected transient failure (attempt %d)", e.attempt)
-}
-
 // Run executes the job and returns its report.
 func (c *Cluster) Run(job *Job) (*Report, error) {
+	return c.RunCtx(context.Background(), job)
+}
+
+// RunCtx executes the job under a context: cancelling it stops new
+// attempts (tasks in flight finish their current attempt).
+func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*Report, error) {
 	if job.Map == nil {
 		return nil, fmt.Errorf("mapreduce: job %q has no map function", job.Name)
 	}
@@ -446,13 +526,20 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 	}
 	rj := &runningJob{job: job, reg: obs.NewRegistry(), trace: obs.NewTrace(job.Name), nshards: numRed}
 	root := rj.trace.Start(job.Name, obs.PhaseJob, 0, -1)
+	// fail finishes the root span on every error path so traces never
+	// leak open spans.
+	fail := func(err error) (*Report, error) {
+		root.Finish(obs.OutcomeFailed)
+		return nil, err
+	}
+	pol := c.RetryPolicy()
 
 	splits := job.Splits
 	if splits == nil {
 		var err error
 		splits, err = c.MakeSplits(job.Input)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	total := len(splits)
@@ -484,61 +571,47 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 		dur   time.Duration
 	}
 	results := make([]mapResult, len(splits))
-	errs := make([]error, len(splits))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.execSlots())
+	ms := newSched(c, rj, obs.PhaseMap, root.ID, pol, CounterRetryMap)
 	for i := range splits {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			for attempt := 0; ; attempt++ {
-				span := rj.trace.Start(fmt.Sprintf("map-%d", i), obs.PhaseMap, root.ID, i)
-				span.Partition = splits[i].Partition
-				span.Attempt = attempt
-				taskStart := time.Now()
-				shards, out, tm, err := c.runMapTask(rj, splits[i])
-				if err == nil {
-					dur := time.Since(taskStart)
-					// Shuffle totals are summed here, once per successful
-					// task, instead of under a registry mutex per pair.
-					var pairs, bytes int64
-					for _, shard := range shards {
-						pairs += int64(len(shard))
-						for _, p := range shard {
-							bytes += int64(len(p.Key) + len(p.Value))
-						}
-					}
-					tm.Inc(CounterShuffleBytes, bytes)
-					tm.Inc(CounterShufflePairs, pairs)
-					tm.Observe(HistMapTaskDurationUS, float64(dur.Microseconds()))
-					tm.Observe(HistMapTaskRecordsIn, float64(splits[i].NumRecords()))
-					tm.Observe(HistMapTaskShuffleBytes, float64(bytes))
-					rj.reg.Merge(tm)
-					span.RecordsIn = int64(splits[i].NumRecords())
-					span.RecordsOut = pairs + int64(len(out))
-					span.Bytes = bytes
-					span.Finish(obs.OutcomeOK)
-					results[i] = mapResult{shards: shards, out: out, pairs: pairs, bytes: bytes, dur: dur}
-					return
-				}
+		i, split := i, splits[i]
+		var blk *dfs.Block
+		if len(split.Blocks) > 0 {
+			blk = split.Blocks[0]
+		}
+		ms.addTask(i, fmt.Sprintf("map-%d", i), split.Partition, blk, func(attempt int) (attemptOut, error) {
+			shards, out, tm, err := c.runMapTask(rj, split, attempt)
+			if err != nil {
 				// The attempt's metric buffer is dropped with the attempt.
-				if _, transient := err.(transientError); transient && attempt < 3 {
-					span.Finish(obs.OutcomeRetry)
-					rj.reg.Inc(CounterTaskRetries, 1)
-					continue
-				}
-				span.Finish(obs.OutcomeFailed)
-				errs[i] = err
-				return
+				return attemptOut{}, err
 			}
-		}(i)
+			// Shuffle totals are summed here, once per successful task,
+			// instead of under a registry mutex per pair.
+			var pairs, bytes int64
+			for _, shard := range shards {
+				pairs += int64(len(shard))
+				for _, p := range shard {
+					bytes += int64(len(p.Key) + len(p.Value))
+				}
+			}
+			tm.Inc(CounterShuffleBytes, bytes)
+			tm.Inc(CounterShufflePairs, pairs)
+			tm.Observe(HistMapTaskRecordsIn, float64(split.NumRecords()))
+			tm.Observe(HistMapTaskShuffleBytes, float64(bytes))
+			return attemptOut{
+				recordsIn:  int64(split.NumRecords()),
+				recordsOut: pairs + int64(len(out)),
+				bytes:      bytes,
+				apply: func(dur time.Duration) {
+					tm.Observe(HistMapTaskDurationUS, float64(dur.Microseconds()))
+					rj.reg.Merge(tm)
+					results[i] = mapResult{shards: shards, out: out, pairs: pairs, bytes: bytes, dur: dur}
+				},
+			}, nil
+		})
 	}
-	wg.Wait()
-	for _, e := range errs {
+	for _, e := range ms.runAll(ctx) {
 		if e != nil {
-			return nil, fmt.Errorf("mapreduce: job %q map failed: %w", job.Name, e)
+			return fail(fmt.Errorf("mapreduce: job %q map failed: %w", job.Name, e))
 		}
 	}
 	mapTime := time.Since(mapStart)
@@ -599,17 +672,10 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 	reduceOut := make([][]string, numRed)
 	reduceDur := make([]time.Duration, numRed)
 	if job.Reduce != nil {
-		var rwg sync.WaitGroup
-		rerrs := make([]error, numRed)
-		rsem := make(chan struct{}, c.execSlots())
+		rs := newSched(c, rj, obs.PhaseReduce, root.ID, pol, CounterRetryReduce)
 		for ri := 0; ri < numRed; ri++ {
-			rwg.Add(1)
-			go func(ri int) {
-				defer rwg.Done()
-				rsem <- struct{}{}
-				defer func() { <-rsem }()
-				span := rj.trace.Start(fmt.Sprintf("reduce-%d", ri), obs.PhaseReduce, root.ID, ri)
-				taskStart := time.Now()
+			ri := ri
+			rs.addTask(ri, fmt.Sprintf("reduce-%d", ri), "", nil, func(attempt int) (attemptOut, error) {
 				keys := make([]string, 0, len(groups[ri]))
 				var valuesIn int64
 				for k, vs := range groups[ri] {
@@ -618,31 +684,30 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 				}
 				sort.Strings(keys)
 				tm := obs.NewTaskMetrics()
-				ctx := &TaskContext{job: rj, metrics: tm}
+				rctx := &TaskContext{job: rj, metrics: tm, attempt: attempt}
 				for _, k := range keys {
 					tm.Inc(CounterReduceGroups, 1)
-					if err := job.Reduce(ctx, k, groups[ri][k]); err != nil {
-						rerrs[ri] = err
-						span.Finish(obs.OutcomeFailed)
-						reduceDur[ri] = time.Since(taskStart)
-						return
+					if err := job.Reduce(rctx, k, groups[ri][k]); err != nil {
+						return attemptOut{}, err
 					}
 				}
-				dur := time.Since(taskStart)
-				reduceDur[ri] = dur
-				tm.Observe(HistReduceTaskDurationUS, float64(dur.Microseconds()))
 				tm.Observe(HistReducePartRecords, float64(valuesIn))
-				rj.reg.Merge(tm)
-				span.RecordsIn = valuesIn
-				span.RecordsOut = int64(len(ctx.out))
-				span.Finish(obs.OutcomeOK)
-				reduceOut[ri] = ctx.out
-			}(ri)
+				out := rctx.out
+				return attemptOut{
+					recordsIn:  valuesIn,
+					recordsOut: int64(len(out)),
+					apply: func(dur time.Duration) {
+						tm.Observe(HistReduceTaskDurationUS, float64(dur.Microseconds()))
+						rj.reg.Merge(tm)
+						reduceOut[ri] = out
+						reduceDur[ri] = dur
+					},
+				}, nil
+			})
 		}
-		rwg.Wait()
-		for _, e := range rerrs {
+		for _, e := range rs.runAll(ctx) {
 			if e != nil {
-				return nil, fmt.Errorf("mapreduce: job %q reduce failed: %w", job.Name, e)
+				return fail(fmt.Errorf("mapreduce: job %q reduce failed: %w", job.Name, e))
 			}
 		}
 	}
@@ -656,37 +721,46 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 	}
 
 	// ---- Output + commit ----
+	// The commit step (final output write plus the job's Commit hook) runs
+	// under the same retry policy as tasks. Every attempt rewrites the
+	// output file from scratch (CreateOrReplace truncates), so a retried
+	// commit never duplicates records, and every attempt's span is
+	// finished on every path — success, retry and failure alike.
 	commitStart := time.Now()
-	cSpan := rj.trace.Start("commit", obs.PhaseCommit, root.ID, -1)
-	w, err := c.fs.CreateOrReplace(job.Output)
-	if err != nil {
-		return nil, err
-	}
 	var outCount int64
-	writeRec := func(rec string) {
-		w.WriteRecord(rec)
-		outCount++
-	}
-	for _, rec := range directOut {
-		writeRec(rec)
-	}
-	for _, part := range reduceOut {
-		for _, rec := range part {
-			writeRec(rec)
+	injector := c.Injector()
+	var commitErr error
+	for attempt := 0; ; attempt++ {
+		cSpan := rj.trace.Start("commit", obs.PhaseCommit, root.ID, -1)
+		cSpan.Attempt = attempt
+		outCount = 0
+		err := c.attemptCommit(injector, job, directOut, reduceOut, attempt, &outCount)
+		if err == nil {
+			cSpan.RecordsOut = outCount
+			cSpan.Finish(obs.OutcomeOK)
+			break
 		}
-	}
-	if job.Commit != nil {
-		if err := job.Commit(c, writeRec); err != nil {
-			cSpan.Finish(obs.OutcomeFailed)
-			return nil, fmt.Errorf("mapreduce: job %q commit failed: %w", job.Name, err)
+		if pol.ShouldRetry(err, attempt) && ctx.Err() == nil {
+			cSpan.Finish(obs.OutcomeRetry)
+			rj.reg.Inc(CounterTaskRetries, 1)
+			rj.reg.Inc(CounterRetryCommit, 1)
+			var seed int64
+			if injector != nil {
+				seed = injector.Plan().Seed
+			}
+			if d := pol.Backoff(seed, obs.PhaseCommit, 0, attempt); d > 0 {
+				time.Sleep(d)
+			}
+			continue
 		}
+		cSpan.Finish(obs.OutcomeFailed)
+		commitErr = err
+		break
 	}
-	if err := w.Close(); err != nil {
-		return nil, err
+	if commitErr != nil {
+		return fail(fmt.Errorf("mapreduce: job %q commit failed: %w", job.Name, commitErr))
 	}
 	rj.reg.Inc(CounterOutputRecords, outCount)
-	cSpan.RecordsOut = outCount
-	cSpan.Finish(obs.OutcomeOK)
 	commitTime := time.Since(commitStart)
 	root.RecordsOut = outCount
 	root.Finish(obs.OutcomeOK)
@@ -718,23 +792,60 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 	}, nil
 }
 
+// attemptCommit runs one attempt of the commit step: it (re)creates the
+// output file, writes the buffered map/reduce output and runs the job's
+// Commit hook. The injector may fail the attempt before any write.
+func (c *Cluster) attemptCommit(in *fault.Injector, job *Job, directOut []string, reduceOut [][]string, attempt int, outCount *int64) error {
+	if in != nil {
+		switch in.Decide(fault.PhaseCommit, 0, attempt).Kind {
+		case fault.KindTransient:
+			return &fault.InjectedError{Phase: fault.PhaseCommit, Task: 0, Attempt: attempt}
+		case fault.KindPermanent:
+			return &fault.InjectedError{Phase: fault.PhaseCommit, Task: 0, Attempt: attempt, Permanent: true}
+		}
+	}
+	w, err := c.fs.CreateOrReplace(job.Output)
+	if err != nil {
+		return err
+	}
+	writeRec := func(rec string) {
+		w.WriteRecord(rec)
+		*outCount++
+	}
+	for _, rec := range directOut {
+		writeRec(rec)
+	}
+	for _, part := range reduceOut {
+		for _, rec := range part {
+			writeRec(rec)
+		}
+	}
+	if job.Commit != nil {
+		if err := job.Commit(c, writeRec); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
 // runMapTask executes one map attempt, applying the combiner to its
 // output, and returns the task's emitted pairs bucketed by reducer shard.
 // The attempt's metrics stay in the returned TaskMetrics buffer; the
 // caller merges it into the job registry only on success, so a failed
 // attempt's counts (including the combiner re-run) are discarded with it.
-func (c *Cluster) runMapTask(rj *runningJob, split *Split) ([][]Pair, []string, *obs.TaskMetrics, error) {
-	if c.failEvery > 0 {
-		c.mu.Lock()
-		c.attempts++
-		n := c.attempts
-		c.mu.Unlock()
-		if n%c.failEvery == 0 {
-			return nil, nil, nil, transientError{attempt: n}
+// Block checksums are verified before any record is decoded; a mismatch
+// fails the attempt with the retryable dfs checksum error.
+func (c *Cluster) runMapTask(rj *runningJob, split *Split, attempt int) ([][]Pair, []string, *obs.TaskMetrics, error) {
+	for _, group := range [][]*dfs.Block{split.Blocks, split.Extra} {
+		for _, b := range group {
+			if err := b.VerifyCached(); err != nil {
+				rj.reg.Inc(CounterChecksumFailures, 1)
+				return nil, nil, nil, err
+			}
 		}
 	}
 	tm := obs.NewTaskMetrics()
-	ctx := &TaskContext{job: rj, split: split, metrics: tm, nshards: rj.nshards}
+	ctx := &TaskContext{job: rj, split: split, metrics: tm, nshards: rj.nshards, attempt: attempt}
 	tm.Inc(CounterMapRecordsIn, int64(split.NumRecords()))
 	if err := rj.job.Map(ctx, split); err != nil {
 		return nil, nil, nil, err
@@ -744,7 +855,7 @@ func (c *Cluster) runMapTask(rj *runningJob, split *Split) ([][]Pair, []string, 
 		// Combine shard by shard: all occurrences of a key live in one
 		// shard, so per-shard grouping sees every value of the key, and the
 		// combiner's own emits re-bucket to the same shard.
-		cctx := &TaskContext{job: rj, split: split, metrics: tm, nshards: rj.nshards}
+		cctx := &TaskContext{job: rj, split: split, metrics: tm, nshards: rj.nshards, attempt: attempt}
 		for _, shard := range shards {
 			if len(shard) == 0 {
 				continue

@@ -42,6 +42,8 @@ func (r *Report) WriteSummary(w io.Writer) {
 			r.Counters[CounterTaskRetries], r.Counters[CounterOutputRecords])
 	}
 
+	writeFaultTable(w, r)
+
 	if r.Trace != nil {
 		writeSlowestTasks(w, r.Trace, 5)
 		writeSkewedPartitions(w, r.Trace, 5)
@@ -55,6 +57,48 @@ func (r *Report) WriteSummary(w io.Writer) {
 		fmt.Fprintln(w, "histograms:")
 		for _, n := range names {
 			fmt.Fprintf(w, "  %-28s %s\n", n, r.Metrics.Histograms[n].String())
+		}
+	}
+}
+
+// faultCounters are the scheduler's fault-tolerance counters in summary
+// display order, with their human labels.
+var faultCounters = []struct {
+	name  string
+	label string
+}{
+	{CounterRetryMap, "map retries"},
+	{CounterRetryReduce, "reduce retries"},
+	{CounterRetryCommit, "commit retries"},
+	{CounterStragglersInjected, "stragglers injected"},
+	{CounterSpecLaunched, "speculative launched"},
+	{CounterSpecWon, "speculative won"},
+	{CounterSpecSuppressed, "duplicates suppressed"},
+	{CounterDeadlineExceeded, "deadlines exceeded"},
+	{CounterChecksumFailures, "checksum failures"},
+}
+
+// writeFaultTable prints the fault-tolerance event table. A fault-free
+// run prints nothing: the table appears only when the scheduler retried,
+// speculated, hit a deadline or saw a checksum mismatch.
+func writeFaultTable(w io.Writer, r *Report) {
+	if r.Counters == nil {
+		return
+	}
+	any := false
+	for _, fc := range faultCounters {
+		if r.Counters[fc.name] > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintln(w, "fault events:")
+	for _, fc := range faultCounters {
+		if v := r.Counters[fc.name]; v > 0 {
+			fmt.Fprintf(w, "  %-22s %6d\n", fc.label, v)
 		}
 	}
 }

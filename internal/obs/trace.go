@@ -26,6 +26,10 @@ const (
 	OutcomeOK     = "ok"
 	OutcomeRetry  = "retry" // transient failure, the task was re-attempted
 	OutcomeFailed = "failed"
+	// OutcomeDuplicate marks an attempt that finished after another
+	// attempt of the same task had already won (speculative execution or
+	// an abandoned deadline attempt); its output was suppressed.
+	OutcomeDuplicate = "duplicate"
 )
 
 // Span is one traced unit of work: a map attempt, the shuffle, one reduce
@@ -42,11 +46,13 @@ type Span struct {
 	// Partition is the split/partition id the span worked on, if any.
 	Partition string `json:"partition,omitempty"`
 	// Attempt numbers retries of the same task, starting at 0.
-	Attempt    int    `json:"attempt"`
-	RecordsIn  int64  `json:"records_in"`
-	RecordsOut int64  `json:"records_out"`
-	Bytes      int64  `json:"bytes"`
-	Outcome    string `json:"outcome"`
+	Attempt int `json:"attempt"`
+	// Speculative marks a duplicate attempt launched against a straggler.
+	Speculative bool   `json:"spec,omitempty"`
+	RecordsIn   int64  `json:"records_in"`
+	RecordsOut  int64  `json:"records_out"`
+	Bytes       int64  `json:"bytes"`
+	Outcome     string `json:"outcome"`
 	// StartUS/DurUS are microseconds relative to the trace origin.
 	StartUS int64 `json:"start_us"`
 	DurUS   int64 `json:"dur_us"`
@@ -190,6 +196,9 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 		}
 		if s.Partition != "" {
 			args["partition"] = s.Partition
+		}
+		if s.Speculative {
+			args["speculative"] = "true"
 		}
 		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
 			Name: s.Name,
