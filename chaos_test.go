@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -264,6 +265,83 @@ func TestChaosDeterministicReplay(t *testing.T) {
 	} {
 		if repA.Counters[name] != repB.Counters[name] {
 			t.Errorf("counter %s: %d vs %d", name, repA.Counters[name], repB.Counters[name])
+		}
+	}
+}
+
+// TestChaosConcurrentJobs: two jobs racing on one cluster under a fault
+// plan — sharing the slot pool, the injector, the retry scheduler and the
+// DFS — must each produce output byte-identical to its own fault-free
+// serial run. This is the interop point of the serving layer (concurrent
+// admitted jobs) with the fault-tolerance layer.
+func TestChaosConcurrentJobs(t *testing.T) {
+	area := geom.NewRect(0, 0, 20_000, 20_000)
+	ptsA := datagen.Points(datagen.Clustered, 3000, area, 81)
+	ptsB := datagen.Points(datagen.Uniform, 2500, area, 82)
+	rectA := geom.NewRect(2_000, 2_000, 15_000, 15_000)
+	rectB := geom.NewRect(5_000, 1_000, 18_000, 12_000)
+
+	setup := func(plan fault.Plan) *core.System {
+		sys := core.New(core.Config{BlockSize: 8 << 10, Workers: 6, Seed: 1, Fault: plan})
+		sys.Cluster().SetRetryPolicy(chaosPolicy())
+		if _, err := sys.LoadPoints("ptsA", ptsA, sindex.STR); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.LoadPoints("ptsB", ptsB, sindex.QuadTree); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	readOut := func(sys *core.System, name string) []string {
+		t.Helper()
+		out, err := sys.FS().ReadAll(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// Fault-free serial oracles.
+	ref := setup(fault.Plan{})
+	if _, _, err := ops.RangeQueryPointsTo(ref, "ptsA", rectA, "outA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ops.RangeQueryPointsTo(ref, "ptsB", rectB, "outB"); err != nil {
+		t.Fatal(err)
+	}
+	wantA, wantB := readOut(ref, "outA"), readOut(ref, "outB")
+
+	plan := fault.Plan{Seed: 5, MapFailRate: 0.15, StragglerRate: 0.05, CorruptBlockRate: 0.05}
+	sys := setup(plan)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, _, errs[0] = ops.RangeQueryPointsTo(sys, "ptsA", rectA, "outA") }()
+	go func() { defer wg.Done(); _, _, errs[1] = ops.RangeQueryPointsTo(sys, "ptsB", rectB, "outB") }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent chaos job %d: %v", i, err)
+		}
+	}
+	if in := sys.Cluster().Injector(); in == nil || len(in.Events()) == 0 {
+		t.Fatal("fault plan injected nothing; the interop test exercised nothing")
+	}
+
+	for _, cmp := range []struct {
+		name      string
+		got, want []string
+	}{
+		{"outA", readOut(sys, "outA"), wantA},
+		{"outB", readOut(sys, "outB"), wantB},
+	} {
+		if len(cmp.got) != len(cmp.want) {
+			t.Fatalf("%s: %d records under concurrent chaos vs %d fault-free serial", cmp.name, len(cmp.got), len(cmp.want))
+		}
+		for i := range cmp.want {
+			if cmp.got[i] != cmp.want[i] {
+				t.Fatalf("%s record %d diverged under concurrent chaos", cmp.name, i)
+			}
 		}
 	}
 }

@@ -12,6 +12,7 @@
 //	shadoop -op voronoi -n 100000 -index grid
 //	shadoop -op union -polygons zips.txt -index grid
 //	shadoop -op join -polygons a.txt -polygons2 b.txt -index str+
+//	shadoop serve -addr :8080 -n 200000 -index str+
 //
 // Observability flags:
 //
@@ -48,6 +49,15 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: "shadoop serve ..." starts the long-running
+	// HTTP query server; everything else is the one-shot driver.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "shadoop serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		op        = flag.String("op", "skyline", "rangequery|knn|join|skyline|skyline-os|hull|hull-enhanced|closest|farthest|voronoi|delaunay|ann|plot|union|union-enhanced")
 		input     = flag.String("input", "", "points file from datagen (generated when empty)")

@@ -24,6 +24,13 @@
 //	-benchjson BENCH_hotpath.json   run the hot-path suite (decode cache,
 //	                                partitioned shuffle, e2e queries) and
 //	                                write machine-readable results
+//
+// Serving-layer load smoke:
+//
+//	-serveload 30s -clients 8       drive the query mix over HTTP against
+//	                                an in-process server; any non-200 or
+//	                                any body diverging from its serial
+//	                                oracle fails the run
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		obsDir     = flag.String("obsdir", "", "persist job traces and metric snapshots into this directory")
 		benchJSON  = flag.String("benchjson", "", "run the hot-path benchmark suite and write JSON results to this file")
+		serveLoad  = flag.Duration("serveload", 0, "run the serving-layer load smoke for this duration instead of experiments")
+		clients    = flag.Int("clients", 8, "concurrent HTTP clients for -serveload")
 	)
 	chaosPlan := fault.PlanFlags(flag.CommandLine)
 	flag.Parse()
@@ -88,7 +97,11 @@ func main() {
 		ObsDir:    *obsDir,
 		Chaos:     chaosPlan(),
 	}
-	if *benchJSON != "" {
+	if *serveLoad > 0 {
+		if err := bench.ServeLoad(cfg, *serveLoad, *clients); err != nil {
+			fatal(err)
+		}
+	} else if *benchJSON != "" {
 		if err := bench.WriteHotpathJSON(cfg, *benchJSON); err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/serve"
+	"spatialhadoop/internal/sindex"
+)
+
+// serveCorpus loads the serving workload (an indexed points file plus two
+// region files for join) into a fresh system.
+func serveCorpus(cfg Config) (*core.System, error) {
+	sys := core.New(core.Config{Workers: cfg.Workers, BlockSize: cfg.BlockSize, Seed: cfg.Seed, Fault: cfg.Chaos})
+	area := geom.NewRect(0, 0, 1_000_000, 1_000_000)
+	pts := datagen.Points(datagen.Clustered, cfg.n(60_000), area, cfg.Seed)
+	if _, err := sys.LoadPoints("pts", pts, sindex.STRPlus); err != nil {
+		return nil, err
+	}
+	toRegions := func(pgs []geom.Polygon) []geom.Region {
+		out := make([]geom.Region, len(pgs))
+		for i, pg := range pgs {
+			out[i] = geom.RegionOf(pg)
+		}
+		return out
+	}
+	if _, err := sys.LoadRegions("a", toRegions(datagen.Tessellation(6, 6, area, cfg.Seed+1)), sindex.Grid); err != nil {
+		return nil, err
+	}
+	if _, err := sys.LoadRegions("b", toRegions(datagen.Tessellation(5, 5, area, cfg.Seed+2)), sindex.Grid); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// serveLoadQueries is the load-smoke query mix.
+func serveLoadQueries() []string {
+	return []string{
+		"/rangequery?file=pts&rect=100000,100000,400000,400000",
+		"/rangequery?file=pts&rect=250000,250000,750000,750000",
+		"/rangequery?file=pts&rect=0,0,1000000,1000000",
+		"/knn?file=pts&point=500000,500000&k=10",
+		"/knn?file=pts&point=123456,654321&k=25",
+		"/join?left=a&right=b",
+		"/plot?file=pts&width=64&height=64",
+	}
+}
+
+// ServeLoad is the serving-layer load smoke: it stands up an in-process
+// HTTP server, records each query's serial answer as an oracle, then
+// drives the mix from concurrent clients for the given duration. Any
+// non-200 response or any body diverging from its oracle fails the run;
+// on success it reports sustained throughput. CI runs this for 30s.
+func ServeLoad(cfg Config, d time.Duration, clients int) error {
+	cfg = cfg.withDefaults()
+	if clients < 1 {
+		clients = 8
+	}
+	sys, err := serveCorpus(cfg)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(sys, serve.Config{
+		CacheSize:   256,
+		MaxInFlight: 4,
+		QueueDepth:  4096,
+		JobDeadline: 30 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	get := func(q string) (int, []byte, error) {
+		resp, err := client.Get(base + q)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, err
+	}
+
+	// Serial oracle pass.
+	queries := serveLoadQueries()
+	oracle := make(map[string][]byte, len(queries))
+	for _, q := range queries {
+		code, body, err := get(q)
+		if err != nil {
+			return fmt.Errorf("oracle %s: %v", q, err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("oracle %s: status %d: %s", q, code, body)
+		}
+		oracle[q] = body
+	}
+
+	// Concurrent load until the deadline.
+	var total, failures atomic.Int64
+	var firstErr atomic.Value
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			for time.Now().Before(deadline) {
+				q := queries[rng.Intn(len(queries))]
+				code, body, err := get(q)
+				total.Add(1)
+				switch {
+				case err != nil:
+					failures.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: %v", q, err))
+				case code != http.StatusOK:
+					failures.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: status %d: %.200s", q, code, body))
+				case string(body) != string(oracle[q]):
+					failures.Add(1)
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: body diverged from serial oracle", q))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	elapsed := d.Seconds()
+	fmt.Fprintf(cfg.W, "serveload: %d requests from %d clients in %v (%.1f req/s), %d failures\n",
+		total.Load(), clients, d, float64(total.Load())/elapsed, failures.Load())
+	snap := srv.Metrics().Snapshot()
+	fmt.Fprintf(cfg.W, "serveload: cache hits=%d misses=%d evictions=%d\n",
+		snap.Counters[serve.CounterCacheHits], snap.Counters[serve.CounterCacheMisses], snap.Counters[serve.CounterCacheEvictions])
+	if n := failures.Load(); n > 0 {
+		return fmt.Errorf("serveload: %d/%d requests failed; first: %v", n, total.Load(), firstErr.Load())
+	}
+	if total.Load() == 0 {
+		return fmt.Errorf("serveload: no requests completed within %v", d)
+	}
+	return nil
+}
+
+// The concurrency experiment quantifies the serving layer's point: with a
+// shared slot pool and admission control, running J independent queries
+// concurrently costs about the same total work as running them serially,
+// but the wall-clock drops because master-side gaps (filter, commit,
+// result readback) of one job overlap the map work of another — while
+// the worker cap keeps the task concurrency at the cluster size either
+// way.
+func init() {
+	register("concurrency", "Concurrent query throughput under shared admission (serving layer)", func(cfg Config) error {
+		sys, err := serveCorpus(cfg)
+		if err != nil {
+			return err
+		}
+		queries := []geom.Rect{
+			geom.NewRect(100_000, 100_000, 400_000, 400_000),
+			geom.NewRect(250_000, 250_000, 750_000, 750_000),
+			geom.NewRect(600_000, 100_000, 900_000, 500_000),
+			geom.NewRect(50_000, 550_000, 450_000, 950_000),
+			geom.NewRect(300_000, 300_000, 700_000, 700_000),
+			geom.NewRect(0, 0, 1_000_000, 1_000_000),
+		}
+		runOne := func(i int, out string) error {
+			_, _, err := ops.RangeQueryPointsTo(sys, "pts", queries[i%len(queries)], out)
+			return err
+		}
+
+		const jobs = 12
+		t := newTable(cfg.W, "mode", "jobs", "wall ms", "jobs/s", "speedup")
+
+		serialDur, err := timed(func() error {
+			for i := 0; i < jobs; i++ {
+				if err := runOne(i, fmt.Sprintf("serial.out%d", i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t.add("serial", fmt.Sprint(jobs), ms(serialDur), fmt.Sprintf("%.1f", float64(jobs)/serialDur.Seconds()), "1.0x")
+
+		for _, inflight := range []int{2, 4} {
+			sys.Cluster().SetAdmission(mapreduce.AdmissionConfig{MaxInFlight: inflight, QueueDepth: jobs})
+			concDur, err := timed(func() error {
+				var wg sync.WaitGroup
+				errs := make([]error, jobs)
+				for i := 0; i < jobs; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						errs[i] = runOne(i, fmt.Sprintf("conc%d.out%d", inflight, i))
+					}(i)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			t.add(fmt.Sprintf("concurrent(x%d)", inflight), fmt.Sprint(jobs), ms(concDur),
+				fmt.Sprintf("%.1f", float64(jobs)/concDur.Seconds()), speedup(serialDur, concDur))
+		}
+		t.flush()
+		fmt.Fprintf(cfg.W, "slot pool: cap=%d high-water=%d (cap never exceeded)\n",
+			sys.Cluster().Slots().Cap(), sys.Cluster().Slots().HighWater())
+		return nil
+	})
+}

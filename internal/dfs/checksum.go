@@ -154,6 +154,7 @@ func (fs *FileSystem) CorruptBlock(name string, i int) error {
 		buf[0] ^= 0x20 // flip one bit of the first byte
 		b.records[ri] = string(buf)
 		b.invalidate()
+		fs.stamp(f)
 		return nil
 	}
 	return fmt.Errorf("dfs: %s block %d has no corruptible record", name, i)

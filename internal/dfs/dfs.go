@@ -137,7 +137,18 @@ type File struct {
 	// Master is an opaque attachment for index metadata (SpatialHadoop's
 	// _master file). The spatial layer serializes its global index here.
 	Master []byte
+
+	// epoch is the file's mutation epoch: the value of the file system's
+	// monotone clock at the file's most recent mutation (creation, record
+	// write, master attachment). Because the clock is global, a file that
+	// is deleted and re-created never reuses an epoch, so (name, epoch)
+	// uniquely identifies one immutable state of a file's contents —
+	// exactly what result caches key on to invalidate correctly.
+	epoch atomic.Int64
 }
+
+// Epoch returns the file's current mutation epoch.
+func (f *File) Epoch() int64 { return f.epoch.Load() }
 
 // Sink receives file-system metrics. obs.Registry satisfies it; the
 // narrow interface keeps dfs free of an observability dependency.
@@ -164,6 +175,27 @@ type FileSystem struct {
 	nextNode  int
 	nodeBytes []int64
 	metrics   Sink
+
+	// clock is the monotone mutation clock driving file epochs: every
+	// mutation stamps the touched file with clock+1.
+	clock atomic.Int64
+}
+
+// stamp advances the mutation clock and records the new epoch on f.
+func (fs *FileSystem) stamp(f *File) {
+	f.epoch.Store(fs.clock.Add(1))
+}
+
+// FileEpoch returns the named file's mutation epoch, or 0 when the file
+// does not exist (epochs of live files start at 1).
+func (fs *FileSystem) FileEpoch(name string) int64 {
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return f.Epoch()
 }
 
 // SetMetrics attaches a metrics sink; the file system then reports blocks
@@ -227,6 +259,7 @@ func (fs *FileSystem) Create(name string) (*Writer, error) {
 		return nil, fmt.Errorf("%w: %s", ErrExists, name)
 	}
 	f := &File{Name: name}
+	fs.stamp(f)
 	fs.files[name] = f
 	return &Writer{fs: fs, file: f}, nil
 }
@@ -261,6 +294,7 @@ func (w *Writer) WriteRecord(rec string) {
 	w.cur.Bytes += sz
 	w.file.Bytes += sz
 	w.file.Records++
+	w.fs.stamp(w.file)
 	if w.cur.cache.Load() != nil { // skip the store barrier on the common path
 		w.cur.invalidate()
 	}
@@ -307,7 +341,10 @@ func (w *Writer) Close() error {
 }
 
 // SetMaster attaches index metadata to the file being written.
-func (w *Writer) SetMaster(master []byte) { w.file.Master = master }
+func (w *Writer) SetMaster(master []byte) {
+	w.file.Master = master
+	w.fs.stamp(w.file)
+}
 
 // Open returns the metadata for a file.
 func (fs *FileSystem) Open(name string) (*File, error) {

@@ -1,0 +1,77 @@
+package dfs
+
+import "testing"
+
+// TestFileEpochMonotone: every mutation of a file — creation, each record
+// write, attaching a master index, the corruption hook — strictly
+// advances its epoch, and the epoch is what result caches key on.
+func TestFileEpochMonotone(t *testing.T) {
+	fs := New(Config{BlockSize: 64})
+	if got := fs.FileEpoch("f"); got != 0 {
+		t.Fatalf("missing file epoch = %d, want 0", got)
+	}
+	w, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := fs.FileEpoch("f")
+	if last == 0 {
+		t.Fatal("created file must have a non-zero epoch")
+	}
+	step := func(what string) {
+		t.Helper()
+		e := fs.FileEpoch("f")
+		if e <= last {
+			t.Fatalf("%s: epoch %d did not advance past %d", what, e, last)
+		}
+		last = e
+	}
+	w.WriteRecord("a")
+	step("first write")
+	w.WriteRecord("b")
+	step("second write")
+	w.SetMaster([]byte("idx"))
+	step("set master")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CorruptBlock("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	step("corrupt block")
+}
+
+// TestFileEpochNeverReused: deleting and re-creating a file yields a
+// strictly higher epoch, so a (name, epoch) cache key can never alias an
+// older incarnation's results.
+func TestFileEpochNeverReused(t *testing.T) {
+	fs := New(Config{})
+	if err := fs.WriteFile("f", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	e1 := fs.FileEpoch("f")
+	fs.Delete("f")
+	if got := fs.FileEpoch("f"); got != 0 {
+		t.Fatalf("deleted file epoch = %d, want 0", got)
+	}
+	if err := fs.WriteFile("f", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if e2 := fs.FileEpoch("f"); e2 <= e1 {
+		t.Fatalf("re-created file epoch %d not above prior %d", e2, e1)
+	}
+
+	// CreateOrReplace is the mutation path queries race against: the
+	// replacement must also land above every prior epoch.
+	w, err := fs.CreateOrReplace("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteRecord("z")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e3, e2 := fs.FileEpoch("f"), e1; e3 <= e2 {
+		t.Fatalf("replaced file epoch %d not above prior %d", e3, e2)
+	}
+}

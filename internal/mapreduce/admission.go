@@ -1,0 +1,215 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the cluster's job admission controller: a bounded queue in
+// front of RunCtx that caps how many jobs execute at once, how many may
+// wait, and how long an admitted job may run. Without it RunCtx admits
+// unconditionally (the batch behaviour every existing caller relies on);
+// with it a serving front end can push arbitrary client traffic at the
+// cluster and get typed back-pressure instead of unbounded goroutine and
+// slot contention.
+
+// ErrOverloaded is returned when a job is rejected because the in-flight
+// cap and the wait queue are both full. Rejections carry an
+// *OverloadError with the occupancy observed at decision time.
+var ErrOverloaded = errors.New("mapreduce: cluster overloaded")
+
+// ErrDraining is returned for jobs submitted after Drain began: the
+// cluster finishes what it admitted and accepts nothing new.
+var ErrDraining = errors.New("mapreduce: cluster draining")
+
+// OverloadError details one admission rejection. It wraps ErrOverloaded,
+// and by construction InFlight == MaxInFlight and Queued == QueueDepth:
+// the controller only rejects when both the run slots and the queue were
+// genuinely full, a claim the scheduler property tests verify.
+type OverloadError struct {
+	InFlight, MaxInFlight int
+	Queued, QueueDepth    int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("mapreduce: cluster overloaded: %d/%d jobs in flight, %d/%d queued",
+		e.InFlight, e.MaxInFlight, e.Queued, e.QueueDepth)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// AdmissionConfig bounds concurrent job execution.
+type AdmissionConfig struct {
+	// MaxInFlight is the number of jobs that may execute at once
+	// (minimum 1).
+	MaxInFlight int
+	// QueueDepth is the number of jobs that may wait for a run slot; a
+	// submission finding the queue full is rejected with ErrOverloaded.
+	QueueDepth int
+	// JobDeadline, when positive, bounds each admitted job's execution:
+	// the job's context expires after this long in RunCtx.
+	JobDeadline time.Duration
+}
+
+// admission is the controller state. Grants are FIFO: a freed run slot
+// goes to the oldest waiter.
+type admission struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	inFlight int
+	queue    []chan struct{} // FIFO; closing a channel grants its waiter
+	draining bool
+	idle     chan struct{} // non-nil once Drain starts; closed at quiescence
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 1
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	return &admission{cfg: cfg}
+}
+
+// enter admits one job, queueing when the in-flight cap is reached. It
+// returns the release function the job must call when finished.
+func (a *admission) enter(ctx context.Context) (func(), error) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if a.inFlight < a.cfg.MaxInFlight {
+		a.inFlight++
+		a.mu.Unlock()
+		return a.release, nil
+	}
+	if len(a.queue) >= a.cfg.QueueDepth {
+		err := &OverloadError{
+			InFlight: a.inFlight, MaxInFlight: a.cfg.MaxInFlight,
+			Queued: len(a.queue), QueueDepth: a.cfg.QueueDepth,
+		}
+		a.mu.Unlock()
+		return nil, err
+	}
+	grant := make(chan struct{})
+	a.queue = append(a.queue, grant)
+	a.mu.Unlock()
+
+	select {
+	case <-grant:
+		// grantLocked already moved us into inFlight.
+		return a.release, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, g := range a.queue {
+			if g == grant {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		// The grant raced the cancellation: we already hold a run slot
+		// and must give it back.
+		a.inFlight--
+		a.grantLocked()
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a run slot, promoting the oldest waiter.
+func (a *admission) release() {
+	a.mu.Lock()
+	a.inFlight--
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked hands free run slots to waiters and signals drain
+// quiescence. Callers hold a.mu.
+func (a *admission) grantLocked() {
+	for a.inFlight < a.cfg.MaxInFlight && len(a.queue) > 0 {
+		grant := a.queue[0]
+		a.queue = a.queue[1:]
+		a.inFlight++
+		close(grant)
+	}
+	if a.idle != nil && a.inFlight == 0 && len(a.queue) == 0 {
+		select {
+		case <-a.idle: // already closed
+		default:
+			close(a.idle)
+		}
+	}
+}
+
+// drain stops admission and returns a channel closed once every admitted
+// job — in flight and queued — has finished.
+func (a *admission) drain() <-chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.draining = true
+	if a.idle == nil {
+		a.idle = make(chan struct{})
+		if a.inFlight == 0 && len(a.queue) == 0 {
+			close(a.idle)
+		}
+	}
+	return a.idle
+}
+
+// stats returns the current occupancy.
+func (a *admission) stats() (inFlight, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight, len(a.queue)
+}
+
+// SetAdmission installs a job admission controller on the cluster:
+// subsequent RunCtx calls are admitted, queued or rejected under cfg.
+// Installing replaces any previous controller (and forgets its drain
+// state); a serving layer installs it once at startup.
+func (c *Cluster) SetAdmission(cfg AdmissionConfig) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.admit = newAdmission(cfg)
+}
+
+// admission returns the installed controller, or nil.
+func (c *Cluster) admission() *admission {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admit
+}
+
+// AdmissionStats reports the controller's occupancy (0, 0 when no
+// controller is installed).
+func (c *Cluster) AdmissionStats() (inFlight, queued int) {
+	if a := c.admission(); a != nil {
+		return a.stats()
+	}
+	return 0, 0
+}
+
+// Drain stops admitting jobs and waits until every already admitted job
+// (running or queued) has finished, or ctx expires. Jobs submitted after
+// Drain begins fail with ErrDraining. Draining a cluster with no
+// admission controller is a no-op.
+func (c *Cluster) Drain(ctx context.Context) error {
+	a := c.admission()
+	if a == nil {
+		return nil
+	}
+	select {
+	case <-a.drain():
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -18,7 +18,6 @@ package mapreduce
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -411,34 +410,41 @@ func (r *Report) SimulatedParallel(workers int) time.Duration {
 type Cluster struct {
 	fs      *dfs.FileSystem
 	workers int
+	// slots is the cluster-wide worker slot pool shared by every
+	// concurrently running job: all map, reduce and speculative attempts
+	// acquire from it, so N racing RunCtx calls share one cap instead of
+	// oversubscribing the cluster N-fold.
+	slots *SlotPool
 
 	mu       sync.Mutex
 	injector *fault.Injector
 	policy   fault.RetryPolicy
+	admit    *admission
 }
 
 // NewCluster creates a cluster over fs with the given number of worker
-// slots. The worker count is the modelled cluster size (reducer counts,
-// SimulatedParallel); actual task execution is additionally capped at the
-// host's CPU count, because oversubscribing cores only interleaves
-// goroutines and distorts per-task time measurements.
+// slots. The worker count is the modelled cluster size: it bounds the
+// total task parallelism across all concurrent jobs (through the shared
+// SlotPool), and it feeds reducer counts and SimulatedParallel.
 func NewCluster(fs *dfs.FileSystem, workers int) *Cluster {
 	if workers <= 0 {
 		workers = 1
 	}
-	return &Cluster{fs: fs, workers: workers, policy: fault.DefaultRetryPolicy()}
+	return &Cluster{
+		fs:      fs,
+		workers: workers,
+		slots:   NewSlotPool(workers),
+		policy:  fault.DefaultRetryPolicy(),
+	}
 }
 
-// execSlots returns the number of tasks to actually run concurrently.
+// Slots returns the cluster's shared worker slot pool.
+func (c *Cluster) Slots() *SlotPool { return c.slots }
+
+// execSlots returns the cap on concurrently executing tasks — the shared
+// pool's capacity.
 func (c *Cluster) execSlots() int {
-	slots := c.workers
-	if n := runtime.NumCPU(); n < slots {
-		slots = n
-	}
-	if slots < 1 {
-		slots = 1
-	}
-	return slots
+	return c.slots.Cap()
 }
 
 // FS returns the cluster's file system.
@@ -511,8 +517,29 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 }
 
 // RunCtx executes the job under a context: cancelling it stops new
-// attempts (tasks in flight finish their current attempt).
+// attempts (tasks in flight finish their current attempt). When an
+// admission controller is installed (SetAdmission), the job first passes
+// admission: it may queue behind other jobs, be rejected with
+// ErrOverloaded when the queue is full, or run under the configured
+// per-job deadline.
 func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*Report, error) {
+	if a := c.admission(); a != nil {
+		release, err := a.enter(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		if a.cfg.JobDeadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, a.cfg.JobDeadline)
+			defer cancel()
+		}
+	}
+	return c.runJob(ctx, job)
+}
+
+// runJob executes one admitted job.
+func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 	if job.Map == nil {
 		return nil, fmt.Errorf("mapreduce: job %q has no map function", job.Name)
 	}
@@ -635,13 +662,15 @@ func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*Report, error) {
 	shSpan := rj.trace.Start("shuffle", obs.PhaseShuffle, root.ID, -1)
 	groups := make([]map[string][]string, numRed)
 	var swg sync.WaitGroup
-	ssem := make(chan struct{}, c.execSlots())
 	for ri := 0; ri < numRed; ri++ {
 		swg.Add(1)
 		go func(ri int) {
 			defer swg.Done()
-			ssem <- struct{}{}
-			defer func() { <-ssem }()
+			// Merge work is bounded and must complete even when ctx is
+			// cancelled (the job fails later with complete state), so the
+			// acquire does not take the job context.
+			_ = c.slots.Acquire(context.Background())
+			defer c.slots.Release()
 			g := make(map[string][]string)
 			for _, r := range results {
 				if ri >= len(r.shards) {

@@ -169,22 +169,26 @@ func (s *sched) close() {
 	s.helpers.Wait()
 }
 
-// runAll executes every registered task under the phase's concurrency
-// cap, with the speculation monitor running alongside, and returns the
+// runAll executes every registered task under the cluster's shared slot
+// pool, with the speculation monitor running alongside, and returns the
 // per-task errors (indexed by task idx). It blocks until every attempt —
 // including in-flight speculative duplicates — has finished, so callers
-// may read published results immediately after.
+// may read published results immediately after. Because the pool is
+// cluster-wide, tasks of concurrently running jobs contend for the same
+// slots instead of each job claiming a full complement.
 func (s *sched) runAll(ctx context.Context) []error {
 	s.start(ctx)
 	errs := make([]error, len(s.tasks))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.c.execSlots())
 	for _, ts := range s.tasks {
 		wg.Add(1)
 		go func(ts *schedTask) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			if err := s.c.slots.Acquire(ctx); err != nil {
+				errs[ts.idx] = err
+				return
+			}
+			defer s.c.slots.Release()
 			errs[ts.idx] = s.runTask(ctx, ts)
 		}(ts)
 	}
@@ -229,6 +233,14 @@ func (s *sched) scanStragglers(ctx context.Context) {
 		ts.mu.Lock()
 		straggling := ts.running && !ts.done && !ts.specLaunched && now.Sub(ts.attemptStart) > threshold
 		if straggling {
+			// Speculative duplicates draw from the same shared slot pool
+			// as primary attempts; when the cluster is saturated the
+			// duplicate is simply not launched this tick (speculation is
+			// opportunistic, never back-pressure).
+			if !s.c.slots.TryAcquire() {
+				ts.mu.Unlock()
+				continue
+			}
 			ts.specLaunched = true
 			ts.specDone = make(chan struct{})
 		}
@@ -240,6 +252,7 @@ func (s *sched) scanStragglers(ctx context.Context) {
 		s.helpers.Add(1)
 		go func(ts *schedTask) {
 			defer s.helpers.Done()
+			defer s.c.slots.Release()
 			defer close(ts.specDone)
 			span := s.startSpan(ts, specAttempt, true)
 			if err := s.attempt(ctx, ts, span, specAttempt, true); err != nil {

@@ -1,0 +1,90 @@
+package mapreduce
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// SlotPool is the cluster-wide worker slot pool. Every task attempt of
+// every concurrently running job — map, reduce and speculative duplicates
+// alike — acquires one slot before executing, so the total task
+// parallelism of the cluster is bounded by one global cap instead of one
+// cap per job. Before the pool existed each job allocated its own
+// semaphore, so N concurrent jobs oversubscribed the cluster N-fold.
+//
+// The capacity models the cluster's worker slots (the paper's machine
+// count), not the host's cores: on a smaller host the Go scheduler
+// interleaves the slot holders, which preserves throughput and — more
+// importantly — keeps a one-core test box able to run a speculative
+// duplicate while its straggling primary sleeps on another slot.
+type SlotPool struct {
+	sem   chan struct{}
+	inUse atomic.Int64
+	high  atomic.Int64
+}
+
+// NewSlotPool creates a pool with the given capacity (minimum 1).
+func NewSlotPool(capacity int) *SlotPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlotPool{sem: make(chan struct{}, capacity)}
+}
+
+// Cap returns the pool capacity.
+func (p *SlotPool) Cap() int { return cap(p.sem) }
+
+// InUse returns the number of slots currently held.
+func (p *SlotPool) InUse() int { return int(p.inUse.Load()) }
+
+// HighWater returns the maximum number of slots ever held at once — the
+// sampled invariant the concurrency property tests pin against Cap.
+func (p *SlotPool) HighWater() int { return int(p.high.Load()) }
+
+// Acquire blocks until a slot is free or ctx is done.
+func (p *SlotPool) Acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		p.acquired()
+		return nil
+	default:
+	}
+	select {
+	case p.sem <- struct{}{}:
+		p.acquired()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot without blocking; it reports whether one was
+// free. Speculative duplicates use it: speculation is opportunistic, so
+// when the cluster is saturated the monitor simply retries at its next
+// tick instead of queueing behind the very tasks it wants to second-guess.
+func (p *SlotPool) TryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		p.acquired()
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot to the pool.
+func (p *SlotPool) Release() {
+	p.inUse.Add(-1)
+	<-p.sem
+}
+
+// acquired bumps the usage gauge and folds it into the high-water mark.
+func (p *SlotPool) acquired() {
+	cur := p.inUse.Add(1)
+	for {
+		h := p.high.Load()
+		if cur <= h || p.high.CompareAndSwap(h, cur) {
+			return
+		}
+	}
+}

@@ -28,6 +28,12 @@ type JoinPair struct {
 // side, that the overlap's min corner falls in that side's partition, so
 // exactly one task reports each match.
 func SpatialJoinIndexed(sys *core.System, left, right string) ([]JoinPair, *mapreduce.Report, error) {
+	return SpatialJoinIndexedTo(sys, left, right, left+".join.out")
+}
+
+// SpatialJoinIndexedTo is SpatialJoinIndexed writing its result to the
+// given output file; concurrent joins must use distinct output names.
+func SpatialJoinIndexedTo(sys *core.System, left, right, out string) ([]JoinPair, *mapreduce.Report, error) {
 	lf, err := sys.Open(left)
 	if err != nil {
 		return nil, nil, err
@@ -67,7 +73,6 @@ func SpatialJoinIndexed(sys *core.System, left, right string) ([]JoinPair, *mapr
 		}
 	}
 
-	out := left + ".join.out"
 	job := &mapreduce.Job{
 		Name:   "spatial-join",
 		Splits: pairs,

@@ -21,6 +21,10 @@ type PlotConfig struct {
 	// Extent is the world rectangle mapped onto the raster; when empty it
 	// defaults to the file's index space (or data MBR for heap files).
 	Extent geom.Rect
+	// Out names the job's composited output file (default
+	// file+".plot.out"). Concurrent plots of the same file must use
+	// distinct names.
+	Out string
 }
 
 // Plot rasterizes a points file into a density image, the visualization
@@ -57,7 +61,10 @@ func Plot(sys *core.System, file string, cfg PlotConfig) (*image.Gray, *mapreduc
 	}
 
 	counts := make([]uint32, cfg.Width*cfg.Height)
-	out := file + ".plot.out"
+	out := cfg.Out
+	if out == "" {
+		out = file + ".plot.out"
+	}
 	job := &mapreduce.Job{
 		Name:   "plot",
 		Splits: f.Splits(),

@@ -38,11 +38,18 @@ const (
 // partition whose boundary misses the query, and map tasks use the local
 // R-tree indexes; with a heap file every block is scanned.
 func RangeQueryPoints(sys *core.System, file string, query geom.Rect) ([]geom.Point, *mapreduce.Report, error) {
+	return RangeQueryPointsTo(sys, file, query, file+".range.out")
+}
+
+// RangeQueryPointsTo is RangeQueryPoints writing its result to the given
+// output file. Concurrent queries over the same input must use distinct
+// output names (the serving layer allocates one per request); the default
+// shared name is only safe for one query at a time.
+func RangeQueryPointsTo(sys *core.System, file string, query geom.Rect, out string) ([]geom.Point, *mapreduce.Report, error) {
 	f, err := sys.Open(file)
 	if err != nil {
 		return nil, nil, err
 	}
-	out := file + ".range.out"
 	job := &mapreduce.Job{
 		Name:   "range-points",
 		Splits: f.Splits(),
@@ -204,6 +211,13 @@ func decodeCandidate(s string) (knnCandidate, error) {
 // boundary, a second round processes every partition intersecting the
 // correctness circle. The returned report is from the final round.
 func KNN(sys *core.System, file string, q geom.Point, k int) ([]geom.Point, *mapreduce.Report, error) {
+	return KNNTo(sys, file, q, k, file+".knn")
+}
+
+// KNNTo is KNN writing its round outputs to outPrefix+".r1" and
+// outPrefix+".r2". Concurrent kNN queries over the same file must use
+// distinct prefixes.
+func KNNTo(sys *core.System, file string, q geom.Point, k int, outPrefix string) ([]geom.Point, *mapreduce.Report, error) {
 	f, err := sys.Open(file)
 	if err != nil {
 		return nil, nil, err
@@ -280,7 +294,7 @@ func KNN(sys *core.System, file string, q geom.Point, k int) ([]geom.Point, *map
 		}
 		return []*mapreduce.Split{best}
 	}
-	rep, cands, err := run(round1, file+".knn.r1")
+	rep, cands, err := run(round1, outPrefix+".r1")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -314,7 +328,7 @@ func KNN(sys *core.System, file string, q geom.Point, k int) ([]geom.Point, *map
 			}
 			return keep
 		}
-		rep, cands, err = run(filter, file+".knn.r2")
+		rep, cands, err = run(filter, outPrefix+".r2")
 		if err != nil {
 			return nil, nil, err
 		}

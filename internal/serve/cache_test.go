@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/obs"
+	"spatialhadoop/internal/sindex"
+)
+
+// TestCacheStaleEpochRegression is the stale-result regression test: two
+// byte-identical queries with a data reload in between must NOT serve the
+// second from cache — the reload bumps the file's DFS epoch, the cache
+// key changes, and the fresh result must reflect the new data.
+func TestCacheStaleEpochRegression(t *testing.T) {
+	sys := core.New(core.Config{BlockSize: 2048, Workers: 4, Seed: 7})
+	area := geom.NewRect(0, 0, 1000, 1000)
+	pts := datagen.Points(datagen.Uniform, 500, area, 5)
+	if _, err := sys.LoadPoints("pts", pts, sindex.STR); err != nil {
+		t.Fatal(err)
+	}
+	epoch1 := sys.FS().FileEpoch("pts")
+
+	srv := New(sys, Config{CacheSize: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	q := "/rangequery?file=pts&rect=0,0,1000,1000"
+	code, body1, cache1 := fetch(t, ts.Client(), ts.URL+q)
+	if code != http.StatusOK || cache1 != "miss" {
+		t.Fatalf("first query: status %d X-Cache=%q", code, cache1)
+	}
+	if code, body, cache := fetch(t, ts.Client(), ts.URL+q); code != http.StatusOK || cache != "hit" || string(body) != string(body1) {
+		t.Fatalf("warm query: status %d X-Cache=%q bodyEqual=%v", code, cache, string(body) == string(body1))
+	}
+
+	// Reload with one extra, distinctive point. This is a whole-file
+	// replace (CreateOrReplace), the mutation path serving races against.
+	marker := geom.Pt(123.5, 456.5)
+	if _, err := sys.LoadPoints("pts", append(append([]geom.Point{}, pts...), marker), sindex.STR); err != nil {
+		t.Fatal(err)
+	}
+	if epoch2 := sys.FS().FileEpoch("pts"); epoch2 <= epoch1 {
+		t.Fatalf("reload did not advance epoch: %d -> %d", epoch1, epoch2)
+	}
+
+	code, body2, cache2 := fetch(t, ts.Client(), ts.URL+q)
+	if code != http.StatusOK {
+		t.Fatalf("post-reload query: status %d", code)
+	}
+	if cache2 != "miss" {
+		t.Fatalf("post-reload query served from cache (X-Cache=%q): stale result", cache2)
+	}
+	if string(body2) == string(body1) {
+		t.Fatal("post-reload body identical to pre-reload body; new point missing")
+	}
+	if !strings.Contains(string(body2), `{"x":123.5,"y":456.5}`) {
+		t.Fatalf("post-reload body does not contain the new point: %.300s", body2)
+	}
+}
+
+// TestCacheLRUEvictionOrder table-tests the LRU policy: the least
+// recently *used* (not least recently inserted) entry is evicted.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	body := func(i int) []byte { return []byte(fmt.Sprintf("body-%d", i)) }
+	for _, tc := range []struct {
+		name    string
+		max     int
+		ops     func(c *Cache)
+		present []string
+		absent  []string
+	}{
+		{
+			name: "insert order evicts oldest",
+			max:  2,
+			ops: func(c *Cache) {
+				c.Put("a", body(1))
+				c.Put("b", body(2))
+				c.Put("c", body(3))
+			},
+			present: []string{"b", "c"},
+			absent:  []string{"a"},
+		},
+		{
+			name: "get refreshes recency",
+			max:  2,
+			ops: func(c *Cache) {
+				c.Put("a", body(1))
+				c.Put("b", body(2))
+				c.Get("a") // a is now more recent than b
+				c.Put("c", body(3))
+			},
+			present: []string{"a", "c"},
+			absent:  []string{"b"},
+		},
+		{
+			name: "re-put refreshes recency and replaces body",
+			max:  2,
+			ops: func(c *Cache) {
+				c.Put("a", body(1))
+				c.Put("b", body(2))
+				c.Put("a", body(9))
+				c.Put("c", body(3))
+			},
+			present: []string{"a", "c"},
+			absent:  []string{"b"},
+		},
+		{
+			name: "zero or negative capacity disables",
+			max:  -1,
+			ops: func(c *Cache) {
+				c.Put("a", body(1))
+			},
+			absent: []string{"a"},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			c := NewCache(tc.max, reg)
+			tc.ops(c)
+			for _, k := range tc.present {
+				if !c.Contains(k) {
+					t.Errorf("key %q missing, want present", k)
+				}
+			}
+			for _, k := range tc.absent {
+				if c.Contains(k) {
+					t.Errorf("key %q present, want evicted/absent", k)
+				}
+			}
+			if tc.max > 0 && c.Len() > tc.max {
+				t.Errorf("cache holds %d entries, cap %d", c.Len(), tc.max)
+			}
+		})
+	}
+
+	// Replaced bodies are served, not the originals.
+	c := NewCache(2, nil)
+	c.Put("a", body(1))
+	c.Put("a", body(9))
+	if got, ok := c.Get("a"); !ok || string(got) != "body-9" {
+		t.Errorf("re-put body = %q ok=%v, want body-9", got, ok)
+	}
+}
+
+// TestCacheEvictionCounter: evictions surface in the obs registry.
+func TestCacheEvictionCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(1, reg)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("c", []byte("3"))
+	if got := reg.Counter(CounterCacheEvictions); got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
+	c.Get("c")
+	c.Get("nope")
+	if hits, misses := reg.Counter(CounterCacheHits), reg.Counter(CounterCacheMisses); hits != 1 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+// TestCacheRectCanonicalization: the same rectangle given by any pair of
+// opposite corners maps to the same cache key, so the second spelling is
+// a hit with a byte-identical body (modulo the canonicalized echo of the
+// rect, which is identical too).
+func TestCacheRectCanonicalization(t *testing.T) {
+	sys := core.New(core.Config{BlockSize: 2048, Workers: 4, Seed: 7})
+	area := geom.NewRect(0, 0, 1000, 1000)
+	if _, err := sys.LoadPoints("pts", datagen.Points(datagen.Uniform, 400, area, 6), sindex.Grid); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys, Config{CacheSize: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spellings := []string{
+		"/rangequery?file=pts&rect=100,100,900,900",
+		"/rangequery?file=pts&rect=900,900,100,100", // max corner first
+		"/rangequery?file=pts&rect=100,900,900,100", // mixed corners
+		"/rangequery?file=pts&rect=900,100,100,900", // other mix
+	}
+	code, want, cache := fetch(t, ts.Client(), ts.URL+spellings[0])
+	if code != http.StatusOK || cache != "miss" {
+		t.Fatalf("first spelling: status %d X-Cache=%q", code, cache)
+	}
+	for _, q := range spellings[1:] {
+		code, body, cache := fetch(t, ts.Client(), ts.URL+q)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d", q, code)
+		}
+		if cache != "hit" {
+			t.Errorf("%s: X-Cache=%q, want hit (canonicalization failed)", q, cache)
+		}
+		if string(body) != string(want) {
+			t.Errorf("%s: body differs from canonical spelling", q)
+		}
+	}
+	if n := srv.ResultCache().Len(); n != 1 {
+		t.Errorf("cache holds %d entries for one canonical query, want 1", n)
+	}
+}

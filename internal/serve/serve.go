@@ -1,0 +1,487 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/obs"
+	"spatialhadoop/internal/ops"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// CacheSize bounds the result cache in entries (default 256; negative
+	// disables caching, zero means default).
+	CacheSize int
+	// MaxInFlight is the number of jobs the cluster runs concurrently
+	// (default 4); further admitted jobs wait in the queue.
+	MaxInFlight int
+	// QueueDepth bounds the admission queue (default 64); beyond it
+	// requests are rejected with 429.
+	QueueDepth int
+	// JobDeadline bounds each admitted job's run time (0 = none).
+	JobDeadline time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Server is the HTTP query front end. Every query endpoint runs as a
+// MapReduce job under the cluster's admission controller and shared slot
+// pool, so any mix of concurrent HTTP clients is bounded by the modelled
+// cluster capacity, with overload surfacing as 429 instead of collapse.
+type Server struct {
+	sys      *core.System
+	cfg      Config
+	cache    *Cache
+	reg      *obs.Registry
+	hs       *http.Server
+	reqID    atomic.Int64
+	draining atomic.Bool
+}
+
+// New creates a Server over a running System and installs the admission
+// controller on its cluster.
+func New(sys *core.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
+	s := &Server{
+		sys:   sys,
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheSize, reg),
+		reg:   reg,
+	}
+	sys.Cluster().SetAdmission(mapreduce.AdmissionConfig{
+		MaxInFlight: cfg.MaxInFlight,
+		QueueDepth:  cfg.QueueDepth,
+		JobDeadline: cfg.JobDeadline,
+	})
+	return s
+}
+
+// Metrics returns the serving-layer metrics registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Cache returns the result cache (tests probe its state directly).
+func (s *Server) ResultCache() *Cache { return s.cache }
+
+// Handler returns the server's HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rangequery", s.handle("range", s.handleRange))
+	mux.HandleFunc("/knn", s.handle("knn", s.handleKNN))
+	mux.HandleFunc("/join", s.handle("join", s.handleJoin))
+	mux.HandleFunc("/plot", s.handle("plot", s.handlePlot))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handle("metrics", s.handleMetrics))
+	return mux
+}
+
+// ListenAndServe serves on cfg.Addr until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on ln until Shutdown. Like http.Server.Serve it returns
+// http.ErrServerClosed after a graceful shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.hs = &http.Server{Handler: s.Handler()}
+	return s.hs.Serve(ln)
+}
+
+// Shutdown drains gracefully: stop admitting (healthz flips to 503 for
+// load balancers), let in-flight HTTP handlers finish (each may span
+// several jobs, e.g. the two kNN rounds), then drain the cluster's
+// admission queue and stamp a final metrics snapshot.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.hs != nil {
+		err = s.hs.Shutdown(ctx)
+	}
+	if derr := s.sys.Cluster().Drain(ctx); err == nil {
+		err = derr
+	}
+	s.reg.SetGauge("serve.draining", 1)
+	return err
+}
+
+// handle wraps an endpoint with request counting, latency observation and
+// error mapping.
+func (s *Server) handle(name string, fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.reg.Inc("serve.req."+name, 1)
+		err := fn(w, r)
+		s.reg.Observe("serve.latency_us."+name, float64(time.Since(start).Microseconds()))
+		if err != nil {
+			s.reg.Inc("serve.err."+name, 1)
+			writeError(w, err)
+		}
+	}
+}
+
+// badRequestError marks client errors (400).
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var br *badRequestError
+	switch {
+	case errors.As(err, &br):
+		code = http.StatusBadRequest
+	case errors.Is(err, mapreduce.ErrOverloaded):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, mapreduce.ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, dfs.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Fixed field order keeps even error bodies deterministic.
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+	w.Write(append(body, '\n'))
+}
+
+// respond serves from the cache when possible, otherwise builds the body,
+// caches it and writes it. Cache state travels in the X-Cache header so
+// hit and miss bodies stay byte-identical (the concurrency suite compares
+// bodies against serial oracles).
+func (s *Server) respond(w http.ResponseWriter, key, contentType string, build func() ([]byte, error)) error {
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set("Content-Type", contentType)
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body)
+		return nil
+	}
+	body, err := build()
+	if err != nil {
+		return err
+	}
+	s.cache.Put(key, body)
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("X-Cache", "miss")
+	w.Write(body)
+	return nil
+}
+
+// tempOut allocates a unique DFS output name for one request, so
+// concurrent queries over the same file never clobber each other's job
+// output (the ops default names are fixed per input file).
+func (s *Server) tempOut(file string) string {
+	return fmt.Sprintf("%s.serve.%d", file, s.reqID.Add(1))
+}
+
+func fnum(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// canonicalRect renders a rect as its normalized min-corner/max-corner
+// form, so every corner ordering of the same rectangle maps to the same
+// cache key.
+func canonicalRect(r geom.Rect) string {
+	return fnum(r.MinX) + "," + fnum(r.MinY) + "," + fnum(r.MaxX) + "," + fnum(r.MaxY)
+}
+
+// parseRect parses "x1,y1,x2,y2" accepting any pair of opposite corners.
+func parseRect(s string) (geom.Rect, error) {
+	var v [4]float64
+	i := 0
+	for _, part := range splitN(s, ',', 4) {
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return geom.Rect{}, badRequest("bad rect coordinate %q", part)
+		}
+		v[i] = f
+		i++
+	}
+	if i != 4 {
+		return geom.Rect{}, badRequest("rect wants x1,y1,x2,y2, got %q", s)
+	}
+	return geom.Rect{
+		MinX: math.Min(v[0], v[2]),
+		MinY: math.Min(v[1], v[3]),
+		MaxX: math.Max(v[0], v[2]),
+		MaxY: math.Max(v[1], v[3]),
+	}, nil
+}
+
+func parsePoint(s string) (geom.Point, error) {
+	parts := splitN(s, ',', 2)
+	if len(parts) != 2 {
+		return geom.Point{}, badRequest("point wants x,y, got %q", s)
+	}
+	x, err1 := strconv.ParseFloat(parts[0], 64)
+	y, err2 := strconv.ParseFloat(parts[1], 64)
+	if err1 != nil || err2 != nil {
+		return geom.Point{}, badRequest("bad point %q", s)
+	}
+	return geom.Point{X: x, Y: y}, nil
+}
+
+func splitN(s string, sep byte, max int) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s) && len(out) < max-1; i++ {
+		if s[i] == sep {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// --- endpoints ---
+
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type rangeResponse struct {
+	File   string      `json:"file"`
+	Rect   string      `json:"rect"`
+	Count  int         `json:"count"`
+	Points []pointJSON `json:"points"`
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) error {
+	file := r.URL.Query().Get("file")
+	if file == "" {
+		return badRequest("missing file parameter")
+	}
+	rect, err := parseRect(r.URL.Query().Get("rect"))
+	if err != nil {
+		return err
+	}
+	canon := canonicalRect(rect)
+	key := fmt.Sprintf("range|%s@%d|%s", file, s.sys.FS().FileEpoch(file), canon)
+	return s.respond(w, key, "application/json", func() ([]byte, error) {
+		out := s.tempOut(file)
+		defer s.sys.FS().Delete(out)
+		pts, _, err := ops.RangeQueryPointsTo(s.sys, file, rect, out)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(pts, func(i, j int) bool {
+			if pts[i].X != pts[j].X {
+				return pts[i].X < pts[j].X
+			}
+			return pts[i].Y < pts[j].Y
+		})
+		resp := rangeResponse{File: file, Rect: canon, Count: len(pts), Points: make([]pointJSON, len(pts))}
+		for i, p := range pts {
+			resp.Points[i] = pointJSON{X: p.X, Y: p.Y}
+		}
+		return marshalBody(resp)
+	})
+}
+
+type neighborJSON struct {
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	Dist float64 `json:"dist"`
+}
+
+type knnResponse struct {
+	File      string         `json:"file"`
+	Point     string         `json:"point"`
+	K         int            `json:"k"`
+	Count     int            `json:"count"`
+	Neighbors []neighborJSON `json:"neighbors"`
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
+	file := r.URL.Query().Get("file")
+	if file == "" {
+		return badRequest("missing file parameter")
+	}
+	q, err := parsePoint(r.URL.Query().Get("point"))
+	if err != nil {
+		return err
+	}
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil || k < 1 {
+		return badRequest("k wants a positive integer, got %q", r.URL.Query().Get("k"))
+	}
+	canonPt := fnum(q.X) + "," + fnum(q.Y)
+	key := fmt.Sprintf("knn|%s@%d|%s|%d", file, s.sys.FS().FileEpoch(file), canonPt, k)
+	return s.respond(w, key, "application/json", func() ([]byte, error) {
+		prefix := s.tempOut(file)
+		defer func() {
+			s.sys.FS().Delete(prefix + ".r1")
+			s.sys.FS().Delete(prefix + ".r2")
+		}()
+		pts, _, err := ops.KNNTo(s.sys, file, q, k, prefix)
+		if err != nil {
+			return nil, err
+		}
+		nbs := make([]neighborJSON, len(pts))
+		for i, p := range pts {
+			nbs[i] = neighborJSON{X: p.X, Y: p.Y, Dist: math.Hypot(p.X-q.X, p.Y-q.Y)}
+		}
+		// (dist, x, y) order makes distance ties deterministic, which the
+		// byte-level oracle comparison requires.
+		sort.Slice(nbs, func(i, j int) bool {
+			if nbs[i].Dist != nbs[j].Dist {
+				return nbs[i].Dist < nbs[j].Dist
+			}
+			if nbs[i].X != nbs[j].X {
+				return nbs[i].X < nbs[j].X
+			}
+			return nbs[i].Y < nbs[j].Y
+		})
+		resp := knnResponse{File: file, Point: canonPt, K: k, Count: len(nbs), Neighbors: nbs}
+		return marshalBody(resp)
+	})
+}
+
+type joinPairJSON struct {
+	Left  string `json:"left"`
+	Right string `json:"right"`
+}
+
+type joinResponse struct {
+	Left  string         `json:"left"`
+	Right string         `json:"right"`
+	Count int            `json:"count"`
+	Pairs []joinPairJSON `json:"pairs"`
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
+	left := r.URL.Query().Get("left")
+	right := r.URL.Query().Get("right")
+	if left == "" || right == "" {
+		return badRequest("missing left/right parameter")
+	}
+	// Both inputs' epochs key the entry: mutating either side invalidates.
+	key := fmt.Sprintf("join|%s@%d|%s@%d", left, s.sys.FS().FileEpoch(left), right, s.sys.FS().FileEpoch(right))
+	return s.respond(w, key, "application/json", func() ([]byte, error) {
+		out := s.tempOut(left)
+		defer s.sys.FS().Delete(out)
+		pairs, _, err := ops.SpatialJoinIndexedTo(s.sys, left, right, out)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].Left != pairs[j].Left {
+				return pairs[i].Left < pairs[j].Left
+			}
+			return pairs[i].Right < pairs[j].Right
+		})
+		resp := joinResponse{Left: left, Right: right, Count: len(pairs), Pairs: make([]joinPairJSON, len(pairs))}
+		for i, p := range pairs {
+			resp.Pairs[i] = joinPairJSON{Left: p.Left, Right: p.Right}
+		}
+		return marshalBody(resp)
+	})
+}
+
+func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) error {
+	file := r.URL.Query().Get("file")
+	if file == "" {
+		return badRequest("missing file parameter")
+	}
+	width, height := 256, 256
+	if v := r.URL.Query().Get("width"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return badRequest("bad width %q", v)
+		}
+		width = n
+	}
+	if v := r.URL.Query().Get("height"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return badRequest("bad height %q", v)
+		}
+		height = n
+	}
+	key := fmt.Sprintf("plot|%s@%d|%dx%d", file, s.sys.FS().FileEpoch(file), width, height)
+	return s.respond(w, key, "image/png", func() ([]byte, error) {
+		out := s.tempOut(file)
+		defer s.sys.FS().Delete(out)
+		img, _, err := ops.Plot(s.sys, file, ops.PlotConfig{Width: width, Height: height, Out: out})
+		if err != nil {
+			return nil, err
+		}
+		return ops.EncodePlotPNG(img)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	inFlight, queued := s.sys.Cluster().AdmissionStats()
+	pool := s.sys.Cluster().Slots()
+	s.reg.SetGauge("serve.jobs.inflight", float64(inFlight))
+	s.reg.SetGauge("serve.jobs.queued", float64(queued))
+	s.reg.SetGauge("cluster.slots.cap", float64(pool.Cap()))
+	s.reg.SetGauge("cluster.slots.inuse", float64(pool.InUse()))
+	s.reg.SetGauge("cluster.slots.highwater", float64(pool.HighWater()))
+	body, err := json.Marshal(struct {
+		Serve  *obs.Snapshot `json:"serve"`
+		System *obs.Snapshot `json:"system"`
+	}{Serve: s.reg.Snapshot(), System: s.sys.Metrics().Snapshot()})
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+	return nil
+}
+
+func marshalBody(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
