@@ -57,13 +57,14 @@ const (
 	CounterFlushedEarly = "cg.flushed.early"
 )
 
-// FilterIntersecting returns a filter keeping splits whose partition
-// boundary intersects r.
+// FilterIntersecting returns a filter keeping splits whose record cover
+// (boundary united with content MBR) intersects r. The union matters for
+// overlapping techniques, whose sample-derived boundaries under-cover.
 func FilterIntersecting(r geom.Rect) mapreduce.FilterFunc {
 	return func(splits []*mapreduce.Split) []*mapreduce.Split {
 		var keep []*mapreduce.Split
 		for _, s := range splits {
-			if s.MBR.Intersects(r) {
+			if s.Cover().Intersects(r) {
 				keep = append(keep, s)
 			}
 		}

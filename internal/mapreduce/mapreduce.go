@@ -53,6 +53,19 @@ type Split struct {
 	Tag string
 }
 
+// Cover returns a rectangle guaranteed to contain every record of the
+// split: the partition boundary united with the content MBR. Overlapping
+// techniques derive the boundary from the loader's sample, so records
+// routed to the partition later may lie outside MBR; pruning filters must
+// test Cover. Replication dedup must NOT use it — the reference-point rule
+// needs the boundary tiling (MBR) of disjoint techniques.
+func (s *Split) Cover() geom.Rect {
+	if s.ContentMBR.IsEmpty() {
+		return s.MBR
+	}
+	return s.MBR.Union(s.ContentMBR)
+}
+
 // Records returns all records of the primary block group. For single-block
 // splits the block's record slice is returned directly (no copy); it must
 // not be modified.

@@ -44,6 +44,13 @@ func SpatialJoinIndexedTo(sys *core.System, left, right, out string) ([]JoinPair
 	}
 	lDisjoint := lf.Index != nil && lf.Index.Disjoint()
 	rDisjoint := rf.Index != nil && rf.Index.Disjoint()
+	var lSpace, rSpace geom.Rect
+	if lDisjoint {
+		lSpace = lf.Index.Space
+	}
+	if rDisjoint {
+		rSpace = rf.Index.Space
+	}
 	lsplits := lf.Splits()
 	rsplits := rf.Splits()
 
@@ -87,11 +94,11 @@ func SpatialJoinIndexedTo(sys *core.System, left, right, out string) ([]JoinPair
 			return planeSweepJoin(lrecs, rrecs, func(lrec, rrec string, overlap geom.Rect) {
 				ctx.Inc(CounterJoinCandidates, 1)
 				ref := geom.Point{X: overlap.MinX, Y: overlap.MinY}
-				if lDisjoint && !(pb.left.ContainsPointExclusive(ref) || onMaxEdge(pb.left, ref)) {
+				if lDisjoint && !ownsRef(pb.left, lSpace, ref) {
 					ctx.Inc(CounterDedupDropped, 1)
 					return
 				}
-				if rDisjoint && !(pb.right.ContainsPointExclusive(ref) || onMaxEdge(pb.right, ref)) {
+				if rDisjoint && !ownsRef(pb.right, rSpace, ref) {
 					ctx.Inc(CounterDedupDropped, 1)
 					return
 				}
@@ -202,7 +209,7 @@ func SpatialJoinPBSM(sys *core.System, left, right string, gridSide int) ([]Join
 			}
 			return planeSweepJoin(lrecs, rrecs, func(lrec, rrec string, overlap geom.Rect) {
 				ref := geom.Point{X: overlap.MinX, Y: overlap.MinY}
-				if cell.ContainsPointExclusive(ref) || onMaxEdge(cell, ref) {
+				if ownsRef(cell, space, ref) {
 					ctx.Write(lrec + "\t" + rrec)
 				}
 			})

@@ -71,7 +71,7 @@ func Plot(sys *core.System, file string, cfg PlotConfig) (*image.Gray, *mapreduc
 		Filter: func(splits []*mapreduce.Split) []*mapreduce.Split {
 			var keep []*mapreduce.Split
 			for _, s := range splits {
-				if s.MBR.Intersects(extent) {
+				if s.Cover().Intersects(extent) {
 					keep = append(keep, s)
 				}
 			}

@@ -56,7 +56,9 @@ func RangeQueryPointsTo(sys *core.System, file string, query geom.Rect, out stri
 		Filter: func(splits []*mapreduce.Split) []*mapreduce.Split {
 			var keep []*mapreduce.Split
 			for _, s := range splits {
-				if s.MBR.Intersects(query) {
+				// Cover, not MBR: overlapping techniques hold records
+				// outside their sample-derived boundary.
+				if s.Cover().Intersects(query) {
 					keep = append(keep, s)
 				}
 			}
@@ -101,6 +103,10 @@ func RangeQueryRegions(sys *core.System, file string, query geom.Rect) ([]geom.R
 		return nil, nil, err
 	}
 	disjoint := f.Index != nil && f.Index.Disjoint()
+	var space geom.Rect
+	if disjoint {
+		space = f.Index.Space
+	}
 	out := file + ".range.out"
 	job := &mapreduce.Job{
 		Name:   "range-regions",
@@ -108,7 +114,9 @@ func RangeQueryRegions(sys *core.System, file string, query geom.Rect) ([]geom.R
 		Filter: func(splits []*mapreduce.Split) []*mapreduce.Split {
 			var keep []*mapreduce.Split
 			for _, s := range splits {
-				if s.MBR.Intersects(query) {
+				// Cover, not MBR: a region assigned by least enlargement
+				// can extend past the sample-derived boundary.
+				if s.Cover().Intersects(query) {
 					keep = append(keep, s)
 				}
 			}
@@ -128,7 +136,7 @@ func RangeQueryRegions(sys *core.System, file string, query geom.Rect) ([]geom.R
 					}
 					if disjoint {
 						ref := geom.Point{X: b.Intersect(query).MinX, Y: b.Intersect(query).MinY}
-						if !split.MBR.ContainsPointExclusive(ref) && !onMaxEdge(split.MBR, ref) {
+						if !ownsRef(split.MBR, space, ref) {
 							ctx.Inc(CounterDedupDropped, 1)
 							continue
 						}
@@ -174,13 +182,20 @@ func BlockRegions(b *dfs.Block) ([]geom.Region, error) {
 	return v.([]geom.Region), nil
 }
 
-// onMaxEdge reports whether p sits on the maximum edges of r, the one case
-// half-open containment misses for the cells at the top/right of the index.
-func onMaxEdge(r geom.Rect, p geom.Point) bool {
-	if !r.ContainsPoint(p) {
-		return false
-	}
-	return p.X == r.MaxX || p.Y == r.MaxY
+// ownsRef reports whether cell owns the reference point under the
+// half-open tiling rule: a cell owns its min edges, and the half-open
+// interval is closed only where the cell's max edge coincides with the
+// global space boundary. An *interior* shared max edge belongs exclusively
+// to the neighbouring cell — closing it on both sides would let two cells
+// of a disjoint tiling own the same reference point and double-report the
+// record (found by the property soak: a region whose query overlap has its
+// min corner exactly on a shared quadtree cell edge was reported by both
+// cells, one via half-open containment and one via a max-edge special
+// case).
+func ownsRef(cell, space geom.Rect, p geom.Point) bool {
+	xOK := p.X >= cell.MinX && (p.X < cell.MaxX || cell.MaxX >= space.MaxX)
+	yOK := p.Y >= cell.MinY && (p.Y < cell.MaxY || cell.MaxY >= space.MaxY)
+	return xOK && yOK
 }
 
 // knnCandidate pairs a point record with its distance for shuffling.
@@ -285,7 +300,7 @@ func KNNTo(sys *core.System, file string, q geom.Point, k int, outPrefix string)
 	round1 := func(splits []*mapreduce.Split) []*mapreduce.Split {
 		var best *mapreduce.Split
 		for _, s := range splits {
-			if s.MBR.ContainsPoint(q) && (best == nil || s.MBR.Area() < best.MBR.Area()) {
+			if s.Cover().ContainsPoint(q) && (best == nil || s.Cover().Area() < best.Cover().Area()) {
 				best = s
 			}
 		}
@@ -307,7 +322,16 @@ func KNNTo(sys *core.System, file string, q geom.Point, k int, outPrefix string)
 		circle := geom.Rect{MinX: q.X - radius, MinY: q.Y - radius, MaxX: q.X + radius, MaxY: q.Y + radius}
 		splits := f.Splits()
 		r1 := round1(splits)
-		if len(r1) != 1 || !r1[0].MBR.ContainsRect(circle) {
+		// Round one is final only if it already scanned everything, or if
+		// a single disjoint partition owns the whole correctness circle.
+		// The ownership argument needs the boundary tiling (MBR) and only
+		// holds for disjoint techniques: an overlapping partition's
+		// rectangle containing the circle says nothing about which
+		// partition holds the points inside it.
+		scannedAll := len(r1) == len(splits)
+		ownsCircle := f.Index != nil && f.Index.Disjoint() &&
+			len(r1) == 1 && r1[0].MBR.ContainsRect(circle)
+		if !scannedAll && !ownsCircle {
 			needSecond = true
 		}
 	}
@@ -322,7 +346,7 @@ func KNNTo(sys *core.System, file string, q geom.Point, k int, outPrefix string)
 			}
 			var keep []*mapreduce.Split
 			for _, s := range splits {
-				if s.MBR.MinDistPoint(q) <= radius {
+				if s.Cover().MinDistPoint(q) <= radius {
 					keep = append(keep, s)
 				}
 			}

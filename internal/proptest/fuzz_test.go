@@ -1,0 +1,48 @@
+package proptest_test
+
+import (
+	"math"
+	"testing"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/proptest"
+	"spatialhadoop/internal/sindex"
+)
+
+// FuzzCaseSeed drives the whole harness from one integer: any int64
+// decodes (mod the catalogue sizes) into a full op × technique × shape
+// case, so the fuzzer explores the exact space the seed-matrix samples.
+// Every discovered failure is automatically a replayable -proptest.seed.
+func FuzzCaseSeed(f *testing.F) {
+	f.Add(int64(1_000_000)) // range × grid
+	f.Add(int64(2_041_203)) // knn × str × diagonal
+	f.Add(int64(3_100_506)) // union-ish corner of the space
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := proptest.CaseFromSeed(seed)
+		if fail := proptest.RunCase(c); fail != nil {
+			t.Error(fail.Report())
+		}
+	})
+}
+
+// FuzzRangeDifferential fuzzes the range query rect directly against the
+// brute oracle over a fixed adversarial dataset: arbitrary float corners
+// (NaN/Inf rejected, corners normalized) must never panic and must always
+// agree with the linear scan.
+func FuzzRangeDifferential(f *testing.F) {
+	f.Add(int64(7), 0.0, 0.0, 1000.0, 1000.0)
+	f.Add(int64(7), 125.0, 125.0, 125.0, 125.0)
+	f.Add(int64(9), -50.0, 400.0, 2000.0, 400.0)
+	f.Fuzz(func(t *testing.T, seed int64, x1, y1, x2, y2 float64) {
+		for _, v := range []float64{x1, y1, x2, y2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				t.Skip("degenerate coordinate")
+			}
+		}
+		c := proptest.GenCase("range", sindex.STRPlus, proptest.ShapeMixture, seed)
+		c.Queries = []geom.Rect{geom.NewRect(x1, y1, x2, y2)}
+		if fail := proptest.RunCase(c); fail != nil {
+			t.Error(fail.Report())
+		}
+	})
+}

@@ -1,0 +1,319 @@
+package proptest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spatialhadoop/internal/geom"
+)
+
+// Space is the generation space for every dataset. Generators place points
+// on its exact boundary on purpose: the half-open cell containment and the
+// max-edge fallback of the index layer only misbehave at the space's edges.
+var Space = geom.NewRect(0, 0, 1000, 1000)
+
+// Shape identifies one adversarial dataset shape. The catalogue follows the
+// distributions on which partitioning papers report correctness and skew
+// bugs: clustered, collinear, duplicate-heavy, axis-degenerate and
+// boundary-straddling data.
+type Shape int
+
+// The dataset shapes of the generator taxonomy (DESIGN.md "Property
+// testing").
+const (
+	// ShapeUniform scatters points uniformly — the control group.
+	ShapeUniform Shape = iota
+	// ShapeClusters concentrates points in a few tight Gaussian clusters,
+	// stressing skew handling and empty-partition paths.
+	ShapeClusters
+	// ShapeDiagonal puts all points on the main diagonal (exactly
+	// collinear), degenerating hulls, Delaunay structures and k-d splits.
+	ShapeDiagonal
+	// ShapeDuplicates draws from a tiny value pool so most points repeat
+	// exactly, stressing tie-breaking and self-exclusion logic.
+	ShapeDuplicates
+	// ShapeAxisDegenerate puts every point on one horizontal and one
+	// vertical line (zero-width/zero-height extents).
+	ShapeAxisDegenerate
+	// ShapeBoundary places points on the space's exact edges and corners,
+	// where half-open containment and max-edge fallbacks live.
+	ShapeBoundary
+	// ShapeMixture combines all of the above in one dataset.
+	ShapeMixture
+)
+
+// Shapes is the full generator matrix.
+var Shapes = []Shape{
+	ShapeUniform, ShapeClusters, ShapeDiagonal, ShapeDuplicates,
+	ShapeAxisDegenerate, ShapeBoundary, ShapeMixture,
+}
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapeUniform:
+		return "uniform"
+	case ShapeClusters:
+		return "clusters"
+	case ShapeDiagonal:
+		return "diagonal"
+	case ShapeDuplicates:
+		return "duplicates"
+	case ShapeAxisDegenerate:
+		return "axis-degenerate"
+	case ShapeBoundary:
+		return "boundary"
+	case ShapeMixture:
+		return "mixture"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// quantize snaps a coordinate to a coarse lattice. Quantized coordinates
+// make exact ties (equal x, equal y, equal distances) common instead of
+// measure-zero, which is where comparison-flip and boundary bugs hide.
+func quantize(v float64) float64 { return math.Round(v*8) / 8 }
+
+// GenPoints generates n points of the given shape, deterministically from
+// the seed.
+func GenPoints(shape Shape, n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	return genPoints(rng, shape, n)
+}
+
+func genPoints(rng *rand.Rand, shape Shape, n int) []geom.Point {
+	w, h := Space.Width(), Space.Height()
+	uniform := func() geom.Point {
+		return geom.Pt(quantize(Space.MinX+rng.Float64()*w), quantize(Space.MinY+rng.Float64()*h))
+	}
+	pts := make([]geom.Point, 0, n)
+	switch shape {
+	case ShapeUniform:
+		for i := 0; i < n; i++ {
+			pts = append(pts, uniform())
+		}
+	case ShapeClusters:
+		k := 2 + rng.Intn(4)
+		centers := make([]geom.Point, k)
+		for i := range centers {
+			centers[i] = uniform()
+		}
+		for i := 0; i < n; i++ {
+			c := centers[rng.Intn(k)]
+			p := geom.Pt(
+				quantize(c.X+rng.NormFloat64()*w*0.01),
+				quantize(c.Y+rng.NormFloat64()*h*0.01),
+			)
+			if !Space.ContainsPoint(p) {
+				p = uniform()
+			}
+			pts = append(pts, p)
+		}
+	case ShapeDiagonal:
+		for i := 0; i < n; i++ {
+			t := quantize(rng.Float64() * w)
+			pts = append(pts, geom.Pt(Space.MinX+t, Space.MinY+t))
+		}
+	case ShapeDuplicates:
+		pool := make([]geom.Point, 1+n/8)
+		for i := range pool {
+			pool[i] = uniform()
+		}
+		for i := 0; i < n; i++ {
+			pts = append(pts, pool[rng.Intn(len(pool))])
+		}
+	case ShapeAxisDegenerate:
+		x0, y0 := uniform().X, uniform().Y
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				pts = append(pts, geom.Pt(x0, quantize(Space.MinY+rng.Float64()*h)))
+			} else {
+				pts = append(pts, geom.Pt(quantize(Space.MinX+rng.Float64()*w), y0))
+			}
+		}
+	case ShapeBoundary:
+		corners := Space.Corners()
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0: // exact corner
+				pts = append(pts, corners[rng.Intn(4)])
+			case 1: // on an edge
+				t := quantize(rng.Float64() * w)
+				switch rng.Intn(4) {
+				case 0:
+					pts = append(pts, geom.Pt(Space.MinX+t, Space.MinY))
+				case 1:
+					pts = append(pts, geom.Pt(Space.MinX+t, Space.MaxY))
+				case 2:
+					pts = append(pts, geom.Pt(Space.MinX, Space.MinY+t))
+				default:
+					pts = append(pts, geom.Pt(Space.MaxX, Space.MinY+t))
+				}
+			default: // just inside an edge
+				p := uniform()
+				if rng.Intn(2) == 0 {
+					p.X = Space.MaxX - 1.0/8
+				} else {
+					p.Y = Space.MaxY - 1.0/8
+				}
+				pts = append(pts, p)
+			}
+		}
+	case ShapeMixture:
+		for len(pts) < n {
+			sub := Shapes[rng.Intn(len(Shapes)-1)] // exclude ShapeMixture itself
+			chunk := 1 + rng.Intn(n/4+1)
+			if chunk > n-len(pts) {
+				chunk = n - len(pts)
+			}
+			pts = append(pts, genPoints(rng, sub, chunk)...)
+		}
+	default:
+		panic(fmt.Sprintf("proptest: unknown shape %d", int(shape)))
+	}
+	return pts
+}
+
+// GenRects generates n rectangles with adversarial aspect ratios and
+// overlap structure: squares, long thin slivers, zero-area degenerate
+// rects, nested stacks and exact duplicates.
+func GenRects(n int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	w, h := Space.Width(), Space.Height()
+	var out []geom.Rect
+	base := func() geom.Rect {
+		cx := quantize(Space.MinX + rng.Float64()*w)
+		cy := quantize(Space.MinY + rng.Float64()*h)
+		var rw, rh float64
+		switch rng.Intn(4) {
+		case 0: // square-ish
+			rw = quantize(rng.Float64() * w * 0.1)
+			rh = rw
+		case 1: // wide sliver
+			rw = quantize(rng.Float64() * w * 0.5)
+			rh = quantize(rng.Float64() * 2)
+		case 2: // tall sliver
+			rw = quantize(rng.Float64() * 2)
+			rh = quantize(rng.Float64() * h * 0.5)
+		default: // degenerate (zero area)
+			rw, rh = 0, 0
+		}
+		return geom.NewRect(cx, cy, math.Min(cx+rw, Space.MaxX), math.Min(cy+rh, Space.MaxY))
+	}
+	for len(out) < n {
+		r := base()
+		out = append(out, r)
+		// Sometimes add a nested child and an exact duplicate.
+		if rng.Intn(3) == 0 && len(out) < n {
+			out = append(out, geom.NewRect(
+				r.MinX+r.Width()/4, r.MinY+r.Height()/4,
+				r.MaxX-r.Width()/4, r.MaxY-r.Height()/4,
+			))
+		}
+		if rng.Intn(4) == 0 && len(out) < n {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GenRegions converts a generated rect set into region records (the
+// region-file currency of range-regions, join and union).
+func GenRegions(n int, seed int64) []geom.Region {
+	rects := GenRects(n, seed)
+	out := make([]geom.Region, len(rects))
+	for i, r := range rects {
+		// Degenerate rects get a minimal extent so polygon edges exist.
+		if r.Width() == 0 {
+			r.MaxX += 1.0 / 8
+		}
+		if r.Height() == 0 {
+			r.MaxY += 1.0 / 8
+		}
+		out[i] = geom.RegionOf(geom.RectPoly(r))
+	}
+	return out
+}
+
+// GenQueryRects generates a range-query workload over the dataset: nested
+// rect chains, disjoint far-away rects, empty rects, whole-space and
+// degenerate line/point queries.
+func GenQueryRects(seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	w, h := Space.Width(), Space.Height()
+	rnd := func(scale float64) geom.Rect {
+		x := quantize(Space.MinX + rng.Float64()*w)
+		y := quantize(Space.MinY + rng.Float64()*h)
+		return geom.NewRect(x, y,
+			math.Min(x+quantize(rng.Float64()*w*scale), Space.MaxX),
+			math.Min(y+quantize(rng.Float64()*h*scale), Space.MaxY))
+	}
+	qs := []geom.Rect{
+		Space,                              // whole space
+		Space.Buffer(10),                   // superset of the space
+		geom.NewRect(-100, -100, -50, -50), // fully outside
+		rnd(0.3),
+		rnd(0.05),
+	}
+	// A nested chain: outer ⊃ mid ⊃ inner, for the monotonicity invariant.
+	outer := rnd(0.6)
+	mid := geom.NewRect(
+		outer.MinX+outer.Width()/8, outer.MinY+outer.Height()/8,
+		outer.MaxX-outer.Width()/8, outer.MaxY-outer.Height()/8)
+	inner := geom.NewRect(
+		mid.MinX+mid.Width()/8, mid.MinY+mid.Height()/8,
+		mid.MaxX-mid.Width()/8, mid.MaxY-mid.Height()/8)
+	qs = append(qs, outer, mid, inner)
+	// Degenerate: a horizontal line query and a point query on the lattice.
+	p := geom.Pt(quantize(rng.Float64()*w), quantize(rng.Float64()*h))
+	qs = append(qs,
+		geom.NewRect(Space.MinX, p.Y, Space.MaxX, p.Y),
+		geom.NewRect(p.X, p.Y, p.X, p.Y),
+	)
+	return qs
+}
+
+// GenKNNQueries generates kNN query points (on-lattice, off-lattice, at
+// the space corners, far outside) with the k schedule of the issue:
+// k ∈ {0, 1, n, >n} plus a mid-range value.
+func GenKNNQueries(n int, seed int64) []KNNQuery {
+	rng := rand.New(rand.NewSource(seed ^ 0x4d4d))
+	w, h := Space.Width(), Space.Height()
+	sites := []geom.Point{
+		geom.Pt(quantize(rng.Float64()*w), quantize(rng.Float64()*h)),
+		geom.Pt(rng.Float64()*w, rng.Float64()*h), // off-lattice
+		Space.Corners()[rng.Intn(4)],
+		geom.Pt(Space.MaxX+100, Space.MaxY+100), // outside the space
+	}
+	ks := []int{0, 1, 3, n, n + 5}
+	var out []KNNQuery
+	for i, q := range sites {
+		out = append(out, KNNQuery{Q: q, K: ks[i%len(ks)]})
+	}
+	// Ensure every k in the schedule appears at least once.
+	for _, k := range ks {
+		out = append(out, KNNQuery{Q: sites[k%len(sites)], K: k})
+	}
+	return out
+}
+
+// KNNQuery is one kNN workload item.
+type KNNQuery struct {
+	Q geom.Point
+	K int
+}
+
+// GenPlotExtents generates plot extents: the full space, a zoomed window
+// and a window hanging off the data.
+func GenPlotExtents(seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed ^ 0x9107))
+	w := Space.Width()
+	x := quantize(rng.Float64() * w * 0.5)
+	return []geom.Rect{
+		Space,
+		geom.NewRect(x, x, x+w/4, x+w/4),
+		geom.NewRect(Space.MaxX-w/8, Space.MaxY-w/8, Space.MaxX+w/8, Space.MaxY+w/8),
+	}
+}

@@ -1,0 +1,127 @@
+package proptest
+
+import (
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/sindex"
+)
+
+// Metamorphic invariants: relations between runs of the system on related
+// inputs that must hold even when no oracle predicts either output alone.
+// Each returns "" on success or a failure description.
+
+// InvariantRangeMonotone: if inner ⊆ outer then range(inner) ⊆
+// range(outer), for a nested chain of query rects over one loaded file.
+func InvariantRangeMonotone(tech sindex.Technique, pts []geom.Point, chain []geom.Rect) string {
+	if len(pts) == 0 || len(chain) < 2 {
+		return ""
+	}
+	sys := NewSystem(DefaultWorkers)
+	if _, err := sys.LoadPoints("pts", pts, tech); err != nil {
+		return sprintf("load: %v", err)
+	}
+	results := make([][]geom.Point, len(chain))
+	for i, q := range chain {
+		got, _, err := ops.RangeQueryPoints(sys, "pts", q)
+		if err != nil {
+			return sprintf("range %v: %v", q, err)
+		}
+		results[i] = got
+	}
+	for i := 1; i < len(chain); i++ {
+		if !chain[i-1].ContainsRect(chain[i]) {
+			return sprintf("invariant misuse: %v does not contain %v", chain[i-1], chain[i])
+		}
+		if !ContainsAll(results[i-1], results[i]) {
+			return sprintf("monotonicity: range(%v) ⊄ range(%v): %d vs %d points",
+				chain[i], chain[i-1], len(results[i]), len(results[i-1]))
+		}
+	}
+	return ""
+}
+
+// InvariantTechniqueIndependent: the answer of an operation must not
+// depend on the partitioning technique. Runs the op's canonical answer
+// under every technique and requires byte equality across the sweep.
+func InvariantTechniqueIndependent(op string, canon func(tech sindex.Technique) (string, error)) string {
+	var base string
+	var baseTech sindex.Technique
+	for i, tech := range Techniques {
+		s, err := canon(tech)
+		if err != nil {
+			return sprintf("%s under %v: %v", op, tech, err)
+		}
+		if i == 0 {
+			base, baseTech = s, tech
+			continue
+		}
+		if s != base {
+			return sprintf("%s: answer under %v differs from %v:\n %v: %q\n %v: %q",
+				op, tech, baseTech, tech, s, baseTech, base)
+		}
+	}
+	return ""
+}
+
+// InvariantWorkerIndependent: the answer must not depend on the degree of
+// parallelism (scheduling independence).
+func InvariantWorkerIndependent(op string, canon func(workers int) (string, error)) string {
+	var base string
+	counts := []int{1, 2, DefaultWorkers, 9}
+	for i, w := range counts {
+		s, err := canon(w)
+		if err != nil {
+			return sprintf("%s with %d workers: %v", op, w, err)
+		}
+		if i == 0 {
+			base = s
+			continue
+		}
+		if s != base {
+			return sprintf("%s: answer with %d workers differs from %d workers", op, w, counts[0])
+		}
+	}
+	return ""
+}
+
+// InvariantJoinSymmetric: join(A, B) must equal join(B, A) with the pair
+// sides swapped.
+func InvariantJoinSymmetric(tech sindex.Technique, left, right []geom.Region) string {
+	if len(left) == 0 || len(right) == 0 {
+		return ""
+	}
+	sys := NewSystem(DefaultWorkers)
+	if _, err := sys.LoadRegions("left", left, tech); err != nil {
+		return sprintf("load left: %v", err)
+	}
+	if _, err := sys.LoadRegions("right", right, tech); err != nil {
+		return sprintf("load right: %v", err)
+	}
+	lr, _, err := ops.SpatialJoinIndexed(sys, "left", "right")
+	if err != nil {
+		return sprintf("join l,r: %v", err)
+	}
+	rl, _, err := ops.SpatialJoinIndexed(sys, "right", "left")
+	if err != nil {
+		return sprintf("join r,l: %v", err)
+	}
+	swapped := make([]ops.JoinPair, len(rl))
+	for i, p := range rl {
+		swapped[i] = ops.JoinPair{Left: p.Right, Right: p.Left}
+	}
+	if CanonStrings(CanonJoinPairs(lr)) != CanonStrings(CanonJoinPairs(swapped)) {
+		return sprintf("join not symmetric: %d pairs one way, %d the other", len(lr), len(rl))
+	}
+	return ""
+}
+
+// InvariantIdempotent: re-running an idempotent reducer (skyline of a
+// skyline, hull of a hull) must be a fixed point.
+func InvariantIdempotent(op string, f func([]geom.Point) []geom.Point, pts []geom.Point) string {
+	once := f(pts)
+	twice := f(once)
+	if CanonPoints(once) != CanonPoints(twice) {
+		return sprintf("%s not idempotent: %q then %q", op, CanonPoints(once), CanonPoints(twice))
+	}
+	return ""
+}

@@ -1,0 +1,382 @@
+package proptest
+
+import (
+	"math"
+	"sort"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/ops"
+)
+
+// The oracles below are deliberately naive single-machine implementations
+// — linear scans and O(n²) loops, sharing no pruning, indexing or sweeping
+// code with the system under test. They define what every distributed
+// operation must return.
+
+// OracleRange returns the points inside query (boundary inclusive), in
+// canonical order.
+func OracleRange(pts []geom.Point, query geom.Rect) []geom.Point {
+	var out []geom.Point
+	for _, p := range pts {
+		if query.ContainsPoint(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// OracleRangeRegions returns the regions whose MBR intersects query, in
+// canonical encoded order.
+func OracleRangeRegions(regions []geom.Region, query geom.Rect) []string {
+	var out []string
+	for _, rg := range regions {
+		if rg.Bounds().Intersects(query) {
+			out = append(out, geomio.EncodeRegion(rg))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OracleKNN returns the k nearest points to q with the deterministic tie
+// rule (dist, then x, then y). When more than k points tie at the cutoff
+// distance the rule decides which survive; distributed implementations may
+// break such ties differently, so CompareKNN checks distance multisets
+// rather than identity at the boundary.
+func OracleKNN(pts []geom.Point, q geom.Point, k int) []geom.Point {
+	if k <= 0 {
+		return nil
+	}
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		di, dj := sorted[i].Dist(q), sorted[j].Dist(q)
+		if di != dj {
+			return di < dj
+		}
+		return sorted[i].Less(sorted[j])
+	})
+	if len(sorted) > k {
+		sorted = sorted[:k]
+	}
+	return sorted
+}
+
+// CompareKNN checks a distributed kNN answer against the oracle: the count
+// must match, the distance multisets must match exactly, and every
+// returned point must be an input point at its claimed distance. Ties at
+// the k-th distance may legitimately resolve to different points.
+func CompareKNN(got, oracle []geom.Point, q geom.Point, pts []geom.Point) string {
+	if len(got) != len(oracle) {
+		return sprintf("knn returned %d points, oracle %d", len(got), len(oracle))
+	}
+	inputs := map[geom.Point]bool{}
+	for _, p := range pts {
+		inputs[p] = true
+	}
+	gd := distances(got, q)
+	od := distances(oracle, q)
+	for i := range gd {
+		if gd[i] != od[i] {
+			return sprintf("knn distance %d: got %.17g, oracle %.17g", i, gd[i], od[i])
+		}
+	}
+	for _, p := range got {
+		if !inputs[p] {
+			return sprintf("knn returned non-input point %v", p)
+		}
+	}
+	return ""
+}
+
+func distances(pts []geom.Point, q geom.Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Dist(q)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// OracleJoin returns every pair of region records whose MBRs intersect, as
+// tab-joined "left\tright" strings in canonical order. It is the quadratic
+// nested loop the plane-sweep plus partition-pair plus reference-point
+// machinery must reproduce exactly.
+func OracleJoin(left, right []geom.Region) []string {
+	var out []string
+	for _, l := range left {
+		lb := l.Bounds()
+		le := geomio.EncodeRegion(l)
+		for _, r := range right {
+			if lb.Intersects(r.Bounds()) {
+				out = append(out, le+"\t"+geomio.EncodeRegion(r))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanonJoinPairs canonicalizes a distributed join answer for comparison
+// with OracleJoin.
+func CanonJoinPairs(pairs []ops.JoinPair) []string {
+	out := make([]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.Left + "\t" + p.Right
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OracleANN returns, for every point, the distance to its nearest other
+// point (coincident duplicates count as neighbours at distance zero), as
+// (point, dist) entries sorted by point. Neighbour identity is not part of
+// the contract — ties make it ambiguous — so only distances are compared.
+func OracleANN(pts []geom.Point) []ANNEntry {
+	out := make([]ANNEntry, 0, len(pts))
+	for i, p := range pts {
+		best := math.Inf(1)
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if d := p.Dist(q); d < best {
+				best = d
+			}
+		}
+		if !math.IsInf(best, 1) {
+			out = append(out, ANNEntry{P: p, Dist: best})
+		}
+	}
+	sortANNEntries(out)
+	return out
+}
+
+// ANNEntry is one all-nearest-neighbours oracle row.
+type ANNEntry struct {
+	P    geom.Point
+	Dist float64
+}
+
+func sortANNEntries(es []ANNEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		if !es[i].P.Equal(es[j].P) {
+			return es[i].P.Less(es[j].P)
+		}
+		return es[i].Dist < es[j].Dist
+	})
+}
+
+// CompareANN checks a distributed ANN answer against the oracle with a
+// tiny relative tolerance: equal true distances computed through different
+// floating routes (Hypot vs Sqrt of a sum) may differ in the last ulp.
+func CompareANN(got []ops.ANNResult, oracle []ANNEntry) string {
+	if len(got) != len(oracle) {
+		return sprintf("ann returned %d entries, oracle %d", len(got), len(oracle))
+	}
+	entries := make([]ANNEntry, len(got))
+	for i, r := range got {
+		entries[i] = ANNEntry{P: r.Point, Dist: r.Dist}
+	}
+	sortANNEntries(entries)
+	for i := range entries {
+		if !entries[i].P.Equal(oracle[i].P) {
+			return sprintf("ann entry %d: point %v, oracle %v", i, entries[i].P, oracle[i].P)
+		}
+		if !approxEq(entries[i].Dist, oracle[i].Dist) {
+			return sprintf("ann entry %d (%v): dist %.17g, oracle %.17g",
+				i, entries[i].P, entries[i].Dist, oracle[i].Dist)
+		}
+	}
+	return ""
+}
+
+// OracleSkyline is the O(n²) dominance scan (geom.SkylineBrute shares no
+// code with the sweep used by the system).
+func OracleSkyline(pts []geom.Point) []geom.Point { return geom.SkylineBrute(pts) }
+
+// OracleClosestPairDist returns the minimum pairwise distance by the O(n²)
+// definition, computed with the same Hypot the system reports, and whether
+// a pair exists.
+func OracleClosestPairDist(pts []geom.Point) (float64, bool) {
+	if len(pts) < 2 {
+		return 0, false
+	}
+	best := math.Inf(1)
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := pts[i].Dist(pts[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best, true
+}
+
+// OracleFarthestPairDist returns the maximum pairwise distance by the
+// O(n²) definition.
+func OracleFarthestPairDist(pts []geom.Point) (float64, bool) {
+	if len(pts) < 2 {
+		return 0, false
+	}
+	best := 0.0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := pts[i].Dist(pts[j]); d > best {
+				best = d
+			}
+		}
+	}
+	return best, true
+}
+
+// CheckHull verifies a hull answer without trusting any hull code: every
+// claimed vertex must be an input point, the ring must be convex, and
+// every input point must lie inside or on the ring. For degenerate hulls
+// (fewer than 3 vertices) every input must lie on the segment (or point)
+// they span.
+func CheckHull(hull, pts []geom.Point) string {
+	inputs := map[geom.Point]bool{}
+	for _, p := range pts {
+		inputs[p] = true
+	}
+	for _, v := range hull {
+		if !inputs[v] {
+			return sprintf("hull vertex %v is not an input point", v)
+		}
+	}
+	if len(pts) > 0 && len(hull) == 0 {
+		return "hull empty for non-empty input"
+	}
+	switch {
+	case len(hull) == 1:
+		for _, p := range pts {
+			if !p.Equal(hull[0]) {
+				return sprintf("point %v outside single-vertex hull %v", p, hull[0])
+			}
+		}
+	case len(hull) == 2:
+		seg := geom.Seg(hull[0], hull[1])
+		for _, p := range pts {
+			if !seg.ContainsPoint(p) {
+				return sprintf("point %v not on degenerate hull segment %v", p, seg)
+			}
+		}
+	case len(hull) >= 3:
+		if !geom.IsConvex(hull) {
+			return sprintf("hull ring not convex: %v", hull)
+		}
+		for _, p := range pts {
+			if !pointInConvexRing(p, hull) {
+				return sprintf("input point %v outside hull", p)
+			}
+		}
+	}
+	return ""
+}
+
+// pointInConvexRing reports whether p is inside or on the CCW convex ring,
+// with a relative epsilon on the cross products: hull edges between
+// far-apart vertices accumulate rounding that exact comparisons reject.
+func pointInConvexRing(p geom.Point, ring []geom.Point) bool {
+	n := len(ring)
+	for i := 0; i < n; i++ {
+		a, b := ring[i], ring[(i+1)%n]
+		scale := math.Max(1, math.Max(a.Dist2(b), p.Dist2(a)))
+		if geom.Area2(a, b, p) < -1e-9*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// OracleUnionProbes returns seeded membership probes for a union result:
+// each input region's sampled interior points (which must be inside the
+// union) and far-outside points (which must not).
+type UnionProbe struct {
+	P      geom.Point
+	Inside bool
+}
+
+// OracleUnion computes membership probes from the inputs alone: a probe
+// point is inside the union iff some input region contains it. Probes that
+// sit within eps of any region boundary are skipped — membership there is
+// legitimately float-ambiguous.
+func OracleUnion(regions []geom.Region, seed int64) []UnionProbe {
+	var probes []UnionProbe
+	add := func(p geom.Point) {
+		const eps = 1e-6
+		inside := false
+		for _, rg := range regions {
+			b := rg.Bounds()
+			// Near-boundary probes are ambiguous under floating arithmetic.
+			onEdge := (math.Abs(p.X-b.MinX) < eps || math.Abs(p.X-b.MaxX) < eps ||
+				math.Abs(p.Y-b.MinY) < eps || math.Abs(p.Y-b.MaxY) < eps) &&
+				b.Buffer(eps).ContainsPoint(p)
+			if onEdge {
+				return
+			}
+			if rg.ContainsPoint(p) {
+				inside = true
+			}
+		}
+		probes = append(probes, UnionProbe{P: p, Inside: inside})
+	}
+	for _, rg := range regions {
+		add(rg.Bounds().Center())
+	}
+	// Seeded off-grid probes spread over the space and beyond.
+	x := float64(seed%97) / 97
+	for i := 0; i < 64; i++ {
+		x = math.Mod(x*997+0.137, 1)
+		y := math.Mod(x*31+0.618, 1)
+		add(geom.Pt(Space.MinX-50+x*(Space.Width()+100), Space.MinY-50+y*(Space.Height()+100)))
+	}
+	return probes
+}
+
+// OraclePlot rasterizes points directly (no partitioning, no shuffle) with
+// the documented pixel mapping and density grading, returning the raster's
+// gray bytes for byte-for-byte comparison with the distributed plot.
+func OraclePlot(pts []geom.Point, extent geom.Rect, w, h int) []uint8 {
+	counts := make([]uint32, w*h)
+	var max uint32
+	for _, p := range pts {
+		if !extent.ContainsPoint(p) {
+			continue
+		}
+		px := int((p.X - extent.MinX) / extent.Width() * float64(w))
+		py := int((extent.MaxY - p.Y) / extent.Height() * float64(h))
+		if px >= w {
+			px = w - 1
+		}
+		if py >= h {
+			py = h - 1
+		}
+		counts[py*w+px]++
+		if counts[py*w+px] > max {
+			max = counts[py*w+px]
+		}
+	}
+	pix := make([]uint8, w*h)
+	if max > 0 {
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			pix[i] = uint8(55 + 200*math.Sqrt(float64(c)/float64(max)))
+		}
+	}
+	return pix
+}
+
+// approxEq compares two floats with a tight relative tolerance, enough to
+// absorb last-ulp differences between Hypot and Sqrt-of-sum routes.
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}

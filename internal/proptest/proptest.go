@@ -1,0 +1,116 @@
+// Package proptest is the deterministic property-testing harness for the
+// whole query stack. It generates seeded adversarial workloads (gen.go),
+// checks every distributed operation against an independent brute-force
+// oracle (oracle.go, props.go), verifies metamorphic invariants that no
+// single oracle can express (invariants.go), and minimizes failing
+// (dataset, query) pairs into replayable counterexamples (shrink.go).
+//
+// The harness has three entry modes, all driven from go test:
+//
+//   - short mode: a fixed seed matrix covering every operation × every
+//     sindex.Technique × every generator shape (proptest_test.go);
+//   - soak mode: -proptest.rounds=N runs N extra randomized rounds, each
+//     derived from -proptest.seed (CI passes a time-derived seed);
+//   - replay: -proptest.seed=S re-runs the exact failing round printed by
+//     a previous failure, and every failure additionally prints a
+//     self-contained Go test snippet with the shrunk literal inputs.
+//
+// Every generator, oracle and shrink step is a pure function of its seed,
+// so a failure line like
+//
+//	go test ./internal/proptest -run TestPropertyMatrix -proptest.seed=42
+//
+// reproduces the same counterexample byte for byte.
+package proptest
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/sindex"
+)
+
+// Flags: registered in the package (it is only ever linked into test
+// binaries) so that every suite that drives the harness shares the same
+// replay interface.
+var (
+	// FlagSeed overrides the base seed of the soak rounds; 0 keeps the
+	// fixed short-mode matrix only.
+	FlagSeed = flag.Int64("proptest.seed", 0, "base seed for property-test soak rounds (0 = fixed matrix only)")
+	// FlagRounds is the number of extra randomized soak rounds.
+	FlagRounds = flag.Int("proptest.rounds", 0, "extra randomized property-test rounds per operation")
+)
+
+// Techniques is the full Table-1 technique matrix the harness sweeps.
+var Techniques = []sindex.Technique{
+	sindex.Grid, sindex.STR, sindex.STRPlus, sindex.QuadTree,
+	sindex.KDTree, sindex.ZCurve, sindex.Hilbert,
+}
+
+// DefaultBlockSize is the harness's DFS block size: small enough that the
+// ~100-point generator datasets span several blocks, so a multi-partition
+// index is built and the distributed path (filter, replication, dedup,
+// shuffle) is actually exercised rather than degenerating to one cell.
+const DefaultBlockSize = 1 << 10
+
+// NewSystem builds a small in-memory deployment at DefaultBlockSize.
+func NewSystem(workers int) *core.System {
+	return NewSystemBlock(workers, DefaultBlockSize)
+}
+
+// NewSystemBlock is NewSystem with an explicit block size; the shrinker
+// lowers it to exhibit multi-block bugs with fewer points.
+func NewSystemBlock(workers, blockSize int) *core.System {
+	return core.New(core.Config{BlockSize: int64(blockSize), Workers: workers, Seed: 1})
+}
+
+// DefaultWorkers is the harness's cluster size; invariants.go additionally
+// sweeps other worker counts to pin scheduling-independence.
+const DefaultWorkers = 4
+
+// CanonPoints returns the canonical byte encoding of a point multiset:
+// sorted by (x, y) and encoded with the system's own record codec, so two
+// result sets are equal iff their encodings are byte-identical.
+func CanonPoints(pts []geom.Point) string {
+	recs := make([]string, len(pts))
+	sorted := make([]geom.Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	for i, p := range sorted {
+		recs[i] = geomio.EncodePoint(p)
+	}
+	return strings.Join(recs, "\n")
+}
+
+// CanonStrings returns the canonical encoding of a string multiset.
+func CanonStrings(ss []string) string {
+	sorted := make([]string, len(ss))
+	copy(sorted, ss)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "\n")
+}
+
+// sprintf keeps failure-message formatting terse across the package.
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// ContainsAll reports whether every element of sub is present in super
+// (multiset containment over canonical point encodings).
+func ContainsAll(super, sub []geom.Point) bool {
+	have := map[string]int{}
+	for _, p := range super {
+		have[geomio.EncodePoint(p)]++
+	}
+	for _, p := range sub {
+		k := geomio.EncodePoint(p)
+		if have[k] == 0 {
+			return false
+		}
+		have[k]--
+	}
+	return true
+}

@@ -1,0 +1,289 @@
+package proptest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/sindex"
+)
+
+// Shrink minimizes a failing Case while check(c) keeps failing: first the
+// query workload (usually down to a single query), then the dataset via
+// ddmin, then the surviving query's parameters (rect sides pulled inward,
+// k reduced). The returned Case fails the same check with — in every
+// mutation experiment run against this harness — at most a handful of
+// points, small enough to eyeball.
+func Shrink(c Case, check Check) Case {
+	if check(c) == "" {
+		return c // not failing; nothing to shrink
+	}
+	fails := func(t Case) bool { return check(t) != "" }
+
+	c.Queries = ddmin(c.Queries, func(qs []geom.Rect) bool {
+		t := c
+		t.Queries = qs
+		return fails(t)
+	})
+	c.KNNs = ddmin(c.KNNs, func(ks []KNNQuery) bool {
+		t := c
+		t.KNNs = ks
+		return fails(t)
+	})
+	c.Extents = ddmin(c.Extents, func(es []geom.Rect) bool {
+		t := c
+		t.Extents = es
+		return fails(t)
+	})
+
+	// Shrink the block size before the dataset: a bug that needs several
+	// blocks to express (shuffle, dedup, multi-round protocols) can then be
+	// exhibited by a handful of points instead of a block's worth.
+	for bs := c.blockSize(); bs > 32; bs /= 2 {
+		t := c
+		t.BlockSize = bs / 2
+		if !fails(t) {
+			break
+		}
+		c.BlockSize = bs / 2
+	}
+
+	c.Pts = ddmin(c.Pts, func(ps []geom.Point) bool {
+		t := c
+		t.Pts = ps
+		return fails(t)
+	})
+	c.Left = ddmin(c.Left, func(rs []geom.Region) bool {
+		t := c
+		t.Left = rs
+		return fails(t)
+	})
+	c.Right = ddmin(c.Right, func(rs []geom.Region) bool {
+		t := c
+		t.Right = rs
+		return fails(t)
+	})
+
+	// Parameter refinement on the surviving workload.
+	if len(c.Queries) == 1 {
+		c.Queries[0] = shrinkRect(c.Queries[0], func(r geom.Rect) bool {
+			t := c
+			t.Queries = []geom.Rect{r}
+			return fails(t)
+		})
+	}
+	if len(c.KNNs) == 1 {
+		c.KNNs[0].K = shrinkInt(c.KNNs[0].K, func(k int) bool {
+			t := c
+			t.KNNs = []KNNQuery{{Q: c.KNNs[0].Q, K: k}}
+			return fails(t)
+		})
+	}
+	return c
+}
+
+// ddmin is the classic delta-debugging minimizer: remove progressively
+// finer-grained chunks of the input while the predicate keeps failing,
+// finishing with single-element removal, so the result is 1-minimal (no
+// single element can be dropped).
+func ddmin[T any](items []T, fails func([]T) bool) []T {
+	if len(items) == 0 || !fails(items) {
+		return items
+	}
+	cur := items
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			trial := make([]T, 0, len(cur)-(end-start))
+			trial = append(trial, cur[:start]...)
+			trial = append(trial, cur[end:]...)
+			if len(trial) > 0 && fails(trial) {
+				cur = trial
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n = min(2*n, len(cur))
+		}
+	}
+	return cur
+}
+
+// shrinkRect pulls each side of a failing query rect halfway toward the
+// center while the predicate keeps failing, converging on a small rect
+// around whatever boundary the bug lives on.
+func shrinkRect(r geom.Rect, fails func(geom.Rect) bool) geom.Rect {
+	for i := 0; i < 32; i++ {
+		cx, cy := r.Center().X, r.Center().Y
+		improved := false
+		for _, trial := range []geom.Rect{
+			{MinX: (r.MinX + cx) / 2, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY},
+			{MinX: r.MinX, MinY: (r.MinY + cy) / 2, MaxX: r.MaxX, MaxY: r.MaxY},
+			{MinX: r.MinX, MinY: r.MinY, MaxX: (r.MaxX + cx) / 2, MaxY: r.MaxY},
+			{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: (r.MaxY + cy) / 2},
+		} {
+			if trial != r && fails(trial) {
+				r = trial
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return r
+		}
+	}
+	return r
+}
+
+// shrinkInt lowers a failing k by binary descent.
+func shrinkInt(k int, fails func(int) bool) int {
+	for k > 0 {
+		next := k / 2
+		if !fails(next) {
+			break
+		}
+		k = next
+	}
+	return k
+}
+
+// ReplayLine renders the go test one-liner that deterministically re-runs
+// the failing round. The seed alone regenerates dataset, workload and
+// schedule, so this line is the entire bug report.
+func ReplayLine(c Case) string {
+	return sprintf("go test ./internal/proptest -run TestPropertyReplay -proptest.seed=%d", c.Seed)
+}
+
+// ReproSnippet renders a self-contained Go test function with the shrunk
+// case spelled out as literals, ready to paste next to the code under
+// test.
+func ReproSnippet(c Case, msg string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Reproduces: %s\n", strings.SplitN(msg, "\n", 2)[0])
+	fmt.Fprintf(&b, "// Replay: %s\n", ReplayLine(c))
+	fmt.Fprintf(&b, "func TestRepro_%s_%s_seed%d(t *testing.T) {\n",
+		identifier(c.Op), identifier(c.Tech.String()), c.Seed)
+	fmt.Fprintf(&b, "\tc := proptest.Case{\n")
+	fmt.Fprintf(&b, "\t\tOp:   %q,\n", c.Op)
+	fmt.Fprintf(&b, "\t\tTech: %s,\n", techIdent(c.Tech))
+	fmt.Fprintf(&b, "\t\tSeed: %d,\n", c.Seed)
+	if c.Workers != 0 {
+		fmt.Fprintf(&b, "\t\tWorkers: %d,\n", c.Workers)
+	}
+	if c.BlockSize != 0 {
+		fmt.Fprintf(&b, "\t\tBlockSize: %d,\n", c.BlockSize)
+	}
+	if len(c.Pts) > 0 {
+		fmt.Fprintf(&b, "\t\tPts: %s,\n", pointsLiteral(c.Pts, "\t\t"))
+	}
+	if len(c.Left) > 0 {
+		fmt.Fprintf(&b, "\t\tLeft: %s,\n", regionsLiteral(c.Left, "\t\t"))
+	}
+	if len(c.Right) > 0 {
+		fmt.Fprintf(&b, "\t\tRight: %s,\n", regionsLiteral(c.Right, "\t\t"))
+	}
+	if len(c.Queries) > 0 {
+		fmt.Fprintf(&b, "\t\tQueries: %s,\n", rectsLiteral(c.Queries, "\t\t"))
+	}
+	for _, kq := range c.KNNs {
+		fmt.Fprintf(&b, "\t\tKNNs: []proptest.KNNQuery{{Q: %s, K: %d}},\n", pointLiteral(kq.Q), kq.K)
+	}
+	if len(c.Extents) > 0 {
+		fmt.Fprintf(&b, "\t\tExtents: %s,\n", rectsLiteral(c.Extents, "\t\t"))
+		fmt.Fprintf(&b, "\t\tWidth: %d, Height: %d,\n", c.Width, c.Height)
+	}
+	fmt.Fprintf(&b, "\t}\n")
+	fmt.Fprintf(&b, "\tif msg := proptest.Checks[%q](c); msg != \"\" {\n\t\tt.Fatal(msg)\n\t}\n}\n", c.Op)
+	return b.String()
+}
+
+func identifier(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func techIdent(t sindex.Technique) string {
+	switch t {
+	case sindex.Grid:
+		return "sindex.Grid"
+	case sindex.STR:
+		return "sindex.STR"
+	case sindex.STRPlus:
+		return "sindex.STRPlus"
+	case sindex.QuadTree:
+		return "sindex.QuadTree"
+	case sindex.KDTree:
+		return "sindex.KDTree"
+	case sindex.ZCurve:
+		return "sindex.ZCurve"
+	case sindex.Hilbert:
+		return "sindex.Hilbert"
+	default:
+		return sprintf("sindex.Technique(%d)", int(t))
+	}
+}
+
+func flit(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func pointLiteral(p geom.Point) string {
+	return sprintf("geom.Pt(%s, %s)", flit(p.X), flit(p.Y))
+}
+
+func rectLiteral(r geom.Rect) string {
+	return sprintf("geom.NewRect(%s, %s, %s, %s)", flit(r.MinX), flit(r.MinY), flit(r.MaxX), flit(r.MaxY))
+}
+
+func pointsLiteral(pts []geom.Point, indent string) string {
+	var b strings.Builder
+	b.WriteString("[]geom.Point{\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%s\t%s,\n", indent, pointLiteral(p))
+	}
+	b.WriteString(indent + "}")
+	return b.String()
+}
+
+func rectsLiteral(rs []geom.Rect, indent string) string {
+	var b strings.Builder
+	b.WriteString("[]geom.Rect{\n")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%s\t%s,\n", indent, rectLiteral(r))
+	}
+	b.WriteString(indent + "}")
+	return b.String()
+}
+
+func regionsLiteral(rs []geom.Region, indent string) string {
+	var b strings.Builder
+	b.WriteString("[]geom.Region{\n")
+	for _, rg := range rs {
+		fmt.Fprintf(&b, "%s\tgeom.RegionOf(geom.Poly(", indent)
+		for i, p := range rg.Rings[0].Vertices {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(pointLiteral(p))
+		}
+		b.WriteString(")),\n")
+	}
+	b.WriteString(indent + "}")
+	return b.String()
+}

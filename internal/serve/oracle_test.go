@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/proptest"
+	"spatialhadoop/internal/sindex"
+)
+
+// TestServeCacheHitMissByteIdentical pins the serving layer's caching
+// contract with the property-testing harness instead of bespoke
+// comparators: for a seeded workload over both a disjoint and an
+// overlapping technique, the cache-disabled response, the first (miss)
+// response and the second (hit) response of every query must be
+// byte-identical — only the X-Cache header may differ — and the range and
+// kNN bodies must agree with the proptest brute-force oracles.
+func TestServeCacheHitMissByteIdentical(t *testing.T) {
+	sys := proptest.NewSystem(proptest.DefaultWorkers)
+	pts := proptest.GenPoints(proptest.ShapeMixture, 96, 51)
+	files := map[string]sindex.Technique{
+		"pts-quad": sindex.QuadTree, // disjoint
+		"pts-str":  sindex.STR,      // overlapping: exercises the Cover() pruning path
+	}
+	for file, tech := range files {
+		if _, err := sys.LoadPoints(file, pts, tech); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var urls []string
+	seen := map[string]bool{}
+	add := func(u string) {
+		if !seen[u] {
+			seen[u] = true
+			urls = append(urls, u)
+		}
+	}
+	for file := range files {
+		for _, q := range proptest.GenQueryRects(51) {
+			add(fmt.Sprintf("/rangequery?file=%s&rect=%g,%g,%g,%g",
+				file, q.MinX, q.MinY, q.MaxX, q.MaxY))
+		}
+		for _, kq := range proptest.GenKNNQueries(len(pts), 51) {
+			if kq.K < 1 {
+				continue // the HTTP endpoint rejects k < 1 by contract
+			}
+			add(fmt.Sprintf("/knn?file=%s&point=%g,%g&k=%d",
+				file, kq.Q.X, kq.Q.Y, kq.K))
+		}
+		add("/plot?file=" + file + "&width=32&height=32")
+	}
+
+	// Cache-disabled oracle server first (serially, then closed, so its
+	// temp outputs never collide with the caching server's).
+	usrv := New(sys, Config{CacheSize: -1})
+	uts := httptest.NewServer(usrv.Handler())
+	uncached := make(map[string][]byte, len(urls))
+	for _, u := range urls {
+		code, body, xc := fetch(t, uts.Client(), uts.URL+u)
+		if code != 200 {
+			t.Fatalf("uncached %s: status %d: %s", u, code, body)
+		}
+		if xc == "hit" {
+			t.Fatalf("uncached %s: served from a cache that should be disabled", u)
+		}
+		uncached[u] = body
+	}
+	uts.Close()
+
+	srv := New(sys, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, u := range urls {
+		code, miss, xc := fetch(t, ts.Client(), ts.URL+u)
+		if code != 200 {
+			t.Fatalf("miss %s: status %d: %s", u, code, miss)
+		}
+		if xc != "miss" {
+			t.Fatalf("first %s: X-Cache = %q, want miss", u, xc)
+		}
+		_, hit, xc := fetch(t, ts.Client(), ts.URL+u)
+		if xc != "hit" {
+			t.Fatalf("second %s: X-Cache = %q, want hit", u, xc)
+		}
+		if !bytes.Equal(miss, hit) {
+			t.Errorf("%s: hit body differs from miss body", u)
+		}
+		if !bytes.Equal(miss, uncached[u]) {
+			t.Errorf("%s: cached-server body differs from cache-disabled body", u)
+		}
+	}
+
+	// Differential spot checks through the full HTTP path, using the
+	// harness oracles rather than ad-hoc recomputation.
+	for file := range files {
+		for _, q := range proptest.GenQueryRects(51) {
+			u := fmt.Sprintf("/rangequery?file=%s&rect=%g,%g,%g,%g", file, q.MinX, q.MinY, q.MaxX, q.MaxY)
+			var resp rangeResponse
+			if err := json.Unmarshal(uncached[u], &resp); err != nil {
+				t.Fatalf("%s: %v", u, err)
+			}
+			got := make([]geom.Point, len(resp.Points))
+			for i, p := range resp.Points {
+				got[i] = geom.Pt(p.X, p.Y)
+			}
+			if want := proptest.OracleRange(pts, q); proptest.CanonPoints(got) != proptest.CanonPoints(want) {
+				t.Errorf("%s: body disagrees with brute-force oracle (%d vs %d points)",
+					u, len(got), len(want))
+			}
+		}
+		for _, kq := range proptest.GenKNNQueries(len(pts), 51) {
+			if kq.K < 1 {
+				continue
+			}
+			u := fmt.Sprintf("/knn?file=%s&point=%g,%g&k=%d", file, kq.Q.X, kq.Q.Y, kq.K)
+			var resp knnResponse
+			if err := json.Unmarshal(uncached[u], &resp); err != nil {
+				t.Fatalf("%s: %v", u, err)
+			}
+			got := make([]geom.Point, len(resp.Neighbors))
+			for i, nb := range resp.Neighbors {
+				got[i] = geom.Pt(nb.X, nb.Y)
+			}
+			oracle := proptest.OracleKNN(pts, kq.Q, kq.K)
+			if msg := proptest.CompareKNN(got, oracle, kq.Q, pts); msg != "" {
+				t.Errorf("%s: %s", u, msg)
+			}
+		}
+	}
+}

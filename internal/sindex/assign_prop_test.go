@@ -1,0 +1,132 @@
+package sindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+)
+
+// This file pins the record-routing contracts of AssignPoint as properties
+// over seeded workloads, so any future partitioner must keep them:
+//
+//   - Disjoint techniques route by containment: the assigned cell contains
+//     the point, and when exactly one cell's half-open interior contains it
+//     the assignment is that cell (boundary points go to the lowest-ID
+//     containing cell, making assignment total and unambiguous).
+//   - Curve techniques route by curve position: the assigned cell's
+//     [CurveLo, CurveHi) range covers curveValue(p), which pins the
+//     cellForCurve binary-search boundary behaviour (inclusive lo,
+//     exclusive hi, last cell open-ended).
+
+// assignWorkload builds an adversarial point workload for a built index:
+// random in-space points, points snapped onto every cell boundary edge and
+// corner, and points outside the space.
+func assignWorkload(gi *GlobalIndex, space geom.Rect, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	var pts []geom.Point
+	for i := 0; i < 300; i++ {
+		pts = append(pts, geom.Pt(
+			space.MinX+rng.Float64()*space.Width(),
+			space.MinY+rng.Float64()*space.Height()))
+	}
+	for _, c := range gi.Cells {
+		b := c.Boundary
+		pts = append(pts,
+			b.Corners()[0], b.Corners()[1], b.Corners()[2], b.Corners()[3],
+			geom.Pt((b.MinX+b.MaxX)/2, b.MinY), // edge midpoints
+			geom.Pt((b.MinX+b.MaxX)/2, b.MaxY),
+			geom.Pt(b.MinX, (b.MinY+b.MaxY)/2),
+			geom.Pt(b.MaxX, (b.MinY+b.MaxY)/2))
+	}
+	pts = append(pts,
+		geom.Pt(space.MinX-50, space.MinY-50),
+		geom.Pt(space.MaxX+50, space.MaxY+50),
+		geom.Pt(space.MinX-1, (space.MinY+space.MaxY)/2))
+	return pts
+}
+
+// TestAssignPointDisjointContainment: for disjoint techniques every
+// in-space point maps to exactly one cell, that cell contains the point,
+// and interior points (contained exclusively by a single cell) map to
+// precisely that cell.
+func TestAssignPointDisjointContainment(t *testing.T) {
+	space := geom.NewRect(0, 0, 1000, 1000)
+	for _, tech := range allTechniques {
+		if !tech.Disjoint() {
+			continue
+		}
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			for _, dist := range []datagen.Distribution{datagen.Uniform, datagen.Clustered} {
+				sample := datagen.Points(dist, 1800, space, 11)
+				gi := Build(tech, sample, space, 13)
+				for _, p := range assignWorkload(gi, space, 17) {
+					c := gi.AssignPoint(p)
+					if c < 0 || c >= len(gi.Cells) {
+						t.Fatalf("%v: point %v assigned to out-of-range cell %d", dist, p, c)
+					}
+					if space.ContainsPoint(p) && !gi.Cells[c].Boundary.ContainsPoint(p) {
+						t.Fatalf("%v: point %v assigned to non-containing cell %v",
+							dist, p, gi.Cells[c].Boundary)
+					}
+					var exclusive []int
+					for i := range gi.Cells {
+						if gi.Cells[i].Boundary.ContainsPointExclusive(p) {
+							exclusive = append(exclusive, i)
+						}
+					}
+					if len(exclusive) > 1 {
+						t.Fatalf("%v: point %v in interior of %d cells — tiling broken",
+							dist, p, len(exclusive))
+					}
+					if len(exclusive) == 1 && c != exclusive[0] {
+						t.Fatalf("%v: interior point %v assigned to cell %d, sole containing cell is %d",
+							dist, p, c, exclusive[0])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAssignPointCurveRange: for curve techniques the assigned cell's
+// curve range covers the point's curve value, for every point including
+// ones at the extremes of the space (curve value 0 and the maximum).
+func TestAssignPointCurveRange(t *testing.T) {
+	space := geom.NewRect(0, 0, 1000, 1000)
+	for _, tech := range []Technique{ZCurve, Hilbert} {
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			sample := datagen.Points(datagen.Gaussian, 1800, space, 23)
+			gi := Build(tech, sample, space, 11)
+			for _, p := range assignWorkload(gi, space, 29) {
+				v := gi.curveValue(p)
+				c := gi.AssignPoint(p)
+				if c != gi.cellForCurve(v) {
+					t.Fatalf("AssignPoint(%v) = %d, cellForCurve(%d) = %d", p, c, v, gi.cellForCurve(v))
+				}
+				cell := gi.Cells[c]
+				if v < cell.CurveLo || (v >= cell.CurveHi && c != len(gi.Cells)-1) {
+					t.Fatalf("point %v: curve value %d outside assigned cell range [%d,%d) (cell %d of %d)",
+						p, v, cell.CurveLo, cell.CurveHi, c, len(gi.Cells))
+				}
+			}
+			// Boundary pinning: a curve value exactly at a cell's CurveHi
+			// belongs to the NEXT cell (exclusive hi), and CurveLo to its
+			// own (inclusive lo).
+			for i, cell := range gi.Cells {
+				if got := gi.cellForCurve(cell.CurveLo); gi.Cells[got].CurveHi <= cell.CurveLo {
+					t.Fatalf("cellForCurve(lo=%d) = cell %d with hi %d — lo not inclusive",
+						cell.CurveLo, got, gi.Cells[got].CurveHi)
+				}
+				if i < len(gi.Cells)-1 {
+					if got := gi.cellForCurve(cell.CurveHi); got == i {
+						t.Fatalf("cellForCurve(hi=%d) stayed in cell %d — hi not exclusive", cell.CurveHi, i)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package sindex
+
+import (
+	"bytes"
+	"testing"
+
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+)
+
+// masterSeed builds a small real index and returns its encoded master
+// file, the honest starting point for the decode fuzzers.
+func masterSeed(tech Technique) []byte {
+	space := geom.NewRect(0, 0, 1000, 1000)
+	sample := datagen.Points(datagen.Uniform, 600, space, 3)
+	gi := Build(tech, sample, space, 6)
+	for i := range gi.Cells {
+		gi.Cells[i].Content = geom.NewRect(float64(i), 1, float64(i)+2, 3)
+	}
+	return gi.Encode()
+}
+
+// FuzzMasterDecode: Decode must never panic on arbitrary master-file
+// bytes, and whenever it accepts the input, decode∘encode must be a fixed
+// point — re-encoding the decoded index and decoding again yields the
+// byte-identical master file.
+func FuzzMasterDecode(f *testing.F) {
+	for _, tech := range allTechniques {
+		f.Add(masterSeed(tech))
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("grid|0,0,1,1|0\n"))
+	f.Add([]byte("grid|0,0,1,1|16\n0|0,0,1,1|0,0,1,1|0|18446744073709551615\n"))
+	f.Add([]byte("zcurve|0,0,1,1|not-a-number\n"))
+	f.Add([]byte("grid|0,0,1,1|16\n1|bad-rect|0,0,1,1|0|1\n"))
+	f.Fuzz(func(t *testing.T, master []byte) {
+		gi, err := Decode(master)
+		if err != nil {
+			return // rejected input: fine, as long as we did not panic
+		}
+		enc := gi.Encode()
+		gi2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(decoded)) failed: %v\nencoded:\n%s", err, enc)
+		}
+		enc2 := gi2.Encode()
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode/decode not a fixed point:\nfirst:\n%s\nsecond:\n%s", enc, enc2)
+		}
+		// The round-tripped index must also route points identically.
+		for _, p := range []geom.Point{geom.Pt(0, 0), geom.Pt(0.5, 0.5), geom.Pt(-3, 7)} {
+			if len(gi.Cells) > 0 && gi.AssignPoint(p) != gi2.AssignPoint(p) {
+				t.Fatalf("assignment differs after round trip for %v", p)
+			}
+		}
+	})
+}
+
+// FuzzRectDecode: decodeRect must never panic, and every rect it accepts
+// must survive encodeRect → decodeRect unchanged.
+func FuzzRectDecode(f *testing.F) {
+	f.Add("0,0,1,1")
+	f.Add("-1e300,2.5,1e300,3.75")
+	f.Add("0,0,1")
+	f.Add("a,b,c,d")
+	f.Add("NaN,0,1,1")
+	f.Add("0,0,1,1,")
+	f.Add("+Inf,-Inf,+Inf,-Inf")
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := decodeRect(s)
+		if err != nil {
+			return
+		}
+		r2, err := decodeRect(encodeRect(r))
+		if err != nil {
+			t.Fatalf("decodeRect(encodeRect(%#v)) failed: %v", r, err)
+		}
+		if enc, enc2 := encodeRect(r), encodeRect(r2); enc != enc2 {
+			t.Fatalf("rect round trip not a fixed point: %q vs %q", enc, enc2)
+		}
+	})
+}

@@ -2,6 +2,8 @@ package sindex
 
 import (
 	"math/rand"
+	"strconv"
+	"strings"
 	"testing"
 
 	"spatialhadoop/internal/datagen"
@@ -31,15 +33,38 @@ func TestTable1(t *testing.T) {
 	}
 }
 
+// TestParseTechniqueRoundTrip: ParseTechnique(t.String()) is the identity
+// for every technique in Table1, and unknown names produce a descriptive
+// error naming the offender.
 func TestParseTechniqueRoundTrip(t *testing.T) {
-	for _, tech := range allTechniques {
-		got, err := ParseTechnique(tech.String())
-		if err != nil || got != tech {
-			t.Errorf("round trip %v: got %v, %v", tech, got, err)
-		}
+	if len(Table1) != len(allTechniques) {
+		t.Fatalf("Table1 has %d techniques, test covers %d", len(Table1), len(allTechniques))
 	}
-	if _, err := ParseTechnique("nope"); err == nil {
-		t.Error("expected error for unknown technique")
+	for tech, info := range Table1 {
+		tech, info := tech, info
+		t.Run(info.Name, func(t *testing.T) {
+			if got := tech.String(); got != info.Name {
+				t.Errorf("String() = %q, want %q", got, info.Name)
+			}
+			got, err := ParseTechnique(tech.String())
+			if err != nil {
+				t.Fatalf("ParseTechnique(%q): %v", tech.String(), err)
+			}
+			if got != tech {
+				t.Errorf("round trip: got %v, want %v", got, tech)
+			}
+		})
+	}
+	for _, name := range []string{"", "nope", "Grid", "STR", "str ", "quad-tree", "hilbert curve"} {
+		_, err := ParseTechnique(name)
+		if err == nil {
+			t.Errorf("ParseTechnique(%q): expected error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "unknown partitioning technique") ||
+			!strings.Contains(err.Error(), strconv.Quote(name)) {
+			t.Errorf("ParseTechnique(%q): error %q not descriptive", name, err)
+		}
 	}
 }
 
