@@ -4,6 +4,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,12 +27,15 @@ import (
 //
 // Endpoints:
 //
-//	GET /rangequery?file=pts&rect=minx,miny,maxx,maxy
+//	GET /rangequery?file=pts&rect=minx,miny,maxx,maxy   (&explain=1 inlines the execution report)
 //	GET /knn?file=pts&point=x,y&k=10
 //	GET /join?left=a&right=b
 //	GET /plot?file=pts&width=256&height=256   (PNG)
 //	GET /healthz                              (503 while draining)
-//	GET /metrics                              (JSON registry dump)
+//	GET /metrics                              (Prometheus text exposition)
+//	GET /metrics.json                         (JSON registry dump)
+//	GET /debug/trace/{id}                     (span tree of a recent request, by X-Trace-Id)
+//	GET /debug/partitions                     (hot-partition skew report)
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
@@ -45,6 +51,8 @@ func runServe(args []string) error {
 		queueDepth  = fs.Int("queue", 64, "jobs that may wait for a run slot")
 		jobDeadline = fs.Duration("job-deadline", 30*time.Second, "per-job execution deadline (0 = none)")
 		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		accessLog   = fs.String("accesslog", "", "append one JSON line per request to this file (- for stdout)")
+		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,13 +90,39 @@ func runServe(args []string) error {
 		return err
 	}
 
+	var logW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logW = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("accesslog: %w", err)
+		}
+		defer f.Close()
+		logW = f
+	}
+
 	srv := serve.New(sys, serve.Config{
 		Addr:        *addr,
 		CacheSize:   *cacheSize,
 		MaxInFlight: *maxInFlight,
 		QueueDepth:  *queueDepth,
 		JobDeadline: *jobDeadline,
+		AccessLog:   logW,
 	})
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener so profiling endpoints are never
+		// reachable through the query port.
+		go func() {
+			fmt.Printf("serve: pprof on http://%s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: pprof listener: %v\n", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

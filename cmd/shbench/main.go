@@ -25,12 +25,18 @@
 //	                                partitioned shuffle, e2e queries) and
 //	                                write machine-readable results
 //
-// Serving-layer load smoke:
+// Serving-layer load benchmark:
 //
 //	-serveload 30s -clients 8       drive the query mix over HTTP against
-//	                                an in-process server; any non-200 or
-//	                                any body diverging from its serial
-//	                                oracle fails the run
+//	                                an in-process server at three
+//	                                concurrency levels (clients/4, clients,
+//	                                2x clients); any non-200 or any body
+//	                                diverging from its serial oracle fails
+//	                                the run
+//	-servejson BENCH_serve.json     write the QPS / p50 / p99 trajectory
+//	                                as machine-readable JSON
+//	-servebaseline BENCH_serve.json fail if any level's p99 exceeds 3x the
+//	                                baseline report's matching level
 package main
 
 import (
@@ -56,8 +62,10 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		obsDir     = flag.String("obsdir", "", "persist job traces and metric snapshots into this directory")
 		benchJSON  = flag.String("benchjson", "", "run the hot-path benchmark suite and write JSON results to this file")
-		serveLoad  = flag.Duration("serveload", 0, "run the serving-layer load smoke for this duration instead of experiments")
-		clients    = flag.Int("clients", 8, "concurrent HTTP clients for -serveload")
+		serveLoad  = flag.Duration("serveload", 0, "run the serving-layer load benchmark for this total duration instead of experiments")
+		clients    = flag.Int("clients", 8, "mid-level concurrent HTTP clients for -serveload (levels are clients/4, clients, 2x)")
+		serveJSON  = flag.String("servejson", "", "write the -serveload QPS/p50/p99 trajectory to this JSON file")
+		serveBase  = flag.String("servebaseline", "", "compare the -serveload run against this baseline JSON; fail on >3x p99 regression")
 	)
 	chaosPlan := fault.PlanFlags(flag.CommandLine)
 	flag.Parse()
@@ -98,7 +106,7 @@ func main() {
 		Chaos:     chaosPlan(),
 	}
 	if *serveLoad > 0 {
-		if err := bench.ServeLoad(cfg, *serveLoad, *clients); err != nil {
+		if err := bench.ServeLoad(cfg, *serveLoad, *clients, *serveJSON, *serveBase); err != nil {
 			fatal(err)
 		}
 	} else if *benchJSON != "" {

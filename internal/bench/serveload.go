@@ -1,11 +1,14 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +17,7 @@ import (
 	"spatialhadoop/internal/datagen"
 	"spatialhadoop/internal/geom"
 	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/obs"
 	"spatialhadoop/internal/ops"
 	"spatialhadoop/internal/serve"
 	"spatialhadoop/internal/sindex"
@@ -44,25 +48,87 @@ func serveCorpus(cfg Config) (*core.System, error) {
 	return sys, nil
 }
 
-// serveLoadQueries is the load-smoke query mix.
+// serveLoadQueries is the load query pool. It is deliberately larger
+// than the load server's result cache, so the steady state mixes cache
+// hits with real job executions — the latency trajectory then reflects
+// query execution under admission, not just the cache fast path.
 func serveLoadQueries() []string {
-	return []string{
-		"/rangequery?file=pts&rect=100000,100000,400000,400000",
-		"/rangequery?file=pts&rect=250000,250000,750000,750000",
+	qs := []string{
 		"/rangequery?file=pts&rect=0,0,1000000,1000000",
 		"/knn?file=pts&point=500000,500000&k=10",
 		"/knn?file=pts&point=123456,654321&k=25",
+		"/knn?file=pts&point=900000,100000&k=5",
 		"/join?left=a&right=b",
 		"/plot?file=pts&width=64&height=64",
+		"/plot?file=pts&width=48&height=48",
 	}
+	// A 4x3 pan of mid-size windows plus a diagonal of small hot windows.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			x, y := i*200_000, j*250_000
+			qs = append(qs, fmt.Sprintf("/rangequery?file=pts&rect=%d,%d,%d,%d", x, y, x+350_000, y+400_000))
+		}
+	}
+	for i := 0; i < 5; i++ {
+		o := 100_000 + i*150_000
+		qs = append(qs, fmt.Sprintf("/rangequery?file=pts&rect=%d,%d,%d,%d", o, o, o+90_000, o+90_000))
+	}
+	return qs
 }
 
-// ServeLoad is the serving-layer load smoke: it stands up an in-process
-// HTTP server, records each query's serial answer as an oracle, then
-// drives the mix from concurrent clients for the given duration. Any
-// non-200 response or any body diverging from its oracle fails the run;
-// on success it reports sustained throughput. CI runs this for 30s.
-func ServeLoad(cfg Config, d time.Duration, clients int) error {
+// serveLoadCacheSize keeps the result cache well below the query-pool
+// size so LRU churn sustains a mixed hit/miss steady state.
+const serveLoadCacheSize = 8
+
+// ServeLevel is the measurement at one concurrency level of the serving
+// load benchmark.
+type ServeLevel struct {
+	Clients   int     `json:"clients"`
+	DurationS float64 `json:"duration_s"`
+	Requests  int64   `json:"requests"`
+	Failures  int64   `json:"failures"`
+	QPS       float64 `json:"qps"`
+	P50US     int64   `json:"p50_us"`
+	P99US     int64   `json:"p99_us"`
+}
+
+// ServeBench is the machine-readable serving-latency trajectory written
+// as BENCH_serve.json: oracle-checked QPS and exact p50/p99 per
+// concurrency level over one warmed server.
+type ServeBench struct {
+	Scale      float64      `json:"scale"`
+	Workers    int          `json:"workers"`
+	BlockSize  int64        `json:"block_size"`
+	Seed       int64        `json:"seed"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Levels     []ServeLevel `json:"levels"`
+}
+
+// serveLoadLevels derives the concurrency ladder from the -clients flag:
+// a light level, the requested level and a 2x overload level.
+func serveLoadLevels(clients int) []int {
+	levels := []int{clients / 4, clients, clients * 2}
+	if levels[0] < 1 {
+		levels[0] = 1
+	}
+	var out []int
+	for _, l := range levels {
+		if len(out) == 0 || out[len(out)-1] != l {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ServeLoad is the serving-layer load benchmark and smoke: it stands up
+// an in-process HTTP server, records each query's serial answer as an
+// oracle, then drives the mix at several concurrency levels for the
+// given total duration. Any non-200 response or any body diverging from
+// its oracle fails the run; on success it reports QPS and exact p50/p99
+// per level, written to jsonPath when set. When baselinePath names a
+// previous report, the run fails if any level's p99 regresses more than
+// 3x against the matching level. CI runs this for 30s per push.
+func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath string) error {
 	cfg = cfg.withDefaults()
 	if clients < 1 {
 		clients = 8
@@ -72,7 +138,7 @@ func ServeLoad(cfg Config, d time.Duration, clients int) error {
 		return err
 	}
 	srv := serve.New(sys, serve.Config{
-		CacheSize:   256,
+		CacheSize:   serveLoadCacheSize,
 		MaxInFlight: 4,
 		QueueDepth:  4096,
 		JobDeadline: 30 * time.Second,
@@ -109,47 +175,123 @@ func ServeLoad(cfg Config, d time.Duration, clients int) error {
 		oracle[q] = body
 	}
 
-	// Concurrent load until the deadline.
-	var total, failures atomic.Int64
-	var firstErr atomic.Value
-	deadline := time.Now().Add(d)
-	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
-			for time.Now().Before(deadline) {
-				q := queries[rng.Intn(len(queries))]
-				code, body, err := get(q)
-				total.Add(1)
-				switch {
-				case err != nil:
-					failures.Add(1)
-					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: %v", q, err))
-				case code != http.StatusOK:
-					failures.Add(1)
-					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: status %d: %.200s", q, code, body))
-				case string(body) != string(oracle[q]):
-					failures.Add(1)
-					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: body diverged from serial oracle", q))
-				}
-			}
-		}(c)
+	levels := serveLoadLevels(clients)
+	levelDur := d / time.Duration(len(levels))
+	report := &ServeBench{
+		Scale:      cfg.Scale,
+		Workers:    cfg.Workers,
+		BlockSize:  cfg.BlockSize,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
-	wg.Wait()
 
-	elapsed := d.Seconds()
-	fmt.Fprintf(cfg.W, "serveload: %d requests from %d clients in %v (%.1f req/s), %d failures\n",
-		total.Load(), clients, d, float64(total.Load())/elapsed, failures.Load())
+	for li, nclients := range levels {
+		var total, failures atomic.Int64
+		var firstErr atomic.Value
+		lats := make([][]float64, nclients)
+		deadline := time.Now().Add(levelDur)
+		var wg sync.WaitGroup
+		for c := 0; c < nclients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(li*1000+c)))
+				for time.Now().Before(deadline) {
+					q := queries[rng.Intn(len(queries))]
+					t0 := time.Now()
+					code, body, err := get(q)
+					lats[c] = append(lats[c], float64(time.Since(t0).Microseconds()))
+					total.Add(1)
+					switch {
+					case err != nil:
+						failures.Add(1)
+						firstErr.CompareAndSwap(nil, fmt.Errorf("%s: %v", q, err))
+					case code != http.StatusOK:
+						failures.Add(1)
+						firstErr.CompareAndSwap(nil, fmt.Errorf("%s: status %d: %.200s", q, code, body))
+					case string(body) != string(oracle[q]):
+						failures.Add(1)
+						firstErr.CompareAndSwap(nil, fmt.Errorf("%s: body diverged from serial oracle", q))
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+
+		var all []float64
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		lvl := ServeLevel{
+			Clients:   nclients,
+			DurationS: levelDur.Seconds(),
+			Requests:  total.Load(),
+			Failures:  failures.Load(),
+			QPS:       float64(total.Load()) / levelDur.Seconds(),
+			P50US:     int64(obs.ExactQuantile(all, 0.5)),
+			P99US:     int64(obs.ExactQuantile(all, 0.99)),
+		}
+		report.Levels = append(report.Levels, lvl)
+		fmt.Fprintf(cfg.W, "serveload: clients=%d requests=%d (%.1f req/s) p50=%dus p99=%dus failures=%d\n",
+			lvl.Clients, lvl.Requests, lvl.QPS, lvl.P50US, lvl.P99US, lvl.Failures)
+		if n := failures.Load(); n > 0 {
+			return fmt.Errorf("serveload: %d/%d requests failed at %d clients; first: %v",
+				n, total.Load(), nclients, firstErr.Load())
+		}
+		if total.Load() == 0 {
+			return fmt.Errorf("serveload: no requests completed at %d clients within %v", nclients, levelDur)
+		}
+	}
+
 	snap := srv.Metrics().Snapshot()
 	fmt.Fprintf(cfg.W, "serveload: cache hits=%d misses=%d evictions=%d\n",
 		snap.Counters[serve.CounterCacheHits], snap.Counters[serve.CounterCacheMisses], snap.Counters[serve.CounterCacheEvictions])
-	if n := failures.Load(); n > 0 {
-		return fmt.Errorf("serveload: %d/%d requests failed; first: %v", n, total.Load(), firstErr.Load())
+
+	if jsonPath != "" {
+		body, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(body, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.W, "serveload: wrote %s\n", jsonPath)
 	}
-	if total.Load() == 0 {
-		return fmt.Errorf("serveload: no requests completed within %v", d)
+	if baselinePath != "" {
+		baseBody, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("serveload: read baseline: %w", err)
+		}
+		var baseline ServeBench
+		if err := json.Unmarshal(baseBody, &baseline); err != nil {
+			return fmt.Errorf("serveload: parse baseline %s: %w", baselinePath, err)
+		}
+		if err := CompareServeBench(report, &baseline); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.W, "serveload: p99 within 3x of baseline %s\n", baselinePath)
+	}
+	return nil
+}
+
+// CompareServeBench gates a serve benchmark against a checked-in
+// baseline: any concurrency level whose p99 exceeds 3x the baseline's
+// matching level fails. Levels without a baseline counterpart pass (the
+// ladder may change shape across PRs).
+func CompareServeBench(cur, base *ServeBench) error {
+	byClients := make(map[int]ServeLevel, len(base.Levels))
+	for _, l := range base.Levels {
+		byClients[l.Clients] = l
+	}
+	for _, l := range cur.Levels {
+		b, ok := byClients[l.Clients]
+		if !ok || b.P99US <= 0 {
+			continue
+		}
+		if l.P99US > 3*b.P99US {
+			return fmt.Errorf("serveload: p99 regression at %d clients: %dus > 3x baseline %dus",
+				l.Clients, l.P99US, b.P99US)
+		}
 	}
 	return nil
 }

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -62,6 +63,11 @@ type System struct {
 	// file-system traffic. Per-job metrics live in each job's Report.
 	metrics *obs.Registry
 
+	// hot aggregates per-partition access statistics (scans, prunes,
+	// records, matches) across query jobs — the hot-partition telemetry
+	// the skew report and a future repartitioner read.
+	hot *sindex.Hotness
+
 	// localIndexes caches per-block R-trees, modelling SpatialHadoop's
 	// persisted local indexes.
 	localIndexes sync.Map // *dfs.Block -> *rtree.Tree
@@ -96,6 +102,7 @@ func NewWithFS(cfg Config, fs *dfs.FileSystem) *System {
 		cluster: mapreduce.NewCluster(fs, cfg.Workers),
 		cfg:     cfg,
 		metrics: reg,
+		hot:     sindex.NewHotness(),
 	}
 	if cfg.Fault.Enabled() {
 		sys.cluster.SetFault(cfg.Fault)
@@ -112,6 +119,9 @@ func (s *System) Metrics() *obs.Registry { return s.metrics }
 
 // Cluster returns the compute cluster.
 func (s *System) Cluster() *mapreduce.Cluster { return s.cluster }
+
+// Hotness returns the system's hot-partition telemetry aggregator.
+func (s *System) Hotness() *sindex.Hotness { return s.hot }
 
 // IndexedFile is an open spatially-indexed file: the data blocks plus the
 // decoded global index.
@@ -344,7 +354,13 @@ func (s *System) LocalIndex(b *dfs.Block) (*rtree.Tree, error) {
 
 // ReadPoints decodes every point record of a file.
 func (s *System) ReadPoints(name string) ([]geom.Point, error) {
-	recs, err := s.fs.ReadAll(name)
+	return s.ReadPointsCtx(context.Background(), name)
+}
+
+// ReadPointsCtx is ReadPoints under a context, so a request trace on the
+// context records the underlying DFS read as a span.
+func (s *System) ReadPointsCtx(ctx context.Context, name string) ([]geom.Point, error) {
+	recs, err := s.fs.ReadAllCtx(ctx, name)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@
 package dfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,6 +19,7 @@ import (
 
 	"spatialhadoop/internal/geom"
 	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/obs"
 )
 
 // DefaultBlockSize is the default block capacity in bytes. The paper uses
@@ -397,10 +399,24 @@ func (fs *FileSystem) List() []string {
 // generation). A corrupted block surfaces as a *ChecksumError wrapping
 // ErrChecksum.
 func (fs *FileSystem) ReadAll(name string) ([]string, error) {
+	return fs.ReadAllCtx(context.Background(), name)
+}
+
+// ReadAllCtx is ReadAll under a context: when the context carries a
+// request trace (serving path), the read is recorded as a "dfs.read"
+// span with the file name, block and record counts. Metrics still flow
+// through the Sink indirection; only tracing couples dfs to obs, which
+// is a leaf package.
+func (fs *FileSystem) ReadAllCtx(ctx context.Context, name string) ([]string, error) {
+	_, span := obs.StartSpan(ctx, "dfs.read")
+	defer span.End()
+	span.SetAttr("file", name)
 	f, err := fs.Open(name)
 	if err != nil {
 		return nil, err
 	}
+	span.SetAttr("blocks", fmt.Sprint(len(f.Blocks)))
+	span.SetAttr("records", fmt.Sprint(f.Records))
 	if s := fs.sink(); s != nil {
 		s.Inc(MetricBlocksRead, int64(len(f.Blocks)))
 		s.Inc(MetricRecordsRead, f.Records)

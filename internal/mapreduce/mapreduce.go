@@ -537,7 +537,11 @@ func (c *Cluster) Run(job *Job) (*Report, error) {
 // per-job deadline.
 func (c *Cluster) RunCtx(ctx context.Context, job *Job) (*Report, error) {
 	if a := c.admission(); a != nil {
+		// queue.wait covers the admission gate: on a loaded cluster this is
+		// where a request trace shows the job sitting behind other jobs.
+		_, qs := obs.StartSpan(ctx, "queue.wait")
 		release, err := a.enter(ctx)
+		qs.End()
 		if err != nil {
 			return nil, err
 		}
@@ -565,6 +569,13 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 		numRed = 1
 	}
 	rj := &runningJob{job: job, reg: obs.NewRegistry(), trace: obs.NewTrace(job.Name), nshards: numRed}
+	// When the context carries a request trace (serving path), mirror the
+	// job into it: a "job" span parents per-phase spans, which in turn
+	// parent the scheduler's slot.wait spans. Batch callers carry no trace
+	// and all of these are free no-ops.
+	ctx, jspan := obs.StartSpan(ctx, "job")
+	jspan.SetAttr("name", job.Name)
+	defer jspan.End()
 	root := rj.trace.Start(job.Name, obs.PhaseJob, 0, -1)
 	// fail finishes the root span on every error path so traces never
 	// leak open spans.
@@ -587,7 +598,11 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 	if job.Filter != nil {
 		fspan := rj.trace.Start("filter", obs.PhaseFilter, root.ID, -1)
 		fspan.RecordsIn = int64(total)
+		_, frs := obs.StartSpan(ctx, "phase.filter")
 		splits = job.Filter(splits)
+		frs.SetAttr("splits_in", fmt.Sprint(total))
+		frs.SetAttr("splits_out", fmt.Sprint(len(splits)))
+		frs.End()
 		fspan.RecordsOut = int64(len(splits))
 		fspan.Finish(obs.OutcomeOK)
 		rj.reg.Inc(CounterSplitsFiltered, int64(total-len(splits)))
@@ -599,6 +614,8 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 
 	// ---- Map phase ----
 	mapStart := time.Now()
+	mapCtx, mapSpan := obs.StartSpan(ctx, "phase.map")
+	mapSpan.SetAttr("tasks", fmt.Sprint(len(splits)))
 	type mapResult struct {
 		// shards holds the task's emitted pairs pre-bucketed by reducer.
 		shards [][]Pair
@@ -649,7 +666,9 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 			}, nil
 		})
 	}
-	for _, e := range ms.runAll(ctx) {
+	mapErrs := ms.runAll(mapCtx)
+	mapSpan.End()
+	for _, e := range mapErrs {
 		if e != nil {
 			return fail(fmt.Errorf("mapreduce: job %q map failed: %w", job.Name, e))
 		}
@@ -672,6 +691,7 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 	// numbers already merged into the task counters — rather than a second
 	// walk over every pair.
 	shuffleStart := time.Now()
+	_, shReq := obs.StartSpan(ctx, "phase.shuffle")
 	shSpan := rj.trace.Start("shuffle", obs.PhaseShuffle, root.ID, -1)
 	groups := make([]map[string][]string, numRed)
 	var swg sync.WaitGroup
@@ -707,6 +727,8 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 	shSpan.RecordsIn = shufflePairs
 	shSpan.Bytes = shuffleBytes
 	shSpan.Finish(obs.OutcomeOK)
+	shReq.SetAttr("bytes", fmt.Sprint(shuffleBytes))
+	shReq.End()
 	shuffleTime := time.Since(shuffleStart)
 
 	// ---- Reduce phase ----
@@ -714,6 +736,8 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 	reduceOut := make([][]string, numRed)
 	reduceDur := make([]time.Duration, numRed)
 	if job.Reduce != nil {
+		redCtx, redSpan := obs.StartSpan(ctx, "phase.reduce")
+		redSpan.SetAttr("tasks", fmt.Sprint(numRed))
 		rs := newSched(c, rj, obs.PhaseReduce, root.ID, pol, CounterRetryReduce)
 		for ri := 0; ri < numRed; ri++ {
 			ri := ri
@@ -747,7 +771,9 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 				}, nil
 			})
 		}
-		for _, e := range rs.runAll(ctx) {
+		redErrs := rs.runAll(redCtx)
+		redSpan.End()
+		for _, e := range redErrs {
 			if e != nil {
 				return fail(fmt.Errorf("mapreduce: job %q reduce failed: %w", job.Name, e))
 			}
@@ -769,6 +795,7 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 	// commit never duplicates records, and every attempt's span is
 	// finished on every path — success, retry and failure alike.
 	commitStart := time.Now()
+	_, commitReq := obs.StartSpan(ctx, "phase.commit")
 	var outCount int64
 	injector := c.Injector()
 	var commitErr error
@@ -799,6 +826,7 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 		commitErr = err
 		break
 	}
+	commitReq.End()
 	if commitErr != nil {
 		return fail(fmt.Errorf("mapreduce: job %q commit failed: %w", job.Name, commitErr))
 	}

@@ -184,7 +184,14 @@ func (s *sched) runAll(ctx context.Context) []error {
 		wg.Add(1)
 		go func(ts *schedTask) {
 			defer wg.Done()
-			if err := s.c.slots.Acquire(ctx); err != nil {
+			// slot.wait shows, per task, how long the attempt sat behind the
+			// cluster-wide slot pool before executing (no-op without a
+			// request trace on the context).
+			_, ss := obs.StartSpan(ctx, "slot.wait")
+			ss.SetAttr("task", ts.name)
+			err := s.c.slots.Acquire(ctx)
+			ss.End()
+			if err != nil {
 				errs[ts.idx] = err
 				return
 			}

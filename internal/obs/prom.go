@@ -1,0 +1,441 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition for Registry snapshots, plus the canonical
+// labeled-name encoding that gives the registry label support without
+// changing its storage model.
+//
+// A labeled metric is stored under its canonical name,
+// `base{k1="v1",k2="v2"}` with keys sorted and values escaped, produced
+// by Name and decoded by SplitName. The exposition writer renders every
+// counter, gauge and histogram of one or more snapshots in the standard
+// Prometheus text format: dot-separated registry names become
+// `shadoop_`-prefixed underscore names (the naming rule
+// `^shadoop_[a-z_]+$` is pinned by tests), counters gain the
+// conventional `_total` suffix, and histograms expand to cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`.
+
+// Name renders a metric name with labels in canonical form: label keys
+// sorted, values escaped. With no labels it returns base unchanged.
+// Registry methods accept the result anywhere a plain name is accepted.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// IncLabeled adds delta to the counter base with the given label pairs.
+func (r *Registry) IncLabeled(base string, delta int64, kv ...string) {
+	r.Inc(Name(base, kv...), delta)
+}
+
+// SetGaugeLabeled sets the gauge base with the given label pairs.
+func (r *Registry) SetGaugeLabeled(base string, v float64, kv ...string) {
+	r.SetGauge(Name(base, kv...), v)
+}
+
+// ObserveLabeled records one observation into the histogram base with
+// the given label pairs.
+func (r *Registry) ObserveLabeled(base string, v float64, kv ...string) {
+	r.Observe(Name(base, kv...), v)
+}
+
+// SplitName decodes a canonical name into its base and rendered label
+// block ("" when unlabeled). The label block keeps its escaping — it is
+// pasted verbatim into the exposition.
+func SplitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// PromNamePattern is the naming rule every exposed metric family must
+// match; a CI test walks a live server's /metrics against it.
+const PromNamePattern = `^shadoop_[a-z_]+$`
+
+var promNameRE = regexp.MustCompile(PromNamePattern)
+
+// ValidPromName reports whether a rendered family name obeys the naming
+// rule.
+func ValidPromName(name string) bool { return promNameRE.MatchString(name) }
+
+// PromName converts a registry metric base name to its exposition family
+// name: dots become underscores under the shadoop_ prefix. The result is
+// NOT sanitized — a registry name with characters outside [a-z_.] yields
+// an invalid family name, which the naming-rule test rejects, so bad
+// names fail loudly instead of being silently rewritten.
+func PromName(base string) string {
+	return "shadoop_" + strings.ReplaceAll(base, ".", "_")
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type promSeries struct {
+	labels string
+	render func(w io.Writer, family, labels string)
+}
+
+type promFamily struct {
+	name   string // rendered family name
+	typ    string // counter | gauge | histogram
+	help   string
+	series []promSeries
+}
+
+// WritePrometheus renders the given snapshots in the Prometheus text
+// format (version 0.0.4). Families are sorted by name and series by
+// label set, so the output is deterministic; when several snapshots
+// carry the same metric, counter values sum and gauge/histogram values
+// from later snapshots win.
+func WritePrometheus(w io.Writer, snaps ...*Snapshot) error {
+	counters := map[string]int64{}
+	gauges := map[string]float64{}
+	hists := map[string]HistogramSnapshot{}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for k, v := range s.Counters {
+			counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			gauges[k] = v
+		}
+		for k, v := range s.Histograms {
+			hists[k] = v
+		}
+	}
+
+	fams := map[string]*promFamily{}
+	family := func(base, typ string) *promFamily {
+		name := PromName(base)
+		if typ == "counter" {
+			name += "_total"
+		}
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, typ: typ, help: typ + " " + base}
+			fams[name] = f
+		}
+		return f
+	}
+
+	for k, v := range counters {
+		base, labels := SplitName(k)
+		v := v
+		family(base, "counter").series = append(family(base, "counter").series, promSeries{
+			labels: labels,
+			render: func(w io.Writer, fam, labels string) {
+				fmt.Fprintf(w, "%s%s %d\n", fam, renderLabels(labels), v)
+			},
+		})
+	}
+	for k, v := range gauges {
+		base, labels := SplitName(k)
+		v := v
+		family(base, "gauge").series = append(family(base, "gauge").series, promSeries{
+			labels: labels,
+			render: func(w io.Writer, fam, labels string) {
+				fmt.Fprintf(w, "%s%s %s\n", fam, renderLabels(labels), promFloat(v))
+			},
+		})
+	}
+	for k, h := range hists {
+		base, labels := SplitName(k)
+		h := h
+		family(base, "histogram").series = append(family(base, "histogram").series, promSeries{
+			labels: labels,
+			render: func(w io.Writer, fam, labels string) {
+				renderHistogram(w, fam, labels, h)
+			},
+		})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			s.render(w, f.name, s.labels)
+		}
+	}
+	return nil
+}
+
+func renderLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// renderHistogram writes the cumulative bucket series, stopping at the
+// first bucket that reaches the total count (every higher bucket would
+// repeat it), then +Inf, _sum and _count.
+func renderHistogram(w io.Writer, fam, labels string, h HistogramSnapshot) {
+	joinLe := func(le string) string {
+		if labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return "{" + labels + `,le="` + le + `"}`
+	}
+	var cum int64
+	for i, c := range h.Buckets {
+		cum += c
+		if c != 0 || cum == 0 && i == 0 {
+			// Upper bound of bucket i is 2^i (bucket 0 holds v < 1).
+			fmt.Fprintf(w, "%s_bucket%s %d\n", fam, joinLe(promFloat(math.Exp2(float64(i)))), cum)
+		}
+		if cum == h.Count && h.Count > 0 {
+			break
+		}
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", fam, joinLe("+Inf"), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", fam, renderLabels(labels), promFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", fam, renderLabels(labels), h.Count)
+}
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromMetrics is a parsed exposition: samples in input order plus the
+// TYPE declared per family.
+type PromMetrics struct {
+	Samples []PromSample
+	Types   map[string]string
+}
+
+// Get returns the value of the sample with the given name whose labels
+// are a superset of want (nil matches the first sample of the name).
+func (m *PromMetrics) Get(name string, want map[string]string) (float64, bool) {
+sample:
+	for _, s := range m.Samples {
+		if s.Name != name {
+			continue
+		}
+		for k, v := range want {
+			if s.Labels[k] != v {
+				continue sample
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
+}
+
+// ParsePrometheus is a minimal in-tree parser for the text exposition
+// format: enough to validate structure (names, label syntax, float
+// values, no duplicate series) and to let tests assert on scraped
+// values without an external dependency.
+func ParsePrometheus(data []byte) (*PromMetrics, error) {
+	out := &PromMetrics{Types: map[string]string{}}
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				out.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sample, key, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", ln+1, err)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("obs: line %d: duplicate series %s", ln+1, key)
+		}
+		seen[key] = true
+		out.Samples = append(out.Samples, sample)
+	}
+	if len(out.Samples) == 0 {
+		return nil, fmt.Errorf("obs: exposition has no samples")
+	}
+	return out, nil
+}
+
+var promSeriesNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func parsePromLine(line string) (PromSample, string, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, "", fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if !promSeriesNameRE.MatchString(s.Name) {
+		return s, "", fmt.Errorf("bad metric name %q", s.Name)
+	}
+	var keyParts []string
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQ := false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQ && rest[i] == '\\':
+				i++
+			case rest[i] == '"':
+				inQ = !inQ
+			case !inQ && rest[i] == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return s, "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		block := rest[1:end]
+		rest = rest[end+1:]
+		for _, kv := range splitLabelPairs(block) {
+			eq := strings.IndexByte(kv, '=')
+			if eq < 0 {
+				return s, "", fmt.Errorf("bad label pair %q", kv)
+			}
+			k := kv[:eq]
+			v := kv[eq+1:]
+			if !promSeriesNameRE.MatchString(k) {
+				return s, "", fmt.Errorf("bad label name %q", k)
+			}
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return s, "", fmt.Errorf("unquoted label value in %q", kv)
+			}
+			uv, err := unescapeLabel(v[1 : len(v)-1])
+			if err != nil {
+				return s, "", err
+			}
+			s.Labels[k] = uv
+			keyParts = append(keyParts, k+"="+uv)
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp field after the value is valid exposition; we don't emit
+	// one, so reject it to keep the parser honest about what we produce.
+	if strings.ContainsAny(rest, " \t") {
+		return s, "", fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, "", fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	sort.Strings(keyParts)
+	return s, s.Name + "{" + strings.Join(keyParts, ",") + "}", nil
+}
+
+// splitLabelPairs splits a label block on commas outside quotes.
+func splitLabelPairs(block string) []string {
+	var out []string
+	start := 0
+	inQ := false
+	for i := 0; i < len(block); i++ {
+		switch {
+		case inQ && block[i] == '\\':
+			i++
+		case block[i] == '"':
+			inQ = !inQ
+		case !inQ && block[i] == ',':
+			out = append(out, block[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(block) {
+		out = append(out, block[start:])
+	}
+	return out
+}
+
+func unescapeLabel(v string) (string, error) {
+	if !strings.ContainsRune(v, '\\') {
+		return v, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] != '\\' {
+			b.WriteByte(v[i])
+			continue
+		}
+		i++
+		if i >= len(v) {
+			return "", fmt.Errorf("dangling escape in label value %q", v)
+		}
+		switch v[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("bad escape \\%c in label value %q", v[i], v)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func TestNameCanonical(t *testing.T) {
+	if got := Name("serve.req"); got != "serve.req" {
+		t.Fatalf("unlabeled Name = %q", got)
+	}
+	// Keys sort regardless of argument order.
+	a := Name("m", "b", "2", "a", "1")
+	b := Name("m", "a", "1", "b", "2")
+	if a != b || a != `m{a="1",b="2"}` {
+		t.Fatalf("Name not canonical: %q vs %q", a, b)
+	}
+	// Values are escaped.
+	if got := Name("m", "k", "a\"b\\c\nd"); got != `m{k="a\"b\\c\nd"}` {
+		t.Fatalf("escaped Name = %q", got)
+	}
+}
+
+func TestSplitName(t *testing.T) {
+	for _, tc := range []struct {
+		in, base, labels string
+	}{
+		{"serve.req", "serve.req", ""},
+		{`serve.req{endpoint="range"}`, "serve.req", `endpoint="range"`},
+		{`m{a="1",b="2"}`, "m", `a="1",b="2"`},
+		{"weird{unclosed", "weird{unclosed", ""},
+	} {
+		base, labels := SplitName(tc.in)
+		if base != tc.base || labels != tc.labels {
+			t.Errorf("SplitName(%q) = (%q, %q), want (%q, %q)", tc.in, base, labels, tc.base, tc.labels)
+		}
+	}
+}
+
+// goldenRegistry builds the fixture registry the golden exposition file
+// was rendered from.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.IncLabeled("serve.req", 3, "endpoint", "range")
+	r.IncLabeled("serve.req", 1, "endpoint", "knn")
+	r.Inc("dfs.blocks.read", 42)
+	r.SetGauge("admission.queue.depth", 2)
+	r.SetGaugeLabeled("serve.latency_quantile_us", 1500, "endpoint", "range", "quantile", "0.5")
+	for _, v := range []float64{1, 3, 100} {
+		r.ObserveLabeled("serve.latency_us", v, "endpoint", "range")
+	}
+	r.SetGaugeLabeled("test.escape", 7, "path", "a\"b\\c\nd")
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/prom_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition differs from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParsePrometheus(buf.Bytes())
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v", err)
+	}
+	if v, ok := m.Get("shadoop_serve_req_total", map[string]string{"endpoint": "range"}); !ok || v != 3 {
+		t.Fatalf("serve_req{range} = %v, %v", v, ok)
+	}
+	if v, ok := m.Get("shadoop_dfs_blocks_read_total", nil); !ok || v != 42 {
+		t.Fatalf("dfs_blocks_read = %v, %v", v, ok)
+	}
+	if v, ok := m.Get("shadoop_serve_latency_us_bucket", map[string]string{"endpoint": "range", "le": "+Inf"}); !ok || v != 3 {
+		t.Fatalf("latency +Inf bucket = %v, %v", v, ok)
+	}
+	if v, ok := m.Get("shadoop_serve_latency_us_sum", map[string]string{"endpoint": "range"}); !ok || v != 104 {
+		t.Fatalf("latency sum = %v, %v", v, ok)
+	}
+	// Escaped label round-trips back to the raw value.
+	if v, ok := m.Get("shadoop_test_escape", map[string]string{"path": "a\"b\\c\nd"}); !ok || v != 7 {
+		t.Fatalf("escaped label did not round-trip: %v, %v", v, ok)
+	}
+	if m.Types["shadoop_serve_req_total"] != "counter" ||
+		m.Types["shadoop_admission_queue_depth"] != "gauge" ||
+		m.Types["shadoop_serve_latency_us"] != "histogram" {
+		t.Fatalf("TYPE lines wrong: %v", m.Types)
+	}
+}
+
+func TestWritePrometheusMergesSnapshots(t *testing.T) {
+	a := NewRegistry()
+	a.Inc("x.total_requests", 2)
+	a.SetGauge("x.depth", 1)
+	b := NewRegistry()
+	b.Inc("x.total_requests", 5)
+	b.SetGauge("x.depth", 9)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, a.Snapshot(), b.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParsePrometheus(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Get("shadoop_x_total_requests_total", nil); v != 7 {
+		t.Fatalf("counters should sum across snapshots, got %v", v)
+	}
+	if v, _ := m.Get("shadoop_x_depth", nil); v != 9 {
+		t.Fatalf("later gauge should win, got %v", v)
+	}
+}
+
+func TestValidPromName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"shadoop_serve_req":  true,
+		"shadoop_latency_us": true,
+		"shadoop_p99":        false, // digits are banned: quantiles go in labels
+		"serve_req":          false, // missing prefix
+		"shadoop_Upper":      false,
+		"shadoop_dash-name":  false,
+	} {
+		if got := ValidPromName(name); got != want {
+			t.Errorf("ValidPromName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	for label, input := range map[string]string{
+		"empty":            "",
+		"comments only":    "# HELP x y\n",
+		"no value":         "shadoop_x\n",
+		"bad value":        "shadoop_x pizza\n",
+		"bad name":         "9leading_digit 1\n",
+		"unterminated":     `shadoop_x{a="1" 2` + "\n",
+		"unquoted label":   "shadoop_x{a=1} 2\n",
+		"trailing fields":  "shadoop_x 1 1234567890\n",
+		"duplicate series": "shadoop_x{a=\"1\"} 1\nshadoop_x{a=\"1\"} 2\n",
+		"bad escape":       `shadoop_x{a="\q"} 1` + "\n",
+	} {
+		if _, err := ParsePrometheus([]byte(input)); err == nil {
+			t.Errorf("%s: want parse error, got none", label)
+		}
+	}
+}
+
+func TestParsePrometheusLabelEdgeCases(t *testing.T) {
+	// Commas and braces inside quoted values must not split pairs.
+	in := `shadoop_x{a="v,w",b="x}y"} 5` + "\n"
+	m, err := ParsePrometheus([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Get("shadoop_x", map[string]string{"a": "v,w", "b": "x}y"}); !ok || v != 5 {
+		t.Fatalf("quoted separators mishandled: %v %v %+v", v, ok, m.Samples)
+	}
+}
+
+func TestPromNameConversion(t *testing.T) {
+	if got := PromName("serve.cache.hits"); got != "shadoop_serve_cache_hits" {
+		t.Fatalf("PromName = %q", got)
+	}
+	if !ValidPromName(PromName("serve.latency_us")) {
+		t.Fatal("converted name should satisfy the naming rule")
+	}
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Request-scoped tracing. A ReqTrace is minted per served request (the
+// serving layer creates one per HTTP request and returns its ID in the
+// X-Trace-Id header) and travels through the stack inside a
+// context.Context: admission, the slot pool, the scheduler, cache probes
+// and DFS reads each open a span against whatever trace the context
+// carries. Call sites are unconditional — StartSpan on a context without
+// a trace returns a nil span whose methods are no-ops — so the batch
+// paths (no trace installed) pay only two context lookups per span site.
+//
+// Unlike obs.Trace (the per-job span log consumed by the bench harness),
+// a ReqTrace is a bounded, concurrency-safe span tree keyed by a string
+// trace ID and retained in a TraceRing for the /debug/trace/{id}
+// endpoint.
+
+// MaxReqSpans bounds the spans recorded per request trace; spans started
+// beyond the cap are dropped (counted in Dropped) so a pathological job
+// cannot grow a trace without bound.
+const MaxReqSpans = 512
+
+// ReqSpan is one unit of work inside a request trace. Exported fields
+// are read via ReqTrace.Snapshot after the request finishes; mutation
+// goes through SetAttr/End, which lock the owning trace.
+type ReqSpan struct {
+	ID      int64             `json:"id"`
+	Parent  int64             `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+
+	tr    *ReqTrace
+	start time.Time
+	ended bool
+}
+
+// SetAttr attaches a key/value attribute to the span. Safe on a nil span.
+func (s *ReqSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[key] = value
+	s.tr.mu.Unlock()
+}
+
+// End stamps the span's duration. Only the first End counts; safe on a
+// nil span.
+func (s *ReqSpan) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.DurUS = int64(time.Since(s.start) / time.Microsecond)
+	}
+	s.tr.mu.Unlock()
+}
+
+// ReqTrace is the span tree of one request. Safe for concurrent use:
+// map tasks of a traced job start spans from many goroutines.
+type ReqTrace struct {
+	id    string
+	begin time.Time
+
+	mu      sync.Mutex
+	spans   []*ReqSpan
+	nextID  int64
+	dropped int
+}
+
+// NewReqTrace creates an empty trace with the given ID.
+func NewReqTrace(id string) *ReqTrace {
+	return &ReqTrace{id: id, begin: time.Now()}
+}
+
+// TraceID returns the trace's identifier.
+func (t *ReqTrace) TraceID() string { return t.id }
+
+// startSpan opens a span under parent (0 = root). Returns nil once the
+// span cap is reached.
+func (t *ReqTrace) startSpan(name string, parent int64) *ReqSpan {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= MaxReqSpans {
+		t.dropped++
+		return nil
+	}
+	t.nextID++
+	s := &ReqSpan{
+		ID:      t.nextID,
+		Parent:  parent,
+		Name:    name,
+		StartUS: int64(now.Sub(t.begin) / time.Microsecond),
+		tr:      t,
+		start:   now,
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// ReqTraceSnapshot is the exported state of one finished request trace.
+type ReqTraceSnapshot struct {
+	TraceID string    `json:"trace_id"`
+	Start   time.Time `json:"start"`
+	DurUS   int64     `json:"dur_us"`
+	Dropped int       `json:"dropped,omitempty"`
+	Spans   []ReqSpan `json:"spans"`
+}
+
+// Snapshot returns a deep copy of the trace in span start order. DurUS
+// is the root span's duration (the longest span when no root exists).
+func (t *ReqTrace) Snapshot() ReqTraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := ReqTraceSnapshot{
+		TraceID: t.id,
+		Start:   t.begin,
+		Dropped: t.dropped,
+		Spans:   make([]ReqSpan, len(t.spans)),
+	}
+	for i, s := range t.spans {
+		c := *s
+		c.tr = nil
+		if len(s.Attrs) > 0 {
+			c.Attrs = make(map[string]string, len(s.Attrs))
+			for k, v := range s.Attrs {
+				c.Attrs[k] = v
+			}
+		}
+		if s.Parent == 0 || c.DurUS > snap.DurUS {
+			snap.DurUS = c.DurUS
+		}
+		snap.Spans[i] = c
+	}
+	return snap
+}
+
+// SpanNames returns the distinct span names present in the trace, a
+// convenience for tests asserting trace shape.
+func (s ReqTraceSnapshot) SpanNames() map[string]int {
+	out := make(map[string]int, len(s.Spans))
+	for _, sp := range s.Spans {
+		out[sp.Name]++
+	}
+	return out
+}
+
+type reqTraceKey struct{}
+type reqSpanKey struct{}
+
+// ContextWithTrace installs a request trace on the context.
+func ContextWithTrace(ctx context.Context, t *ReqTrace) context.Context {
+	return context.WithValue(ctx, reqTraceKey{}, t)
+}
+
+// TraceFrom returns the context's request trace, or nil.
+func TraceFrom(ctx context.Context) *ReqTrace {
+	t, _ := ctx.Value(reqTraceKey{}).(*ReqTrace)
+	return t
+}
+
+// StartSpan opens a span named name under the context's current span,
+// returning a derived context (carrying the new span as parent for
+// nested StartSpan calls) and the span itself. Without a trace on the
+// context it returns ctx unchanged and a nil span whose End/SetAttr are
+// no-ops, so call sites never branch.
+func StartSpan(ctx context.Context, name string) (context.Context, *ReqSpan) {
+	t := TraceFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(reqSpanKey{}).(int64)
+	s := t.startSpan(name, parent)
+	if s == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, reqSpanKey{}, s.ID), s
+}
+
+// NewTraceID returns a fresh random 64-bit trace identifier in hex.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// a time-derived ID rather than panicking in a serving path.
+		return hex.EncodeToString([]byte(time.Now().Format("150405.000000000")))[:16]
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// TraceRing retains the most recent request traces for the
+// /debug/trace/{id} endpoint: a bounded FIFO plus an ID index. Adding
+// beyond capacity evicts the oldest trace.
+type TraceRing struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	byID  map[string]*ReqTrace
+}
+
+// NewTraceRing creates a ring holding up to capacity traces (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{cap: capacity, byID: make(map[string]*ReqTrace, capacity)}
+}
+
+// Add retains t, evicting the oldest trace when full.
+func (r *TraceRing) Add(t *ReqTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[t.id]; ok {
+		return // duplicate ID: keep the first
+	}
+	r.order = append(r.order, t.id)
+	r.byID[t.id] = t
+	for len(r.order) > r.cap {
+		delete(r.byID, r.order[0])
+		r.order = r.order[1:]
+	}
+}
+
+// Get returns the retained trace with the given ID, or nil.
+func (r *TraceRing) Get(id string) *ReqTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Len returns the number of retained traces.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestReqTraceSpanTree(t *testing.T) {
+	tr := NewReqTrace("abc123")
+	ctx := ContextWithTrace(context.Background(), tr)
+
+	reqCtx, root := StartSpan(ctx, "request")
+	root.SetAttr("path", "/range")
+	execCtx, exec := StartSpan(reqCtx, "exec")
+	_, read := StartSpan(execCtx, "dfs.read")
+	read.End()
+	exec.End()
+	_, enc := StartSpan(reqCtx, "encode")
+	enc.End()
+	root.End()
+
+	snap := tr.Snapshot()
+	if snap.TraceID != "abc123" {
+		t.Fatalf("TraceID = %q", snap.TraceID)
+	}
+	if len(snap.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(snap.Spans))
+	}
+	byName := map[string]ReqSpan{}
+	for _, s := range snap.Spans {
+		byName[s.Name] = s
+	}
+	if byName["request"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["request"].Parent)
+	}
+	if byName["exec"].Parent != byName["request"].ID {
+		t.Errorf("exec parent = %d, want %d", byName["exec"].Parent, byName["request"].ID)
+	}
+	if byName["dfs.read"].Parent != byName["exec"].ID {
+		t.Errorf("dfs.read parent = %d, want %d", byName["dfs.read"].Parent, byName["exec"].ID)
+	}
+	if byName["encode"].Parent != byName["request"].ID {
+		t.Errorf("encode parent = %d, want %d", byName["encode"].Parent, byName["request"].ID)
+	}
+	if byName["request"].Attrs["path"] != "/range" {
+		t.Errorf("attrs = %v", byName["request"].Attrs)
+	}
+	names := snap.SpanNames()
+	if names["request"] != 1 || names["exec"] != 1 {
+		t.Errorf("SpanNames = %v", names)
+	}
+	if snap.DurUS != byName["request"].DurUS {
+		t.Errorf("snapshot DurUS %d != root span %d", snap.DurUS, byName["request"].DurUS)
+	}
+}
+
+func TestStartSpanWithoutTrace(t *testing.T) {
+	ctx := context.Background()
+	got, s := StartSpan(ctx, "anything")
+	if got != ctx {
+		t.Fatal("context should be returned unchanged without a trace")
+	}
+	if s != nil {
+		t.Fatal("span should be nil without a trace")
+	}
+	// All methods are no-ops on nil.
+	s.SetAttr("k", "v")
+	s.End()
+	s.End()
+	if TraceFrom(ctx) != nil {
+		t.Fatal("TraceFrom on bare context should be nil")
+	}
+}
+
+func TestReqTraceSpanCap(t *testing.T) {
+	tr := NewReqTrace("cap")
+	ctx := ContextWithTrace(context.Background(), tr)
+	for i := 0; i < MaxReqSpans+5; i++ {
+		_, s := StartSpan(ctx, "s")
+		s.End()
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != MaxReqSpans {
+		t.Fatalf("got %d spans, want cap %d", len(snap.Spans), MaxReqSpans)
+	}
+	if snap.Dropped != 5 {
+		t.Fatalf("Dropped = %d, want 5", snap.Dropped)
+	}
+}
+
+func TestReqTraceConcurrentSpans(t *testing.T) {
+	tr := NewReqTrace("conc")
+	ctx := ContextWithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, s := StartSpan(ctx, "task")
+				s.SetAttr("k", "v")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Snapshot().Spans); n != 160 {
+		t.Fatalf("got %d spans, want 160", n)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(2)
+	t1, t2, t3 := NewReqTrace("t1"), NewReqTrace("t2"), NewReqTrace("t3")
+	r.Add(t1)
+	r.Add(t2)
+	if r.Len() != 2 || r.Get("t1") != t1 || r.Get("t2") != t2 {
+		t.Fatal("ring should hold both traces")
+	}
+	r.Add(t3) // evicts t1
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if r.Get("t1") != nil {
+		t.Fatal("t1 should have been evicted")
+	}
+	if r.Get("t2") != t2 || r.Get("t3") != t3 {
+		t.Fatal("t2/t3 should survive")
+	}
+	// Duplicate IDs keep the first entry.
+	dup := NewReqTrace("t3")
+	r.Add(dup)
+	if r.Get("t3") != t3 || r.Len() != 2 {
+		t.Fatal("duplicate Add should be ignored")
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestReqTraceSnapshotIsDeepCopy(t *testing.T) {
+	tr := NewReqTrace("deep")
+	ctx := ContextWithTrace(context.Background(), tr)
+	_, s := StartSpan(ctx, "a")
+	s.SetAttr("k", "v1")
+	snap := tr.Snapshot()
+	s.SetAttr("k", "v2")
+	s.End()
+	if snap.Spans[0].Attrs["k"] != "v1" {
+		t.Fatal("snapshot attrs should not see later mutation")
+	}
+}
+
+func BenchmarkStartSpanNoTrace(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "x")
+		s.End()
+	}
+}

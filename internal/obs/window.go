@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Exact quantiles. The registry's log₂ histograms answer "p99 is below
+// 2^i" — good enough for job reports, too coarse for the serve-latency
+// trajectory the benchmark tracks. A SampleWindow keeps the raw values
+// of the most recent observations in a bounded ring so p50/p95/p99 can
+// be extracted at their exact ranks.
+
+// ExactQuantile returns the q-quantile (0 <= q <= 1) of samples using
+// the nearest-rank definition: the value at rank ceil(q·n) of the
+// sorted samples, so q=0 is the minimum and q=1 the maximum. It does
+// not modify samples; an empty slice yields 0.
+func ExactQuantile(samples []float64, q float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// SampleWindow is a concurrency-safe ring of the most recent N
+// observations. Once full, each new observation overwrites the oldest,
+// so quantiles reflect recent behavior rather than the whole process
+// lifetime.
+type SampleWindow struct {
+	mu    sync.Mutex
+	buf   []float64
+	next  int
+	full  bool
+	total int64
+}
+
+// NewSampleWindow creates a window retaining up to capacity samples
+// (minimum 1).
+func NewSampleWindow(capacity int) *SampleWindow {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SampleWindow{buf: make([]float64, 0, capacity)}
+}
+
+// Observe records one sample, evicting the oldest when full.
+func (w *SampleWindow) Observe(v float64) {
+	w.mu.Lock()
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, v)
+	} else {
+		w.full = true
+		w.buf[w.next] = v
+		w.next = (w.next + 1) % cap(w.buf)
+	}
+	w.total++
+	w.mu.Unlock()
+}
+
+// Count returns the total number of observations ever recorded (not the
+// retained count).
+func (w *SampleWindow) Count() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Len returns the number of retained samples.
+func (w *SampleWindow) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.buf)
+}
+
+// Quantile returns the exact q-quantile over the retained samples (0
+// when empty).
+func (w *SampleWindow) Quantile(q float64) float64 {
+	w.mu.Lock()
+	samples := make([]float64, len(w.buf))
+	copy(samples, w.buf)
+	w.mu.Unlock()
+	return ExactQuantile(samples, q)
+}
+
+// Quantiles returns the exact quantiles for each q in one pass over the
+// retained samples.
+func (w *SampleWindow) Quantiles(qs ...float64) []float64 {
+	w.mu.Lock()
+	sorted := make([]float64, len(w.buf))
+	copy(sorted, w.buf)
+	w.mu.Unlock()
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	n := len(sorted)
+	for i, q := range qs {
+		if n == 0 {
+			continue
+		}
+		rank := int(math.Ceil(q * float64(n)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > n {
+			rank = n
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
+}

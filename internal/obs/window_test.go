@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestExactQuantileRanks(t *testing.T) {
+	// 1..100: nearest-rank quantiles land exactly on integers.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i + 1)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	} {
+		if got := ExactQuantile(samples, tc.q); got != tc.want {
+			t.Errorf("q=%v: got %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Rank boundaries with n=4: ceil(0.25*4)=1, ceil(0.5*4)=2,
+	// ceil(0.51*4)=3.
+	four := []float64{10, 20, 30, 40}
+	if got := ExactQuantile(four, 0.25); got != 10 {
+		t.Errorf("q=0.25 over 4: got %v, want 10", got)
+	}
+	if got := ExactQuantile(four, 0.5); got != 20 {
+		t.Errorf("q=0.5 over 4: got %v, want 20", got)
+	}
+	if got := ExactQuantile(four, 0.51); got != 30 {
+		t.Errorf("q=0.51 over 4: got %v, want 30", got)
+	}
+}
+
+func TestExactQuantileDegenerate(t *testing.T) {
+	if got := ExactQuantile(nil, 0.99); got != 0 {
+		t.Errorf("empty: got %v, want 0", got)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := ExactQuantile([]float64{7}, q); got != 7 {
+			t.Errorf("single sample q=%v: got %v, want 7", q, got)
+		}
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	ExactQuantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestSampleWindowEviction(t *testing.T) {
+	w := NewSampleWindow(4)
+	for v := 1; v <= 6; v++ {
+		w.Observe(float64(v))
+	}
+	if w.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", w.Count())
+	}
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", w.Len())
+	}
+	// Retained window is {3,4,5,6}: 1 and 2 were evicted.
+	if got := w.Quantile(0); got != 3 {
+		t.Errorf("min of window = %v, want 3", got)
+	}
+	if got := w.Quantile(1); got != 6 {
+		t.Errorf("max of window = %v, want 6", got)
+	}
+	qs := w.Quantiles(0.5, 1)
+	if qs[0] != 4 || qs[1] != 6 {
+		t.Errorf("Quantiles = %v, want [4 6]", qs)
+	}
+}
+
+func TestSampleWindowEmptyAndMinCap(t *testing.T) {
+	w := NewSampleWindow(0) // clamps to 1
+	if got := w.Quantile(0.99); got != 0 {
+		t.Errorf("empty window quantile = %v, want 0", got)
+	}
+	w.Observe(5)
+	w.Observe(9)
+	if w.Len() != 1 || w.Quantile(0.5) != 9 {
+		t.Errorf("cap-1 window should hold only the latest: len=%d q=%v", w.Len(), w.Quantile(0.5))
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	// Empty histogram.
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty: got %v, want 0", got)
+	}
+
+	// Single sample: the bucket upper bound clamps to Max.
+	r := NewRegistry()
+	r.Observe("h", 5)
+	h := r.Snapshot().Histograms["h"]
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("single sample: got %v, want 5", got)
+	}
+
+	// Values exactly on bucket boundaries: 1, 2, 4 land in buckets 1, 2, 3.
+	r2 := NewRegistry()
+	for _, v := range []float64{1, 2, 4} {
+		r2.Observe("h", v)
+	}
+	h2 := r2.Snapshot().Histograms["h"]
+	if got := h2.Quantile(1.0 / 3.0); got != 2 {
+		t.Errorf("q=1/3: got %v, want bucket bound 2", got)
+	}
+	if got := h2.Quantile(0.5); got != 4 {
+		t.Errorf("q=0.5: got %v, want bucket bound 4", got)
+	}
+	if got := h2.Quantile(1); got != 4 {
+		t.Errorf("q=1: got %v, want max 4 (clamped below bound 8)", got)
+	}
+}

@@ -1,6 +1,7 @@
 package ops
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
@@ -34,6 +35,14 @@ func SpatialJoinIndexed(sys *core.System, left, right string) ([]JoinPair, *mapr
 // SpatialJoinIndexedTo is SpatialJoinIndexed writing its result to the
 // given output file; concurrent joins must use distinct output names.
 func SpatialJoinIndexedTo(sys *core.System, left, right, out string) ([]JoinPair, *mapreduce.Report, error) {
+	return SpatialJoinIndexedCtx(context.Background(), sys, left, right, out)
+}
+
+// SpatialJoinIndexedCtx is SpatialJoinIndexedTo under a context: the job
+// runs through RunCtx (admission, cancellation, request-trace spans).
+// Pair splits carry no single-input partition key, so the join does not
+// feed per-partition heat.
+func SpatialJoinIndexedCtx(ctx context.Context, sys *core.System, left, right, out string) ([]JoinPair, *mapreduce.Report, error) {
 	lf, err := sys.Open(left)
 	if err != nil {
 		return nil, nil, err
@@ -107,11 +116,11 @@ func SpatialJoinIndexedTo(sys *core.System, left, right, out string) ([]JoinPair
 		},
 		Output: out,
 	}
-	rep, err := sys.Cluster().Run(job)
+	rep, err := sys.Cluster().RunCtx(ctx, job)
 	if err != nil {
 		return nil, nil, err
 	}
-	return readJoinOutput(sys, out, rep)
+	return readJoinOutput(ctx, sys, out, rep)
 }
 
 // SpatialJoinPBSM joins two heap region files with the
@@ -221,7 +230,7 @@ func SpatialJoinPBSM(sys *core.System, left, right string, gridSide int) ([]Join
 	if err != nil {
 		return nil, nil, err
 	}
-	return readJoinOutput(sys, out, rep)
+	return readJoinOutput(context.Background(), sys, out, rep)
 }
 
 // planeSweepJoin reports every pair of regions with intersecting MBRs via
@@ -272,8 +281,8 @@ func planeSweepJoin(lrecs, rrecs []string, report func(lrec, rrec string, overla
 	return nil
 }
 
-func readJoinOutput(sys *core.System, out string, rep *mapreduce.Report) ([]JoinPair, *mapreduce.Report, error) {
-	recs, err := sys.FS().ReadAll(out)
+func readJoinOutput(ctx context.Context, sys *core.System, out string, rep *mapreduce.Report) ([]JoinPair, *mapreduce.Report, error) {
+	recs, err := sys.FS().ReadAllCtx(ctx, out)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,6 +2,7 @@ package ops
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"fmt"
 	"image"
@@ -34,6 +35,14 @@ type PlotConfig struct {
 // intensity by point density. The returned image is ready for PNG
 // encoding; EncodePlotPNG wraps that.
 func Plot(sys *core.System, file string, cfg PlotConfig) (*image.Gray, *mapreduce.Report, error) {
+	return PlotCtx(context.Background(), sys, file, cfg)
+}
+
+// PlotCtx is Plot under a context: the job runs through RunCtx
+// (admission, cancellation, request-trace spans), and the plot's
+// partition accesses feed the system's hot-partition telemetry (filter
+// decisions only — a plot has no match predicate).
+func PlotCtx(ctx context.Context, sys *core.System, file string, cfg PlotConfig) (*image.Gray, *mapreduce.Report, error) {
 	if cfg.Width <= 0 {
 		cfg.Width = 512
 	}
@@ -49,7 +58,7 @@ func Plot(sys *core.System, file string, cfg PlotConfig) (*image.Gray, *mapreduc
 		if f.Index != nil {
 			extent = f.Index.Space
 		} else {
-			pts, err := sys.ReadPoints(file)
+			pts, err := sys.ReadPointsCtx(ctx, file)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -68,7 +77,7 @@ func Plot(sys *core.System, file string, cfg PlotConfig) (*image.Gray, *mapreduc
 	job := &mapreduce.Job{
 		Name:   "plot",
 		Splits: f.Splits(),
-		Filter: func(splits []*mapreduce.Split) []*mapreduce.Split {
+		Filter: withHeat(sys, file, func(splits []*mapreduce.Split) []*mapreduce.Split {
 			var keep []*mapreduce.Split
 			for _, s := range splits {
 				if s.Cover().Intersects(extent) {
@@ -76,7 +85,7 @@ func Plot(sys *core.System, file string, cfg PlotConfig) (*image.Gray, *mapreduc
 				}
 			}
 			return keep
-		},
+		}),
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
 			// Render the partition into a sparse partial raster and ship
 			// the non-zero pixels, mirroring HadoopViz's partial images.
@@ -117,11 +126,11 @@ func Plot(sys *core.System, file string, cfg PlotConfig) (*image.Gray, *mapreduc
 		NumReducers: sysReducers(sys),
 		Output:      out,
 	}
-	rep, err := sys.Cluster().Run(job)
+	rep, err := sys.Cluster().RunCtx(ctx, job)
 	if err != nil {
 		return nil, nil, err
 	}
-	recs, err := sys.FS().ReadAll(out)
+	recs, err := sys.FS().ReadAllCtx(ctx, out)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -6,6 +6,7 @@
 package ops
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -46,6 +47,13 @@ func RangeQueryPoints(sys *core.System, file string, query geom.Rect) ([]geom.Po
 // output names (the serving layer allocates one per request); the default
 // shared name is only safe for one query at a time.
 func RangeQueryPointsTo(sys *core.System, file string, query geom.Rect, out string) ([]geom.Point, *mapreduce.Report, error) {
+	return RangeQueryPointsCtx(context.Background(), sys, file, query, out)
+}
+
+// RangeQueryPointsCtx is RangeQueryPointsTo under a context: the job runs
+// through RunCtx (admission, cancellation, request-trace spans), and the
+// query's partition accesses feed the system's hot-partition telemetry.
+func RangeQueryPointsCtx(ctx context.Context, sys *core.System, file string, query geom.Rect, out string) ([]geom.Point, *mapreduce.Report, error) {
 	f, err := sys.Open(file)
 	if err != nil {
 		return nil, nil, err
@@ -53,7 +61,7 @@ func RangeQueryPointsTo(sys *core.System, file string, query geom.Rect, out stri
 	job := &mapreduce.Job{
 		Name:   "range-points",
 		Splits: f.Splits(),
-		Filter: func(splits []*mapreduce.Split) []*mapreduce.Split {
+		Filter: withHeat(sys, file, func(splits []*mapreduce.Split) []*mapreduce.Split {
 			var keep []*mapreduce.Split
 			for _, s := range splits {
 				// Cover, not MBR: overlapping techniques hold records
@@ -63,8 +71,9 @@ func RangeQueryPointsTo(sys *core.System, file string, query geom.Rect, out stri
 				}
 			}
 			return keep
-		},
+		}),
 		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+			countPartitionRecords(ctx, split)
 			for _, b := range split.Blocks {
 				idx, err := sys.LocalIndex(b)
 				if err != nil {
@@ -74,6 +83,7 @@ func RangeQueryPointsTo(sys *core.System, file string, query geom.Rect, out stri
 				recs := b.Records()
 				for _, id := range idx.Search(query, nil) {
 					ctx.Inc(CounterRangeMatches, 1)
+					countPartitionMatches(ctx, split, 1)
 					ctx.Write(recs[id])
 				}
 			}
@@ -81,11 +91,12 @@ func RangeQueryPointsTo(sys *core.System, file string, query geom.Rect, out stri
 		},
 		Output: out,
 	}
-	rep, err := sys.Cluster().Run(job)
+	rep, err := sys.Cluster().RunCtx(ctx, job)
 	if err != nil {
 		return nil, nil, err
 	}
-	pts, err := sys.ReadPoints(out)
+	foldPartitionHeat(sys, file, rep)
+	pts, err := sys.ReadPointsCtx(ctx, out)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -233,6 +244,13 @@ func KNN(sys *core.System, file string, q geom.Point, k int) ([]geom.Point, *map
 // outPrefix+".r2". Concurrent kNN queries over the same file must use
 // distinct prefixes.
 func KNNTo(sys *core.System, file string, q geom.Point, k int, outPrefix string) ([]geom.Point, *mapreduce.Report, error) {
+	return KNNCtx(context.Background(), sys, file, q, k, outPrefix)
+}
+
+// KNNCtx is KNNTo under a context: both rounds run through RunCtx
+// (admission, cancellation, request-trace spans) and feed the system's
+// hot-partition telemetry.
+func KNNCtx(ctx context.Context, sys *core.System, file string, q geom.Point, k int, outPrefix string) ([]geom.Point, *mapreduce.Report, error) {
 	f, err := sys.Open(file)
 	if err != nil {
 		return nil, nil, err
@@ -241,8 +259,9 @@ func KNNTo(sys *core.System, file string, q geom.Point, k int, outPrefix string)
 		job := &mapreduce.Job{
 			Name:   "knn",
 			Splits: f.Splits(),
-			Filter: filter,
+			Filter: withHeat(sys, file, filter),
 			Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+				countPartitionRecords(ctx, split)
 				for _, b := range split.Blocks {
 					idx, err := sys.LocalIndex(b)
 					if err != nil {
@@ -250,6 +269,7 @@ func KNNTo(sys *core.System, file string, q geom.Point, k int, outPrefix string)
 					}
 					recs := b.Records()
 					for _, nb := range idx.Nearest(q, k) {
+						countPartitionMatches(ctx, split, 1)
 						ctx.Emit("k", encodeCandidate(knnCandidate{dist: nb.Dist, rec: recs[nb.Entry.ID]}))
 					}
 				}
@@ -275,11 +295,12 @@ func KNNTo(sys *core.System, file string, q geom.Point, k int, outPrefix string)
 			},
 			Output: out,
 		}
-		rep, err := sys.Cluster().Run(job)
+		rep, err := sys.Cluster().RunCtx(ctx, job)
 		if err != nil {
 			return nil, nil, err
 		}
-		recs, err := sys.FS().ReadAll(out)
+		foldPartitionHeat(sys, file, rep)
+		recs, err := sys.FS().ReadAllCtx(ctx, out)
 		if err != nil {
 			return nil, nil, err
 		}

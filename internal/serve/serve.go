@@ -1,15 +1,19 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -19,6 +23,7 @@ import (
 	"spatialhadoop/internal/mapreduce"
 	"spatialhadoop/internal/obs"
 	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/sindex"
 )
 
 // Config configures a Server.
@@ -36,6 +41,13 @@ type Config struct {
 	QueueDepth int
 	// JobDeadline bounds each admitted job's run time (0 = none).
 	JobDeadline time.Duration
+	// TraceRingSize bounds the in-memory ring of recent request traces
+	// served by /debug/trace/{id} (default 256).
+	TraceRingSize int
+	// AccessLog, when non-nil, receives one JSON line per request (trace
+	// ID, method, op, status, latency, cache state, bytes). Writes are
+	// serialized; rotation is the caller's concern.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +63,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 256
+	}
 	return c
 }
 
@@ -63,10 +78,22 @@ type Server struct {
 	cfg      Config
 	cache    *Cache
 	reg      *obs.Registry
+	ring     *obs.TraceRing
 	hs       *http.Server
 	reqID    atomic.Int64
 	draining atomic.Bool
+
+	// wins holds one bounded sample window of recent latencies per
+	// endpoint, backing the exact p50/p95/p99 gauges on /metrics.
+	winMu sync.Mutex
+	wins  map[string]*obs.SampleWindow
+
+	logMu sync.Mutex // serializes AccessLog writes
 }
+
+// latencyWindowSize bounds the per-endpoint latency sample window the
+// exact quantile gauges are computed over.
+const latencyWindowSize = 2048
 
 // New creates a Server over a running System and installs the admission
 // controller on its cluster.
@@ -78,6 +105,8 @@ func New(sys *core.System, cfg Config) *Server {
 		cfg:   cfg,
 		cache: NewCache(cfg.CacheSize, reg),
 		reg:   reg,
+		ring:  obs.NewTraceRing(cfg.TraceRingSize),
+		wins:  make(map[string]*obs.SampleWindow),
 	}
 	sys.Cluster().SetAdmission(mapreduce.AdmissionConfig{
 		MaxInFlight: cfg.MaxInFlight,
@@ -100,8 +129,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/knn", s.handle("knn", s.handleKNN))
 	mux.HandleFunc("/join", s.handle("join", s.handleJoin))
 	mux.HandleFunc("/plot", s.handle("plot", s.handlePlot))
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz", s.handle("healthz", func(w http.ResponseWriter, r *http.Request) error {
+		s.handleHealthz(w, r)
+		return nil
+	}))
 	mux.HandleFunc("/metrics", s.handle("metrics", s.handleMetrics))
+	mux.HandleFunc("/metrics.json", s.handle("metrics_json", s.handleMetricsJSON))
+	mux.HandleFunc("/debug/trace/{id}", s.handle("trace", s.handleTrace))
+	mux.HandleFunc("/debug/partitions", s.handle("partitions", s.handlePartitions))
 	return mux
 }
 
@@ -138,19 +173,117 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// handle wraps an endpoint with request counting, latency observation and
-// error mapping.
+// statusRecorder captures the status code and body size a handler writes,
+// for the access log and the request trace's root span.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// handle wraps an endpoint with request-scoped tracing, metrics and error
+// mapping: it mints a trace ID (returned as X-Trace-Id and retrievable
+// via /debug/trace/{id}), opens the root "request" span the downstream
+// layers hang their spans off, counts the request into per-endpoint
+// labeled metrics and the exact-quantile latency window, and appends one
+// access-log line.
 func (s *Server) handle(name string, fn func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		s.reg.Inc("serve.req."+name, 1)
-		err := fn(w, r)
-		s.reg.Observe("serve.latency_us."+name, float64(time.Since(start).Microseconds()))
+		tr := obs.NewReqTrace(obs.NewTraceID())
+		ctx := obs.ContextWithTrace(r.Context(), tr)
+		ctx, root := obs.StartSpan(ctx, "request")
+		root.SetAttr("method", r.Method)
+		root.SetAttr("path", r.URL.Path)
+		root.SetAttr("endpoint", name)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Trace-Id", tr.TraceID())
+		sr := &statusRecorder{ResponseWriter: w}
+
+		s.reg.IncLabeled("serve.req", 1, "endpoint", name)
+		err := fn(sr, r)
 		if err != nil {
-			s.reg.Inc("serve.err."+name, 1)
-			writeError(w, err)
+			s.reg.IncLabeled("serve.err", 1, "endpoint", name)
+			writeError(sr, err)
 		}
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		root.SetAttr("status", strconv.Itoa(sr.status))
+		root.End()
+		// The trace enters the ring only after the root span ends: every
+		// span writer has returned, so readers see a quiescent tree.
+		s.ring.Add(tr)
+
+		elapsed := time.Since(start)
+		us := float64(elapsed.Microseconds())
+		s.reg.ObserveLabeled("serve.latency_us", us, "endpoint", name)
+		s.latencyWindow(name).Observe(us)
+		s.logAccess(r, name, sr, tr.TraceID(), elapsed)
 	}
+}
+
+// latencyWindow returns (creating on first use) the endpoint's bounded
+// latency sample window.
+func (s *Server) latencyWindow(name string) *obs.SampleWindow {
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	w, ok := s.wins[name]
+	if !ok {
+		w = obs.NewSampleWindow(latencyWindowSize)
+		s.wins[name] = w
+	}
+	return w
+}
+
+// logAccess appends one JSONL access-log line (no-op without AccessLog).
+func (s *Server) logAccess(r *http.Request, name string, sr *statusRecorder, traceID string, d time.Duration) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(struct {
+		TS        string `json:"ts"`
+		TraceID   string `json:"trace_id"`
+		Method    string `json:"method"`
+		Path      string `json:"path"`
+		Op        string `json:"op"`
+		Status    int    `json:"status"`
+		LatencyUS int64  `json:"latency_us"`
+		Cache     string `json:"cache,omitempty"`
+		Bytes     int64  `json:"bytes"`
+	}{
+		TS:        time.Now().UTC().Format(time.RFC3339Nano),
+		TraceID:   traceID,
+		Method:    r.Method,
+		Path:      r.URL.RequestURI(),
+		Op:        name,
+		Status:    sr.status,
+		LatencyUS: d.Microseconds(),
+		Cache:     sr.Header().Get("X-Cache"),
+		Bytes:     sr.bytes,
+	})
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(append(line, '\n'))
+	s.logMu.Unlock()
 }
 
 // badRequestError marks client errors (400).
@@ -162,12 +295,21 @@ func badRequest(format string, args ...any) error {
 	return &badRequestError{msg: fmt.Sprintf(format, args...)}
 }
 
+// notFoundError marks lookups of server-side state that does not exist
+// (e.g. an evicted or unknown trace ID).
+type notFoundError struct{ msg string }
+
+func (e *notFoundError) Error() string { return e.msg }
+
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var br *badRequestError
+	var nf *notFoundError
 	switch {
 	case errors.As(err, &br):
 		code = http.StatusBadRequest
+	case errors.As(err, &nf):
+		code = http.StatusNotFound
 	case errors.Is(err, mapreduce.ErrOverloaded):
 		code = http.StatusTooManyRequests
 	case errors.Is(err, mapreduce.ErrDraining):
@@ -186,26 +328,115 @@ func writeError(w http.ResponseWriter, err error) {
 	w.Write(append(body, '\n'))
 }
 
-// respond serves from the cache when possible, otherwise builds the body,
-// caches it and writes it. Cache state travels in the X-Cache header so
-// hit and miss bodies stay byte-identical (the concurrency suite compares
-// bodies against serial oracles).
-func (s *Server) respond(w http.ResponseWriter, key, contentType string, build func() ([]byte, error)) error {
-	if body, ok := s.cache.Get(key); ok {
-		w.Header().Set("Content-Type", contentType)
-		w.Header().Set("X-Cache", "hit")
-		w.Write(body)
-		return nil
+// explainJSON is the execution report `?explain=1` inlines into JSON
+// responses. Job fields are zero on cache hits (no job ran).
+type explainJSON struct {
+	TraceID           string `json:"trace_id"`
+	Cache             string `json:"cache"`
+	PartitionsTotal   int    `json:"partitions_total"`
+	PartitionsScanned int    `json:"partitions_scanned"`
+	PartitionsPruned  int    `json:"partitions_pruned"`
+	ShuffleBytes      int64  `json:"shuffle_bytes"`
+	Retries           int64  `json:"retries"`
+	Speculative       int64  `json:"speculative"`
+	MapUS             int64  `json:"map_us"`
+	ShuffleUS         int64  `json:"shuffle_us"`
+	ReduceUS          int64  `json:"reduce_us"`
+	CommitUS          int64  `json:"commit_us"`
+}
+
+func buildExplain(traceID, cache string, rep *mapreduce.Report) explainJSON {
+	e := explainJSON{TraceID: traceID, Cache: cache}
+	if rep == nil {
+		return e
 	}
-	body, err := build()
+	e.PartitionsTotal = rep.SplitsTotal
+	e.PartitionsScanned = rep.Splits
+	e.PartitionsPruned = rep.SplitsTotal - rep.Splits
+	e.ShuffleBytes = rep.Counters[mapreduce.CounterShuffleBytes]
+	e.Retries = rep.Counters[mapreduce.CounterTaskRetries]
+	e.Speculative = rep.Counters[mapreduce.CounterSpecLaunched]
+	e.MapUS = rep.MapTime.Microseconds()
+	e.ShuffleUS = rep.ShuffleTime.Microseconds()
+	e.ReduceUS = rep.ReduceTime.Microseconds()
+	e.CommitUS = rep.CommitTime.Microseconds()
+	return e
+}
+
+// spliceExplain inserts `"explain":<report>` as the last member of the
+// response's top-level JSON object. The cache stores the plain body and
+// the report is spliced per response, so explained and plain responses
+// stay byte-identical up to the splice and cache hits stay byte-identical
+// to misses.
+func spliceExplain(body []byte, e explainJSON) []byte {
+	rep, err := json.Marshal(e)
 	if err != nil {
-		return err
+		return body
 	}
-	s.cache.Put(key, body)
+	i := bytes.LastIndexByte(body, '}')
+	if i < 0 {
+		return body
+	}
+	var out bytes.Buffer
+	out.Grow(len(body) + len(rep) + 12)
+	out.Write(body[:i])
+	// An empty object ({}) takes the member without a leading comma.
+	j := bytes.LastIndexByte(body[:i], '{')
+	if j < 0 || len(bytes.TrimSpace(body[j+1:i])) > 0 {
+		out.WriteByte(',')
+	}
+	out.WriteString(`"explain":`)
+	out.Write(rep)
+	out.Write(body[i:])
+	return out.Bytes()
+}
+
+// respond serves from the cache when possible, otherwise builds the body
+// under an "exec" span, caches it and writes it. Cache state travels in
+// the X-Cache header so hit and miss bodies stay byte-identical (the
+// concurrency suite compares bodies against serial oracles); `?explain=1`
+// splices the execution report into JSON bodies after the cache, so it
+// never poisons that identity.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, key, contentType string, build func(ctx context.Context) ([]byte, *mapreduce.Report, error)) error {
+	ctx := r.Context()
+	explain := r.URL.Query().Get("explain") == "1" && contentType == "application/json"
+	traceID := w.Header().Get("X-Trace-Id")
+
+	_, probe := obs.StartSpan(ctx, "cache.probe")
+	body, hit := s.cache.Get(key)
+	if hit {
+		probe.SetAttr("result", "hit")
+	} else {
+		probe.SetAttr("result", "miss")
+	}
+	probe.End()
+
+	var rep *mapreduce.Report
+	if !hit {
+		execCtx, exec := obs.StartSpan(ctx, "exec")
+		var err error
+		body, rep, err = build(execCtx)
+		exec.End()
+		if err != nil {
+			return err
+		}
+		s.cache.Put(key, body)
+	}
+
+	cacheState := "miss"
+	if hit {
+		cacheState = "hit"
+	}
 	w.Header().Set("Content-Type", contentType)
-	w.Header().Set("X-Cache", "miss")
-	w.Write(body)
-	return nil
+	w.Header().Set("X-Cache", cacheState)
+	if explain {
+		body = spliceExplain(body, buildExplain(traceID, cacheState, rep))
+	}
+	_, enc := obs.StartSpan(ctx, "encode")
+	enc.SetAttr("bytes", strconv.Itoa(len(body)))
+	_, err := w.Write(body)
+	enc.End()
+	return err
 }
 
 // tempOut allocates a unique DFS output name for one request, so
@@ -297,12 +528,12 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) error {
 	}
 	canon := canonicalRect(rect)
 	key := fmt.Sprintf("range|%s@%d|%s", file, s.sys.FS().FileEpoch(file), canon)
-	return s.respond(w, key, "application/json", func() ([]byte, error) {
+	return s.respond(w, r, key, "application/json", func(ctx context.Context) ([]byte, *mapreduce.Report, error) {
 		out := s.tempOut(file)
 		defer s.sys.FS().Delete(out)
-		pts, _, err := ops.RangeQueryPointsTo(s.sys, file, rect, out)
+		pts, rep, err := ops.RangeQueryPointsCtx(ctx, s.sys, file, rect, out)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sort.Slice(pts, func(i, j int) bool {
 			if pts[i].X != pts[j].X {
@@ -314,7 +545,8 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) error {
 		for i, p := range pts {
 			resp.Points[i] = pointJSON{X: p.X, Y: p.Y}
 		}
-		return marshalBody(resp)
+		body, err := marshalBody(resp)
+		return body, rep, err
 	})
 }
 
@@ -347,15 +579,15 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 	}
 	canonPt := fnum(q.X) + "," + fnum(q.Y)
 	key := fmt.Sprintf("knn|%s@%d|%s|%d", file, s.sys.FS().FileEpoch(file), canonPt, k)
-	return s.respond(w, key, "application/json", func() ([]byte, error) {
+	return s.respond(w, r, key, "application/json", func(ctx context.Context) ([]byte, *mapreduce.Report, error) {
 		prefix := s.tempOut(file)
 		defer func() {
 			s.sys.FS().Delete(prefix + ".r1")
 			s.sys.FS().Delete(prefix + ".r2")
 		}()
-		pts, _, err := ops.KNNTo(s.sys, file, q, k, prefix)
+		pts, rep, err := ops.KNNCtx(ctx, s.sys, file, q, k, prefix)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		nbs := make([]neighborJSON, len(pts))
 		for i, p := range pts {
@@ -373,7 +605,8 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 			return nbs[i].Y < nbs[j].Y
 		})
 		resp := knnResponse{File: file, Point: canonPt, K: k, Count: len(nbs), Neighbors: nbs}
-		return marshalBody(resp)
+		body, err := marshalBody(resp)
+		return body, rep, err
 	})
 }
 
@@ -397,12 +630,12 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 	}
 	// Both inputs' epochs key the entry: mutating either side invalidates.
 	key := fmt.Sprintf("join|%s@%d|%s@%d", left, s.sys.FS().FileEpoch(left), right, s.sys.FS().FileEpoch(right))
-	return s.respond(w, key, "application/json", func() ([]byte, error) {
+	return s.respond(w, r, key, "application/json", func(ctx context.Context) ([]byte, *mapreduce.Report, error) {
 		out := s.tempOut(left)
 		defer s.sys.FS().Delete(out)
-		pairs, _, err := ops.SpatialJoinIndexedTo(s.sys, left, right, out)
+		pairs, rep, err := ops.SpatialJoinIndexedCtx(ctx, s.sys, left, right, out)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sort.Slice(pairs, func(i, j int) bool {
 			if pairs[i].Left != pairs[j].Left {
@@ -414,7 +647,8 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 		for i, p := range pairs {
 			resp.Pairs[i] = joinPairJSON{Left: p.Left, Right: p.Right}
 		}
-		return marshalBody(resp)
+		body, err := marshalBody(resp)
+		return body, rep, err
 	})
 }
 
@@ -439,14 +673,15 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) error {
 		height = n
 	}
 	key := fmt.Sprintf("plot|%s@%d|%dx%d", file, s.sys.FS().FileEpoch(file), width, height)
-	return s.respond(w, key, "image/png", func() ([]byte, error) {
+	return s.respond(w, r, key, "image/png", func(ctx context.Context) ([]byte, *mapreduce.Report, error) {
 		out := s.tempOut(file)
 		defer s.sys.FS().Delete(out)
-		img, _, err := ops.Plot(s.sys, file, ops.PlotConfig{Width: width, Height: height, Out: out})
+		img, rep, err := ops.PlotCtx(ctx, s.sys, file, ops.PlotConfig{Width: width, Height: height, Out: out})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return ops.EncodePlotPNG(img)
+		body, err := ops.EncodePlotPNG(img)
+		return body, rep, err
 	})
 }
 
@@ -458,7 +693,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("ok\n"))
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+// refreshGauges recomputes the point-in-time gauges (admission, slots, Go
+// runtime, exact latency quantiles) immediately before a metrics snapshot
+// is taken.
+func (s *Server) refreshGauges() {
 	inFlight, queued := s.sys.Cluster().AdmissionStats()
 	pool := s.sys.Cluster().Slots()
 	s.reg.SetGauge("serve.jobs.inflight", float64(inFlight))
@@ -466,10 +704,103 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	s.reg.SetGauge("cluster.slots.cap", float64(pool.Cap()))
 	s.reg.SetGauge("cluster.slots.inuse", float64(pool.InUse()))
 	s.reg.SetGauge("cluster.slots.highwater", float64(pool.HighWater()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.SetGauge("go.goroutines", float64(runtime.NumGoroutine()))
+	s.reg.SetGauge("go.heap.alloc_bytes", float64(ms.HeapAlloc))
+	s.reg.SetGauge("go.gc.cycles", float64(ms.NumGC))
+	s.reg.SetGauge("go.gc.pause_total_us", float64(ms.PauseTotalNs)/1e3)
+
+	// Exact per-endpoint quantiles over the bounded latency window; the
+	// quantile is a label, never part of the family name.
+	s.winMu.Lock()
+	wins := make(map[string]*obs.SampleWindow, len(s.wins))
+	for name, win := range s.wins {
+		wins[name] = win
+	}
+	s.winMu.Unlock()
+	for name, win := range wins {
+		qs := win.Quantiles(0.5, 0.95, 0.99)
+		for i, q := range []string{"0.5", "0.95", "0.99"} {
+			s.reg.SetGauge(obs.Name("serve.latency_quantile_us", "endpoint", name, "quantile", q), qs[i])
+		}
+	}
+}
+
+// hotSnapshot renders the hot-partition telemetry as a transient metrics
+// snapshot, so it rides the same Prometheus exposition path as the
+// registries.
+func (s *Server) hotSnapshot() *obs.Snapshot {
+	snap := &obs.Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]obs.HistogramSnapshot{},
+	}
+	for _, fh := range s.sys.Hotness().Report() {
+		snap.Gauges[obs.Name("ops.file.skew", "file", fh.File)] = fh.Skew
+		for _, ph := range fh.Partitions {
+			l := []string{"file", fh.File, "partition", ph.Partition}
+			snap.Counters[obs.Name("ops.partition.scans", l...)] = ph.Scans
+			snap.Counters[obs.Name("ops.partition.prunes", l...)] = ph.Prunes
+			snap.Counters[obs.Name("ops.partition.records", l...)] = ph.Records
+			snap.Counters[obs.Name("ops.partition.matches", l...)] = ph.Matches
+			snap.Gauges[obs.Name("ops.partition.selectivity", l...)] = ph.Selectivity()
+		}
+	}
+	return snap
+}
+
+// handleMetrics serves the Prometheus text exposition of the serving
+// registry, the system registry and the hot-partition telemetry. The
+// former JSON dump lives on /metrics.json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	s.refreshGauges()
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, s.reg.Snapshot(), s.sys.Metrics().Snapshot(), s.hotSnapshot()); err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+	return nil
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) error {
+	s.refreshGauges()
 	body, err := json.Marshal(struct {
 		Serve  *obs.Snapshot `json:"serve"`
 		System *obs.Snapshot `json:"system"`
 	}{Serve: s.reg.Snapshot(), System: s.sys.Metrics().Snapshot()})
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+	return nil
+}
+
+// handleTrace returns the span tree of a recent request by trace ID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	tr := s.ring.Get(id)
+	if tr == nil {
+		return &notFoundError{msg: fmt.Sprintf("trace %q not found (evicted or never issued)", id)}
+	}
+	body, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+	return nil
+}
+
+// handlePartitions returns the hot-partition skew report: per file, the
+// partitions hottest-first with scan/prune counts and scan selectivity.
+func (s *Server) handlePartitions(w http.ResponseWriter, r *http.Request) error {
+	body, err := json.Marshal(struct {
+		Files []sindex.FileHeat `json:"files"`
+	}{Files: s.sys.Hotness().Report()})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,161 @@
+package sindex
+
+import (
+	"sort"
+	"sync"
+)
+
+// Hot-partition telemetry. Every query job over an indexed file touches a
+// subset of its partitions: the filter function prunes some at the
+// metadata level and scans the rest, and the map tasks then read records
+// and produce matches. Hotness aggregates those events per (file,
+// partition) across jobs, yielding the access-frequency and
+// scan-selectivity statistics that hot-partition mitigation and the query
+// planner consume (LocationSpark's runtime statistics, measured rather
+// than assumed). Scans and prunes are recorded master-side in the filter
+// (once per job); record/match counts are folded in from the job's
+// win-gated task counters after it finishes, so retried and speculative
+// attempts never double-count.
+
+// PartitionHeat is the accumulated access statistics of one partition.
+type PartitionHeat struct {
+	Partition string `json:"partition"`
+	// Scans counts jobs whose filter kept the partition (its blocks were
+	// read); Prunes counts jobs whose filter eliminated it.
+	Scans  int64 `json:"scans"`
+	Prunes int64 `json:"prunes"`
+	// Records is the number of records map tasks read from the partition;
+	// Matches is how many of them satisfied the query.
+	Records int64 `json:"records"`
+	Matches int64 `json:"matches"`
+}
+
+// Selectivity returns Matches/Records (0 when no records were read): how
+// much of the partition's data that reached a map task was actually
+// useful. Persistently low selectivity on a hot partition means the
+// partition boundary is too coarse for the workload.
+func (p PartitionHeat) Selectivity() float64 {
+	if p.Records == 0 {
+		return 0
+	}
+	return float64(p.Matches) / float64(p.Records)
+}
+
+// FileHeat is the per-file skew report: partition heats plus aggregates.
+type FileHeat struct {
+	File string `json:"file"`
+	// Partitions is sorted hottest first (by scans, then records, then
+	// key) so a skew report's head is the repartitioning candidate list.
+	Partitions []PartitionHeat `json:"partitions"`
+	Scans      int64           `json:"scans"`
+	Prunes     int64           `json:"prunes"`
+	// Skew is max(partition scans) / mean(partition scans) — 1.0 for a
+	// perfectly balanced workload, rising as access concentrates. 0 when
+	// nothing was scanned.
+	Skew float64 `json:"skew"`
+}
+
+// Hotness aggregates partition access statistics across jobs. Safe for
+// concurrent use; one instance lives on the core.System.
+type Hotness struct {
+	mu     sync.Mutex
+	byFile map[string]map[string]*PartitionHeat
+}
+
+// NewHotness creates an empty aggregator.
+func NewHotness() *Hotness {
+	return &Hotness{byFile: make(map[string]map[string]*PartitionHeat)}
+}
+
+// get returns the mutable heat cell for (file, partition), creating it.
+// Callers hold h.mu. Partitionless (heap) splits are not tracked.
+func (h *Hotness) get(file, partition string) *PartitionHeat {
+	m, ok := h.byFile[file]
+	if !ok {
+		m = make(map[string]*PartitionHeat)
+		h.byFile[file] = m
+	}
+	p, ok := m[partition]
+	if !ok {
+		p = &PartitionHeat{Partition: partition}
+		m[partition] = p
+	}
+	return p
+}
+
+// RecordScan counts one filter decision that kept the partition.
+func (h *Hotness) RecordScan(file, partition string) {
+	if partition == "" {
+		return
+	}
+	h.mu.Lock()
+	h.get(file, partition).Scans++
+	h.mu.Unlock()
+}
+
+// RecordPrune counts one filter decision that eliminated the partition.
+func (h *Hotness) RecordPrune(file, partition string) {
+	if partition == "" {
+		return
+	}
+	h.mu.Lock()
+	h.get(file, partition).Prunes++
+	h.mu.Unlock()
+}
+
+// AddRecords adds n records read from the partition by map tasks.
+func (h *Hotness) AddRecords(file, partition string, n int64) {
+	if partition == "" || n == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.get(file, partition).Records += n
+	h.mu.Unlock()
+}
+
+// AddMatches adds n query matches produced from the partition.
+func (h *Hotness) AddMatches(file, partition string, n int64) {
+	if partition == "" || n == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.get(file, partition).Matches += n
+	h.mu.Unlock()
+}
+
+// Report returns the per-file skew reports, files sorted by name and
+// partitions hottest first.
+func (h *Hotness) Report() []FileHeat {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]FileHeat, 0, len(h.byFile))
+	for file, parts := range h.byFile {
+		fh := FileHeat{File: file, Partitions: make([]PartitionHeat, 0, len(parts))}
+		var maxScans int64
+		for _, p := range parts {
+			fh.Partitions = append(fh.Partitions, *p)
+			fh.Scans += p.Scans
+			fh.Prunes += p.Prunes
+			if p.Scans > maxScans {
+				maxScans = p.Scans
+			}
+		}
+		sort.Slice(fh.Partitions, func(i, j int) bool {
+			a, b := fh.Partitions[i], fh.Partitions[j]
+			if a.Scans != b.Scans {
+				return a.Scans > b.Scans
+			}
+			if a.Records != b.Records {
+				return a.Records > b.Records
+			}
+			return a.Partition < b.Partition
+		})
+		if fh.Scans > 0 {
+			mean := float64(fh.Scans) / float64(len(fh.Partitions))
+			fh.Skew = float64(maxScans) / mean
+		}
+		out = append(out, fh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out
+}

@@ -1,0 +1,86 @@
+package sindex
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHotnessAggregation(t *testing.T) {
+	h := NewHotness()
+	// Three jobs over file "pts": partition a scanned 3x, b scanned 1x
+	// pruned 2x, c always pruned.
+	for i := 0; i < 3; i++ {
+		h.RecordScan("pts", "a")
+	}
+	h.RecordScan("pts", "b")
+	h.RecordPrune("pts", "b")
+	h.RecordPrune("pts", "b")
+	h.RecordPrune("pts", "c")
+	h.AddRecords("pts", "a", 300)
+	h.AddMatches("pts", "a", 30)
+	h.AddRecords("pts", "b", 100)
+	h.AddMatches("pts", "b", 100)
+
+	rep := h.Report()
+	if len(rep) != 1 || rep[0].File != "pts" {
+		t.Fatalf("report = %+v", rep)
+	}
+	fh := rep[0]
+	if fh.Scans != 4 || fh.Prunes != 3 {
+		t.Fatalf("totals scans=%d prunes=%d", fh.Scans, fh.Prunes)
+	}
+	if len(fh.Partitions) != 3 {
+		t.Fatalf("got %d partitions", len(fh.Partitions))
+	}
+	// Hottest first.
+	if fh.Partitions[0].Partition != "a" || fh.Partitions[1].Partition != "b" || fh.Partitions[2].Partition != "c" {
+		t.Fatalf("order = %v %v %v", fh.Partitions[0].Partition, fh.Partitions[1].Partition, fh.Partitions[2].Partition)
+	}
+	if got := fh.Partitions[0].Selectivity(); got != 0.1 {
+		t.Errorf("a selectivity = %v, want 0.1", got)
+	}
+	if got := fh.Partitions[1].Selectivity(); got != 1.0 {
+		t.Errorf("b selectivity = %v, want 1", got)
+	}
+	if got := fh.Partitions[2].Selectivity(); got != 0 {
+		t.Errorf("c selectivity = %v, want 0 (no records)", got)
+	}
+	// Skew: max scans 3, mean 4/3 → 2.25.
+	if fh.Skew != 2.25 {
+		t.Errorf("skew = %v, want 2.25", fh.Skew)
+	}
+}
+
+func TestHotnessIgnoresHeapPartitions(t *testing.T) {
+	h := NewHotness()
+	h.RecordScan("f", "")
+	h.RecordPrune("f", "")
+	h.AddRecords("f", "", 10)
+	h.AddMatches("f", "", 5)
+	if rep := h.Report(); len(rep) != 0 {
+		t.Fatalf("heap partitions should not be tracked: %+v", rep)
+	}
+}
+
+func TestHotnessConcurrent(t *testing.T) {
+	h := NewHotness()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.RecordScan("f", "p")
+				h.AddRecords("f", "p", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	rep := h.Report()
+	if rep[0].Partitions[0].Scans != 800 || rep[0].Partitions[0].Records != 1600 {
+		t.Fatalf("concurrent counts wrong: %+v", rep[0].Partitions[0])
+	}
+	if rep[0].Skew != 1 {
+		t.Fatalf("single-partition skew = %v, want 1", rep[0].Skew)
+	}
+}
