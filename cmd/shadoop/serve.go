@@ -50,12 +50,17 @@ func runServe(args []string) error {
 		maxInFlight = fs.Int("max-inflight", 4, "jobs executing concurrently")
 		queueDepth  = fs.Int("queue", 64, "jobs that may wait for a run slot")
 		jobDeadline = fs.Duration("job-deadline", 30*time.Second, "per-job execution deadline (0 = none)")
+		memTier     = fs.Int64("memtier-bytes", 0, "in-memory partition tier budget in bytes (0 = 64 MiB default, negative disables)")
+		planner     = fs.String("planner", serve.PlannerAuto, "query engine routing: auto|local|mapreduce")
 		drainWait   = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		accessLog   = fs.String("accesslog", "", "append one JSON line per request to this file (- for stdout)")
 		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !serve.ValidPlanner(*planner) {
+		return fmt.Errorf("serve: unknown -planner %q (want auto, local or mapreduce)", *planner)
 	}
 
 	sys := core.New(core.Config{Workers: *workers, BlockSize: *blockSize, Seed: *seed})
@@ -105,12 +110,14 @@ func runServe(args []string) error {
 	}
 
 	srv := serve.New(sys, serve.Config{
-		Addr:        *addr,
-		CacheSize:   *cacheSize,
-		MaxInFlight: *maxInFlight,
-		QueueDepth:  *queueDepth,
-		JobDeadline: *jobDeadline,
-		AccessLog:   logW,
+		Addr:         *addr,
+		CacheSize:    *cacheSize,
+		MaxInFlight:  *maxInFlight,
+		QueueDepth:   *queueDepth,
+		JobDeadline:  *jobDeadline,
+		AccessLog:    logW,
+		MemTierBytes: *memTier,
+		Planner:      *planner,
 	})
 
 	if *debugAddr != "" {
@@ -126,8 +133,8 @@ func runServe(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("serve: listening on %s (cache=%d max-inflight=%d queue=%d)\n",
-		*addr, *cacheSize, *maxInFlight, *queueDepth)
+	fmt.Printf("serve: listening on %s (cache=%d max-inflight=%d queue=%d planner=%s memtier-bytes=%d)\n",
+		*addr, *cacheSize, *maxInFlight, *queueDepth, *planner, *memTier)
 	hint := *addr
 	if strings.HasPrefix(hint, ":") {
 		hint = "localhost" + hint

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -51,8 +52,11 @@ func serveCorpus(cfg Config) (*core.System, error) {
 // serveLoadQueries is the load query pool. It is deliberately larger
 // than the load server's result cache, so the steady state mixes cache
 // hits with real job executions — the latency trajectory then reflects
-// query execution under admission, not just the cache fast path.
-func serveLoadQueries() []string {
+// query execution under admission, not just the cache fast path. The
+// second return value marks the selective range-query mix (the pan and
+// diagonal windows), whose latency the memory tier is designed to cut:
+// those queries get their own quantiles in the report.
+func serveLoadQueries() ([]string, map[string]bool) {
 	qs := []string{
 		"/rangequery?file=pts&rect=0,0,1000000,1000000",
 		"/knn?file=pts&point=500000,500000&k=10",
@@ -62,18 +66,23 @@ func serveLoadQueries() []string {
 		"/plot?file=pts&width=64&height=64",
 		"/plot?file=pts&width=48&height=48",
 	}
+	selective := map[string]bool{}
 	// A 4x3 pan of mid-size windows plus a diagonal of small hot windows.
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 3; j++ {
 			x, y := i*200_000, j*250_000
-			qs = append(qs, fmt.Sprintf("/rangequery?file=pts&rect=%d,%d,%d,%d", x, y, x+350_000, y+400_000))
+			q := fmt.Sprintf("/rangequery?file=pts&rect=%d,%d,%d,%d", x, y, x+350_000, y+400_000)
+			qs = append(qs, q)
+			selective[q] = true
 		}
 	}
 	for i := 0; i < 5; i++ {
 		o := 100_000 + i*150_000
-		qs = append(qs, fmt.Sprintf("/rangequery?file=pts&rect=%d,%d,%d,%d", o, o, o+90_000, o+90_000))
+		q := fmt.Sprintf("/rangequery?file=pts&rect=%d,%d,%d,%d", o, o, o+90_000, o+90_000)
+		qs = append(qs, q)
+		selective[q] = true
 	}
-	return qs
+	return qs, selective
 }
 
 // serveLoadCacheSize keeps the result cache well below the query-pool
@@ -90,6 +99,18 @@ type ServeLevel struct {
 	QPS       float64 `json:"qps"`
 	P50US     int64   `json:"p50_us"`
 	P99US     int64   `json:"p99_us"`
+	// Cache and engine mix, classified client-side from the X-Cache and
+	// X-Engine response headers: hits and coalesced followers never ran a
+	// query; the engine split covers only real executions.
+	CacheHits       int64   `json:"cache_hits"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	Coalesced       int64   `json:"coalesced"`
+	EngineLocal     int64   `json:"engine_local"`
+	EngineMapreduce int64   `json:"engine_mapreduce"`
+	// Quantiles restricted to the selective range-query mix (the pan and
+	// diagonal windows), the workload class the memory tier targets.
+	SelectiveP50US int64 `json:"selective_p50_us"`
+	SelectiveP99US int64 `json:"selective_p99_us"`
 }
 
 // ServeBench is the machine-readable serving-latency trajectory written
@@ -151,21 +172,40 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 	base := "http://" + ln.Addr().String()
 	client := &http.Client{Timeout: 60 * time.Second}
 
-	get := func(q string) (int, []byte, error) {
+	// getBuf reads one response, reusing buf across requests: io.ReadAll's
+	// doubling growth on the larger bodies showed up in the load
+	// generator's own CPU profile, and the generator shares the server's
+	// core. The returned body aliases buf — consume it before the next
+	// call on the same buffer.
+	getBuf := func(q string, buf []byte) (int, []byte, []byte, http.Header, error) {
 		resp, err := client.Get(base + q)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, buf, nil, err
 		}
 		defer resp.Body.Close()
+		if n := resp.ContentLength; n >= 0 {
+			if int64(cap(buf)) < n {
+				buf = make([]byte, n+n/4)
+			}
+			body := buf[:n]
+			if _, err = io.ReadFull(resp.Body, body); err != nil {
+				return resp.StatusCode, nil, buf, resp.Header, err
+			}
+			return resp.StatusCode, body, buf, resp.Header, nil
+		}
 		body, err := io.ReadAll(resp.Body)
-		return resp.StatusCode, body, err
+		return resp.StatusCode, body, buf, resp.Header, err
+	}
+	get := func(q string) (int, []byte, http.Header, error) {
+		code, body, _, hdr, err := getBuf(q, nil)
+		return code, body, hdr, err
 	}
 
 	// Serial oracle pass.
-	queries := serveLoadQueries()
+	queries, selective := serveLoadQueries()
 	oracle := make(map[string][]byte, len(queries))
 	for _, q := range queries {
-		code, body, err := get(q)
+		code, body, _, err := get(q)
 		if err != nil {
 			return fmt.Errorf("oracle %s: %v", q, err)
 		}
@@ -188,20 +228,47 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 	for li, nclients := range levels {
 		var total, failures atomic.Int64
 		var firstErr atomic.Value
-		lats := make([][]float64, nclients)
+		type clientTally struct {
+			lats, selLats                         []float64
+			cacheHits, coalesced, engLocal, engMR int64
+		}
+		tallies := make([]clientTally, nclients)
 		deadline := time.Now().Add(levelDur)
 		var wg sync.WaitGroup
 		for c := 0; c < nclients; c++ {
 			wg.Add(1)
 			go func(c int) {
 				defer wg.Done()
+				ct := &tallies[c]
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(li*1000+c)))
+				var buf []byte
 				for time.Now().Before(deadline) {
 					q := queries[rng.Intn(len(queries))]
 					t0 := time.Now()
-					code, body, err := get(q)
-					lats[c] = append(lats[c], float64(time.Since(t0).Microseconds()))
+					var code int
+					var body []byte
+					var hdr http.Header
+					var err error
+					code, body, buf, hdr, err = getBuf(q, buf)
+					lat := float64(time.Since(t0).Microseconds())
+					ct.lats = append(ct.lats, lat)
+					if selective[q] {
+						ct.selLats = append(ct.selLats, lat)
+					}
 					total.Add(1)
+					switch hdr.Get("X-Cache") {
+					case "hit":
+						ct.cacheHits++
+					case "coalesced":
+						ct.coalesced++
+					default:
+						switch hdr.Get("X-Engine") {
+						case serve.PlannerLocal:
+							ct.engLocal++
+						case serve.PlannerMapReduce:
+							ct.engMR++
+						}
+					}
 					switch {
 					case err != nil:
 						failures.Add(1)
@@ -209,7 +276,7 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 					case code != http.StatusOK:
 						failures.Add(1)
 						firstErr.CompareAndSwap(nil, fmt.Errorf("%s: status %d: %.200s", q, code, body))
-					case string(body) != string(oracle[q]):
+					case !bytes.Equal(body, oracle[q]):
 						failures.Add(1)
 						firstErr.CompareAndSwap(nil, fmt.Errorf("%s: body diverged from serial oracle", q))
 					}
@@ -218,22 +285,35 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 		}
 		wg.Wait()
 
-		var all []float64
-		for _, l := range lats {
-			all = append(all, l...)
-		}
+		var all, sel []float64
 		lvl := ServeLevel{
 			Clients:   nclients,
 			DurationS: levelDur.Seconds(),
 			Requests:  total.Load(),
 			Failures:  failures.Load(),
 			QPS:       float64(total.Load()) / levelDur.Seconds(),
-			P50US:     int64(obs.ExactQuantile(all, 0.5)),
-			P99US:     int64(obs.ExactQuantile(all, 0.99)),
+		}
+		for _, ct := range tallies {
+			all = append(all, ct.lats...)
+			sel = append(sel, ct.selLats...)
+			lvl.CacheHits += ct.cacheHits
+			lvl.Coalesced += ct.coalesced
+			lvl.EngineLocal += ct.engLocal
+			lvl.EngineMapreduce += ct.engMR
+		}
+		lvl.P50US = int64(obs.ExactQuantile(all, 0.5))
+		lvl.P99US = int64(obs.ExactQuantile(all, 0.99))
+		if len(sel) > 0 {
+			lvl.SelectiveP50US = int64(obs.ExactQuantile(sel, 0.5))
+			lvl.SelectiveP99US = int64(obs.ExactQuantile(sel, 0.99))
+		}
+		if lvl.Requests > 0 {
+			lvl.CacheHitRate = float64(lvl.CacheHits) / float64(lvl.Requests)
 		}
 		report.Levels = append(report.Levels, lvl)
-		fmt.Fprintf(cfg.W, "serveload: clients=%d requests=%d (%.1f req/s) p50=%dus p99=%dus failures=%d\n",
-			lvl.Clients, lvl.Requests, lvl.QPS, lvl.P50US, lvl.P99US, lvl.Failures)
+		fmt.Fprintf(cfg.W, "serveload: clients=%d requests=%d (%.1f req/s) p50=%dus p99=%dus selective_p99=%dus hit_rate=%.2f coalesced=%d local=%d mapreduce=%d failures=%d\n",
+			lvl.Clients, lvl.Requests, lvl.QPS, lvl.P50US, lvl.P99US, lvl.SelectiveP99US,
+			lvl.CacheHitRate, lvl.Coalesced, lvl.EngineLocal, lvl.EngineMapreduce, lvl.Failures)
 		if n := failures.Load(); n > 0 {
 			return fmt.Errorf("serveload: %d/%d requests failed at %d clients; first: %v",
 				n, total.Load(), nclients, firstErr.Load())

@@ -181,11 +181,33 @@ type FileSystem struct {
 	// clock is the monotone mutation clock driving file epochs: every
 	// mutation stamps the touched file with clock+1.
 	clock atomic.Int64
+
+	// epochHook, when installed, observes every stamp (see SetEpochHook).
+	epochHook atomic.Pointer[func(name string, epoch int64)]
 }
 
 // stamp advances the mutation clock and records the new epoch on f.
 func (fs *FileSystem) stamp(f *File) {
-	f.epoch.Store(fs.clock.Add(1))
+	e := fs.clock.Add(1)
+	f.epoch.Store(e)
+	if hook := fs.epochHook.Load(); hook != nil {
+		(*hook)(f.Name, e)
+	}
+}
+
+// SetEpochHook installs fn, called synchronously after every file mutation
+// with the file's name and new epoch — the eager invalidation signal for
+// caches keyed on (name, epoch), such as the serving layer's memory tier.
+// One hook slot exists; nil uninstalls. The hook may run under file-system
+// locks and therefore must not call back into the FileSystem; it should
+// only flip its own state (epoch-keyed caches stay correct even with no
+// hook at all, because a stale epoch never matches a fresh key).
+func (fs *FileSystem) SetEpochHook(fn func(name string, epoch int64)) {
+	if fn == nil {
+		fs.epochHook.Store(nil)
+		return
+	}
+	fs.epochHook.Store(&fn)
 }
 
 // FileEpoch returns the named file's mutation epoch, or 0 when the file

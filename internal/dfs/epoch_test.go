@@ -75,3 +75,49 @@ func TestFileEpochNeverReused(t *testing.T) {
 		t.Fatalf("replaced file epoch %d not above prior %d", e3, e2)
 	}
 }
+
+// TestEpochHook: an installed hook observes every stamp synchronously with
+// the file's name and the exact epoch FileEpoch subsequently reports, and
+// uninstalling (nil) stops delivery.
+func TestEpochHook(t *testing.T) {
+	fs := New(Config{BlockSize: 64})
+	type ev struct {
+		name  string
+		epoch int64
+	}
+	var got []ev
+	fs.SetEpochHook(func(name string, epoch int64) {
+		got = append(got, ev{name, epoch})
+	})
+	w, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteRecord("a")
+	w.SetMaster([]byte("idx"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 3 {
+		t.Fatalf("hook fired %d times, want >= 3 (create, write, set master)", len(got))
+	}
+	for i, e := range got {
+		if e.name != "f" {
+			t.Fatalf("event %d: name %q, want \"f\"", i, e.name)
+		}
+		if i > 0 && e.epoch <= got[i-1].epoch {
+			t.Fatalf("event %d: epoch %d not monotone past %d", i, e.epoch, got[i-1].epoch)
+		}
+	}
+	if last := got[len(got)-1].epoch; last != fs.FileEpoch("f") {
+		t.Fatalf("last hook epoch %d != FileEpoch %d", last, fs.FileEpoch("f"))
+	}
+	fs.SetEpochHook(nil)
+	n := len(got)
+	if err := fs.WriteFile("g", []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatal("hook fired after being uninstalled")
+	}
+}

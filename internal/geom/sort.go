@@ -1,0 +1,112 @@
+package geom
+
+// SortPointsXY sorts points by X, breaking ties by Y — the canonical
+// response order of the serving layer. It is a hand-specialized introsort:
+// the generic slices.SortFunc pays a non-inlinable closure call per
+// comparison, which showed up as a double-digit share of the serve CPU
+// profile when large range results are canonicalized. Ordering semantics
+// are identical to sorting with a (X, then Y) comparator, and are pinned
+// by a differential test against the generic sort.
+func SortPointsXY(p []Point) {
+	if len(p) < 2 {
+		return
+	}
+	depth := 0
+	for n := len(p); n > 0; n >>= 1 {
+		depth++
+	}
+	quickPointsXY(p, 2*depth)
+}
+
+func pointLessXY(a, b Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+func quickPointsXY(p []Point, depth int) {
+	for len(p) > 12 {
+		if depth == 0 {
+			heapPointsXY(p)
+			return
+		}
+		depth--
+		// Median-of-three pivot at p[0].
+		m := len(p) / 2
+		h := len(p) - 1
+		if pointLessXY(p[m], p[0]) {
+			p[m], p[0] = p[0], p[m]
+		}
+		if pointLessXY(p[h], p[m]) {
+			p[h], p[m] = p[m], p[h]
+			if pointLessXY(p[m], p[0]) {
+				p[m], p[0] = p[0], p[m]
+			}
+		}
+		p[0], p[m] = p[m], p[0]
+		pivot := p[0]
+		i, j := 1, h
+		for {
+			for i <= j && pointLessXY(p[i], pivot) {
+				i++
+			}
+			for i <= j && pointLessXY(pivot, p[j]) {
+				j--
+			}
+			if i > j {
+				break
+			}
+			p[i], p[j] = p[j], p[i]
+			i++
+			j--
+		}
+		p[0], p[j] = p[j], p[0]
+		// Recurse into the smaller side, iterate on the larger.
+		if j < len(p)-j-1 {
+			quickPointsXY(p[:j], depth)
+			p = p[j+1:]
+		} else {
+			quickPointsXY(p[j+1:], depth)
+			p = p[:j]
+		}
+	}
+	// Insertion sort for short runs.
+	for i := 1; i < len(p); i++ {
+		v := p[i]
+		j := i - 1
+		for j >= 0 && pointLessXY(v, p[j]) {
+			p[j+1] = p[j]
+			j--
+		}
+		p[j+1] = v
+	}
+}
+
+func heapPointsXY(p []Point) {
+	n := len(p)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftPointsXY(p, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		p[0], p[i] = p[i], p[0]
+		siftPointsXY(p, 0, i)
+	}
+}
+
+func siftPointsXY(p []Point, root, n int) {
+	for {
+		c := 2*root + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && pointLessXY(p[c], p[c+1]) {
+			c++
+		}
+		if !pointLessXY(p[root], p[c]) {
+			return
+		}
+		p[root], p[c] = p[c], p[root]
+		root = c
+	}
+}

@@ -1,0 +1,68 @@
+package geom
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestSortPointsXYMatchesGenericSort pins the specialized introsort to the
+// ordering of the generic comparator sort it replaced, across sizes that
+// exercise the insertion, quicksort and (via adversarial equal keys)
+// partitioning paths.
+func TestSortPointsXYMatchesGenericSort(t *testing.T) {
+	ref := func(p []Point) {
+		slices.SortFunc(p, func(a, b Point) int {
+			switch {
+			case a.X < b.X:
+				return -1
+			case a.X > b.X:
+				return 1
+			case a.Y < b.Y:
+				return -1
+			case a.Y > b.Y:
+				return 1
+			}
+			return 0
+		})
+	}
+	rng := rand.New(rand.NewSource(11))
+	gen := func(n, dup int) []Point {
+		out := make([]Point, n)
+		for i := range out {
+			if dup > 0 {
+				out[i] = Pt(float64(rng.Intn(dup)), float64(rng.Intn(dup)))
+			} else {
+				out[i] = Pt(rng.NormFloat64()*1e6, rng.Float64()*1e6)
+			}
+		}
+		return out
+	}
+	for _, n := range []int{0, 1, 2, 3, 12, 13, 100, 5000} {
+		for _, dup := range []int{0, 1, 3} {
+			a := gen(n, dup)
+			b := slices.Clone(a)
+			SortPointsXY(a)
+			ref(b)
+			if !slices.Equal(a, b) {
+				t.Fatalf("n=%d dup=%d: specialized sort diverges from reference", n, dup)
+			}
+		}
+	}
+	// Pre-sorted and reverse-sorted inputs (quicksort worst cases).
+	asc := make([]Point, 4096)
+	for i := range asc {
+		asc[i] = Pt(float64(i), float64(-i))
+	}
+	desc := slices.Clone(asc)
+	slices.Reverse(desc)
+	SortPointsXY(desc)
+	if !slices.Equal(desc, asc) {
+		t.Fatal("reverse-sorted input not restored to ascending order")
+	}
+	again := slices.Clone(asc)
+	SortPointsXY(again)
+	if !slices.Equal(again, asc) {
+		t.Fatal("already-sorted input perturbed")
+	}
+}

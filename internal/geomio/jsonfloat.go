@@ -1,0 +1,33 @@
+package geomio
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// AppendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest round-trip form, 'f' format except for very large or very
+// small magnitudes, with the exponent's leading zero stripped. Both the
+// serving layer's response encoders and the pinned partitions'
+// pre-encoded point fragments rely on this producing encoding/json's
+// bytes; the equivalence is pinned by a differential test.
+func AppendJSONFloat(b []byte, f float64) ([]byte, error) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil, fmt.Errorf("json: unsupported value: %v", f)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, nil
+}

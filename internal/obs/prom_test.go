@@ -51,6 +51,10 @@ func goldenRegistry() *Registry {
 		r.ObserveLabeled("serve.latency_us", v, "endpoint", "range")
 	}
 	r.SetGaugeLabeled("test.escape", 7, "path", "a\"b\\c\nd")
+	r.SetGauge("serve.memtier.pinned_partitions", 3)
+	r.SetGauge("serve.memtier.bytes", 8192)
+	r.Inc("serve.planner.local", 5)
+	r.Inc("serve.planner.mapreduce", 2)
 	return r
 }
 

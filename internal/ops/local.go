@@ -1,0 +1,386 @@
+package ops
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/rtree"
+	"spatialhadoop/internal/sindex"
+)
+
+// Local executors: the serving layer's in-memory fast path for range and
+// kNN queries over indexed files. They walk the same splits, apply the
+// same pruning geometry (Split.Cover), follow the same two-round kNN
+// protocol, and sort candidates with the same canonical comparator as the
+// MapReduce jobs in this package — so a query answered locally is
+// byte-identical to one answered by a job, and the planner is free to
+// route per request. What differs is the execution substrate: records come
+// from pinned memory-resident partitions (LocalPartition) supplied by a
+// LocalSource instead of from scheduled map tasks.
+
+// LocalPartition is one partition's records decoded and indexed in memory:
+// the unit the serving layer's memory tier pins, evicts, and invalidates.
+type LocalPartition struct {
+	// Key is the partition key (Cell.Key()).
+	Key string
+	// Pts holds the partition's decoded points in canonical (X, then Y)
+	// order; Recs the corresponding record texts, index-aligned with Pts.
+	Pts  []geom.Point
+	Recs []string
+	// Tree indexes Pts; entry IDs are indices into Pts/Recs.
+	Tree *rtree.Tree
+	// Frag holds every point's pre-encoded JSON object ({"x":..,"y":..},
+	// exactly as encoding/json renders it); point i's fragment is
+	// Frag[FragOff[i]:FragOff[i+1]]. Because Pts is sorted canonically,
+	// a range response can be assembled by merging partitions and copying
+	// fragments instead of re-formatting floats per query — float
+	// formatting dominated the serve CPU profile. Nil when any coordinate
+	// has no JSON encoding (NaN/Inf); consumers must then fall back.
+	Frag    []byte
+	FragOff []int32
+	// Bytes estimates the pinned footprint for the memory tier's budget.
+	Bytes int64
+}
+
+// PinSplit decodes a split's blocks into a memory-resident partition:
+// points and records jointly sorted into canonical (X, then Y) order, an
+// R-tree over the sorted points, and per-point response fragments.
+func PinSplit(sp *mapreduce.Split) (*LocalPartition, error) {
+	var (
+		pts  []geom.Point
+		recs []string
+	)
+	for _, b := range sp.Blocks {
+		bp, err := b.Points()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, bp...)
+		recs = append(recs, b.Records()...)
+	}
+	if len(pts) != len(recs) {
+		return nil, fmt.Errorf("ops: partition %q: %d points vs %d records", sp.Partition, len(pts), len(recs))
+	}
+	// Canonical order. The (pt, rec) pairing is preserved, so kNN's
+	// (dist, record) candidate comparator is unaffected; equal points may
+	// land in either order, which no consumer can observe.
+	perm := make([]int, len(pts))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(i, j int) bool {
+		a, b := pts[perm[i]], pts[perm[j]]
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+	sortedPts := make([]geom.Point, len(pts))
+	sortedRecs := make([]string, len(recs))
+	for i, p := range perm {
+		sortedPts[i] = pts[p]
+		sortedRecs[i] = recs[p]
+	}
+	pts, recs = sortedPts, sortedRecs
+
+	frag, off := buildFragments(pts)
+	var bytes int64
+	for _, r := range recs {
+		bytes += int64(len(r))
+	}
+	// Points (2 floats), record headers, ~3 words per tree entry, and the
+	// fragment arena.
+	bytes += int64(len(pts))*(16+16+48) + int64(len(frag)) + int64(4*len(off))
+	return &LocalPartition{
+		Key:     sp.Partition,
+		Pts:     pts,
+		Recs:    recs,
+		Tree:    rtree.BulkPoints(pts, rtree.DefaultFanout),
+		Frag:    frag,
+		FragOff: off,
+		Bytes:   bytes,
+	}, nil
+}
+
+// buildFragments pre-encodes each point's JSON object. A point that
+// encoding/json would reject (NaN/Inf) disables fragments for the whole
+// partition ((nil, nil)); range encoding then falls back to the
+// marshal-equivalent slow path.
+func buildFragments(pts []geom.Point) ([]byte, []int32) {
+	frag := make([]byte, 0, 24*len(pts))
+	off := make([]int32, len(pts)+1)
+	var err error
+	for i, p := range pts {
+		frag = append(frag, `{"x":`...)
+		if frag, err = geomio.AppendJSONFloat(frag, p.X); err != nil {
+			return nil, nil
+		}
+		frag = append(frag, `,"y":`...)
+		if frag, err = geomio.AppendJSONFloat(frag, p.Y); err != nil {
+			return nil, nil
+		}
+		frag = append(frag, '}')
+		off[i+1] = int32(len(frag))
+	}
+	return frag, off
+}
+
+// LocalSource supplies the executors with pinned partitions and the
+// per-file spatial bitmap filter. The serving layer's memory tier is the
+// production implementation.
+type LocalSource interface {
+	// Pin returns the memory-resident form of a split's partition,
+	// loading it if necessary.
+	Pin(sp *mapreduce.Split) (*LocalPartition, error)
+	// Filter returns the file's partition bitmap filter, or nil when none
+	// is maintained (executors then prune on Cover geometry alone).
+	Filter() *sindex.SFilter
+}
+
+// LocalStats describes one local execution for explain output and the
+// hot-partition report. Mirroring the MapReduce report, the partition
+// counts describe the final round (so consulted+pruned == total); sFilter
+// counts accumulate across rounds.
+type LocalStats struct {
+	// PartitionsTotal/Consulted/Pruned partition the final round's splits:
+	// every split was either searched or pruned (by geometry or filter).
+	PartitionsTotal     int
+	PartitionsConsulted int
+	PartitionsPruned    int
+	// SFilterHits counts bitmap probes that passed (partition searched);
+	// SFilterSkips counts partitions the bitmap proved empty for the
+	// query — pruning the Cover test alone would have missed.
+	SFilterHits  int
+	SFilterSkips int
+	// Matches counts candidate records the executor touched.
+	Matches int
+	// Rounds is 1 or 2 (kNN protocol); always 1 for range.
+	Rounds int
+}
+
+// localIndexed opens the file and requires a global index: the local
+// executors rely on per-partition splits and partition keys.
+func localIndexed(sys *core.System, file string) (*core.IndexedFile, error) {
+	f, err := sys.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	if f.Index == nil {
+		return nil, fmt.Errorf("ops: local execution needs an indexed file, %q is a heap", file)
+	}
+	return f, nil
+}
+
+// LocalMatch is one partition's contribution to a range query: the pinned
+// partition plus the matched entry IDs in ascending order. Because pinned
+// points are canonically sorted, ascending IDs mean each partition's
+// matches stream out already in (X, then Y) order — a response is a k-way
+// merge of these streams, no global sort.
+type LocalMatch struct {
+	Part *LocalPartition
+	IDs  []int
+}
+
+// LocalRangeMatches answers a range query from pinned partitions,
+// byte-equivalent to RangeQueryPoints: same Cover pruning, plus bitmap
+// pruning, and exactly one owner per point record (the loader assigns each
+// point to a single cell), so no dedup is needed. Partitions with no
+// matches are omitted.
+func LocalRangeMatches(sys *core.System, file string, src LocalSource, query geom.Rect) ([]LocalMatch, *LocalStats, error) {
+	f, err := localIndexed(sys, file)
+	if err != nil {
+		return nil, nil, err
+	}
+	splits := f.Splits()
+	stats := &LocalStats{PartitionsTotal: len(splits), Rounds: 1}
+	hot := sys.Hotness()
+	sf := src.Filter()
+	var out []LocalMatch
+	for _, sp := range splits {
+		if !sp.Cover().Intersects(query) {
+			stats.PartitionsPruned++
+			hot.RecordPrune(file, sp.Partition)
+			continue
+		}
+		if sf != nil {
+			if !sf.MayIntersect(sp.Partition, query) {
+				stats.PartitionsPruned++
+				stats.SFilterSkips++
+				hot.RecordPrune(file, sp.Partition)
+				continue
+			}
+			stats.SFilterHits++
+		}
+		part, err := src.Pin(sp)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.PartitionsConsulted++
+		hot.RecordScan(file, sp.Partition)
+		hot.AddRecords(file, sp.Partition, int64(len(part.Recs)))
+		ids := part.Tree.Search(query, nil)
+		slices.Sort(ids)
+		stats.Matches += len(ids)
+		hot.AddMatches(file, sp.Partition, int64(len(ids)))
+		if len(ids) > 0 {
+			out = append(out, LocalMatch{Part: part, IDs: ids})
+		}
+	}
+	return out, stats, nil
+}
+
+// LocalRangePoints is LocalRangeMatches materialized to points (partition
+// order, each partition's matches in canonical order).
+func LocalRangePoints(sys *core.System, file string, src LocalSource, query geom.Rect) ([]geom.Point, *LocalStats, error) {
+	matches, stats, err := LocalRangeMatches(sys, file, src, query)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []geom.Point
+	for _, m := range matches {
+		for _, id := range m.IDs {
+			out = append(out, m.Part.Pts[id])
+		}
+	}
+	return out, stats, nil
+}
+
+// LocalKNNPoints answers a kNN query from pinned partitions with the same
+// two-round protocol as KNNCtx: round one searches the smallest partition
+// whose cover contains q; if the correctness circle escapes it (or fewer
+// than k candidates were found) a second round searches every partition
+// the circle may reach. Candidates are tie-complete (NearestWithTies) and
+// sorted with the canonical (dist, record) comparator before truncation,
+// exactly as the job's reduce does, so both engines pick the same k points.
+func LocalKNNPoints(sys *core.System, file string, src LocalSource, q geom.Point, k int) ([]geom.Point, *LocalStats, error) {
+	f, err := localIndexed(sys, file)
+	if err != nil {
+		return nil, nil, err
+	}
+	splits := f.Splits()
+	stats := &LocalStats{}
+	hot := sys.Hotness()
+	sf := src.Filter()
+
+	// round searches the kept splits, recording scan/prune hotness for
+	// every split exactly as withHeat does per job, and returns the
+	// canonically sorted, k-truncated candidates.
+	round := func(kept map[*mapreduce.Split]bool, probe geom.Rect, useProbe bool) ([]knnCandidate, error) {
+		stats.Rounds++
+		stats.PartitionsTotal = len(splits)
+		stats.PartitionsConsulted, stats.PartitionsPruned = 0, 0
+		var cands []knnCandidate
+		for _, sp := range splits {
+			if !kept[sp] {
+				stats.PartitionsPruned++
+				hot.RecordPrune(file, sp.Partition)
+				continue
+			}
+			if useProbe && sf != nil {
+				if !sf.MayIntersect(sp.Partition, probe) {
+					stats.PartitionsPruned++
+					stats.SFilterSkips++
+					hot.RecordPrune(file, sp.Partition)
+					continue
+				}
+				stats.SFilterHits++
+			}
+			part, err := src.Pin(sp)
+			if err != nil {
+				return nil, err
+			}
+			stats.PartitionsConsulted++
+			hot.RecordScan(file, sp.Partition)
+			hot.AddRecords(file, sp.Partition, int64(len(part.Recs)))
+			var matched int64
+			for _, nb := range part.Tree.NearestWithTies(q, k) {
+				cands = append(cands, knnCandidate{dist: nb.Dist, rec: part.Recs[nb.Entry.ID]})
+				matched++
+			}
+			stats.Matches += int(matched)
+			hot.AddMatches(file, sp.Partition, matched)
+		}
+		sort.Slice(cands, func(i, j int) bool { return lessCandidate(cands[i], cands[j]) })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		return cands, nil
+	}
+
+	// Round 1: the smallest-area partition covering q, or everything.
+	round1 := func() map[*mapreduce.Split]bool {
+		var best *mapreduce.Split
+		for _, s := range splits {
+			if s.Cover().ContainsPoint(q) && (best == nil || s.Cover().Area() < best.Cover().Area()) {
+				best = s
+			}
+		}
+		kept := make(map[*mapreduce.Split]bool, len(splits))
+		if best == nil {
+			for _, s := range splits {
+				kept[s] = true
+			}
+		} else {
+			kept[best] = true
+		}
+		return kept
+	}
+	r1 := round1()
+	cands, err := round(r1, geom.Rect{}, false)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	needSecond := len(cands) < k && k > 0
+	if !needSecond && len(cands) > 0 {
+		radius := cands[min(k, len(cands))-1].dist
+		circle := geom.Rect{MinX: q.X - radius, MinY: q.Y - radius, MaxX: q.X + radius, MaxY: q.Y + radius}
+		scannedAll := len(r1) == len(splits)
+		ownsCircle := false
+		if f.Index.Disjoint() && len(r1) == 1 {
+			for sp := range r1 {
+				ownsCircle = sp.MBR.ContainsRect(circle)
+			}
+		}
+		if !scannedAll && !ownsCircle {
+			needSecond = true
+		}
+	}
+	if needSecond {
+		radius := 0.0
+		if len(cands) >= k && k > 0 {
+			radius = cands[k-1].dist
+		}
+		kept := make(map[*mapreduce.Split]bool, len(splits))
+		circle := geom.Rect{MinX: q.X - radius, MinY: q.Y - radius, MaxX: q.X + radius, MaxY: q.Y + radius}
+		for _, s := range splits {
+			if radius == 0 || s.Cover().MinDistPoint(q) <= radius {
+				kept[s] = true
+			}
+		}
+		// The bitmap probe rectangle is the circle's bounding box: a
+		// record within radius of q lies inside it, so an empty bitmap
+		// range proves the partition contributes nothing.
+		cands, err = round(kept, circle, radius > 0)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	pts := make([]geom.Point, len(cands))
+	for i, c := range cands {
+		p, err := geomio.DecodePoint(c.rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts[i] = p
+	}
+	return pts, stats, nil
+}

@@ -9,6 +9,8 @@ import (
 	"image/color"
 	"image/png"
 	"math"
+	"strconv"
+	"strings"
 
 	"spatialhadoop/internal/core"
 	"spatialhadoop/internal/geom"
@@ -111,9 +113,8 @@ func PlotCtx(ctx context.Context, sys *core.System, file string, cfg PlotConfig)
 			// Composite: sum the partial counts per pixel.
 			sums := make(map[int]uint32)
 			for _, v := range values {
-				var pix int
-				var c uint32
-				if _, err := fmt.Sscanf(v, "%d:%d", &pix, &c); err != nil {
+				pix, c, err := parsePixelCount(v)
+				if err != nil {
 					return err
 				}
 				sums[pix] += c
@@ -136,9 +137,8 @@ func PlotCtx(ctx context.Context, sys *core.System, file string, cfg PlotConfig)
 	}
 	var max uint32
 	for _, rec := range recs {
-		var pix int
-		var c uint32
-		if _, err := fmt.Sscanf(rec, "%d:%d", &pix, &c); err != nil {
+		pix, c, err := parsePixelCount(rec)
+		if err != nil {
 			return nil, nil, err
 		}
 		if pix >= 0 && pix < len(counts) {
@@ -173,6 +173,25 @@ func sysReducers(sys *core.System) int {
 
 // rasterize maps a world point to pixel coordinates (y axis flipped so
 // north is up).
+// parsePixelCount parses a "pix:count" partial-raster record; this runs
+// once per non-empty pixel per plot request, so it avoids the fmt
+// scanner.
+func parsePixelCount(s string) (int, uint32, error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("plot: bad pixel record %q", s)
+	}
+	pix, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return 0, 0, fmt.Errorf("plot: bad pixel record %q: %v", s, err)
+	}
+	c, err := strconv.ParseUint(s[i+1:], 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("plot: bad pixel record %q: %v", s, err)
+	}
+	return pix, uint32(c), nil
+}
+
 func rasterize(p geom.Point, extent geom.Rect, w, h int) (int, int, bool) {
 	if !extent.ContainsPoint(p) {
 		return 0, 0, false

@@ -219,6 +219,19 @@ func encodeCandidate(c knnCandidate) string {
 	return strconv.FormatFloat(c.dist, 'g', 17, 64) + ";" + c.rec
 }
 
+// lessCandidate is the canonical kNN candidate order: by distance, ties by
+// record text. Every consumer of candidate sets — the MR reduce, the final
+// merge, and the serving layer's local executor — must sort with this
+// exact comparator before truncating to k, so the chosen top-k never
+// depends on which R-tree shape (per-block or per-partition) produced the
+// candidates.
+func lessCandidate(a, b knnCandidate) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.rec < b.rec
+}
+
 func decodeCandidate(s string) (knnCandidate, error) {
 	i := strings.IndexByte(s, ';')
 	if i < 0 {
@@ -268,7 +281,7 @@ func KNNCtx(ctx context.Context, sys *core.System, file string, q geom.Point, k 
 						return err
 					}
 					recs := b.Records()
-					for _, nb := range idx.Nearest(q, k) {
+					for _, nb := range idx.NearestWithTies(q, k) {
 						countPartitionMatches(ctx, split, 1)
 						ctx.Emit("k", encodeCandidate(knnCandidate{dist: nb.Dist, rec: recs[nb.Entry.ID]}))
 					}
@@ -284,7 +297,7 @@ func KNNCtx(ctx context.Context, sys *core.System, file string, q geom.Point, k 
 					}
 					cands = append(cands, c)
 				}
-				sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+				sort.Slice(cands, func(i, j int) bool { return lessCandidate(cands[i], cands[j]) })
 				if len(cands) > k {
 					cands = cands[:k]
 				}
@@ -312,7 +325,7 @@ func KNNCtx(ctx context.Context, sys *core.System, file string, q geom.Point, k 
 			}
 			cands = append(cands, c)
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+		sort.Slice(cands, func(i, j int) bool { return lessCandidate(cands[i], cands[j]) })
 		return rep, cands, nil
 	}
 

@@ -17,6 +17,7 @@ func FuzzCaseSeed(f *testing.F) {
 	f.Add(int64(1_000_000)) // range × grid
 	f.Add(int64(2_041_203)) // knn × str × diagonal
 	f.Add(int64(3_100_506)) // union-ish corner of the space
+	f.Add(int64(1_110_304)) // serve-planner × quadtree: local vs mapreduce engines
 	f.Fuzz(func(t *testing.T, seed int64) {
 		c := proptest.CaseFromSeed(seed)
 		if fail := proptest.RunCase(c); fail != nil {

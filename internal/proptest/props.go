@@ -75,12 +75,17 @@ var Checks = map[string]Check{
 	"closest-pair":  CheckClosestPair,
 	"farthest-pair": CheckFarthestPair,
 	"union":         CheckUnion,
+	"serve-planner": CheckServePlanner,
 }
 
-// CheckOrder is the deterministic iteration order of Checks.
+// CheckOrder is the deterministic iteration order of Checks. New
+// operations are appended at the END: the op index is packed into replay
+// and fuzz-corpus seeds, so reordering would silently change what every
+// archived seed decodes to.
 var CheckOrder = []string{
 	"range", "range-regions", "knn", "join", "ann", "plot",
 	"skyline", "hull", "closest-pair", "farthest-pair", "union",
+	"serve-planner",
 }
 
 // loadPoints stands up a fresh system with the case's point file indexed

@@ -1,0 +1,91 @@
+package proptest
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+
+	"spatialhadoop/internal/serve"
+)
+
+// CheckServePlanner is the metamorphic planner-path-independence
+// invariant of the serving layer: for every range and kNN request in the
+// workload, a server forced onto the local in-memory engine (pinned
+// R-trees + sFilter) must answer byte-identically — status and body — to
+// a server forced onto full MapReduce over the same loaded system. The
+// planner's engine choice is an optimization and must never be
+// observable in the response. Error requests (k = 0 and the like) are
+// held to the same standard: both engines go through the same front
+// door, so even failures must match.
+func CheckServePlanner(c Case) string {
+	if len(c.Pts) == 0 {
+		return ""
+	}
+	sys, msg := c.loadPoints()
+	if msg != "" {
+		return msg
+	}
+	localSrv := httptest.NewServer(serve.New(sys, serve.Config{
+		CacheSize: -1, Planner: serve.PlannerLocal,
+	}).Handler())
+	defer localSrv.Close()
+	mrSrv := httptest.NewServer(serve.New(sys, serve.Config{
+		CacheSize: -1, MemTierBytes: -1, Planner: serve.PlannerMapReduce,
+	}).Handler())
+	defer mrSrv.Close()
+
+	compare := func(path string, params url.Values) string {
+		u := path + "?" + params.Encode()
+		lc, lb, err := serveGet(localSrv.URL + u)
+		if err != nil {
+			return sprintf("serve-planner local GET %s: %v", u, err)
+		}
+		mc, mb, err := serveGet(mrSrv.URL + u)
+		if err != nil {
+			return sprintf("serve-planner mapreduce GET %s: %v", u, err)
+		}
+		if lc != mc || string(lb) != string(mb) {
+			return sprintf("serve-planner %s: local engine (%d, %.200q) != mapreduce engine (%d, %.200q)",
+				u, lc, lb, mc, mb)
+		}
+		return ""
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range c.Queries {
+		params := url.Values{
+			"file": {"pts"},
+			"rect": {ff(r.MinX) + "," + ff(r.MinY) + "," + ff(r.MaxX) + "," + ff(r.MaxY)},
+		}
+		if msg := compare("/rangequery", params); msg != "" {
+			return msg
+		}
+	}
+	for _, kq := range c.KNNs {
+		params := url.Values{
+			"file":  {"pts"},
+			"point": {ff(kq.Q.X) + "," + ff(kq.Q.Y)},
+			"k":     {strconv.Itoa(kq.K)},
+		}
+		if msg := compare("/knn", params); msg != "" {
+			return msg
+		}
+	}
+	return ""
+}
+
+// serveGet issues one GET and returns status plus body (errors are
+// transport failures, not HTTP error statuses).
+func serveGet(u string) (int, []byte, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}

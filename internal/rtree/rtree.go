@@ -238,3 +238,45 @@ func (t *Tree) Nearest(p geom.Point, k int) []Neighbor {
 	}
 	return out
 }
+
+// NearestWithTies returns the k nearest entries plus every further entry
+// whose distance equals the k-th distance exactly. Callers that must pick
+// a deterministic top-k independent of tree shape (the kNN map phase and
+// the in-memory serving engine feed the same records through differently
+// bulk-loaded trees) take the tie-complete candidate set and break ties
+// themselves; plain Nearest would resolve ties by heap order, which
+// depends on how entries were packed into leaves.
+func (t *Tree) NearestWithTies(p geom.Point, k int) []Neighbor {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	q := &nnQueue{{n: t.root, dist: t.root.mbr.MinDistPoint(p)}}
+	heap.Init(q)
+	var out []Neighbor
+	for q.Len() > 0 {
+		// Pop order is nondecreasing in dist, so once k results are in
+		// hand anything strictly beyond the k-th distance ends the search;
+		// items at exactly that distance are still expanded and kept.
+		if len(out) >= k && (*q)[0].dist > out[len(out)-1].Dist {
+			break
+		}
+		it := heap.Pop(q).(nnItem)
+		if it.leaf {
+			if len(out) >= k && it.dist > out[len(out)-1].Dist {
+				break
+			}
+			out = append(out, Neighbor{Entry: it.e, Dist: it.dist})
+			continue
+		}
+		if it.n.leaf {
+			for _, e := range it.n.entries {
+				heap.Push(q, nnItem{e: e, leaf: true, dist: e.MBR.MinDistPoint(p)})
+			}
+			continue
+		}
+		for _, ch := range it.n.children {
+			heap.Push(q, nnItem{n: ch, dist: ch.mbr.MinDistPoint(p)})
+		}
+	}
+	return out
+}

@@ -121,3 +121,60 @@ func TestVisitEarlyStop(t *testing.T) {
 		t.Errorf("visited %d, want early stop at 5", count)
 	}
 }
+
+// TestNearestWithTiesCompleteness: the tie-complete candidate set must hold
+// exactly every point whose distance is <= the k-th smallest distance — no
+// matter how ties were packed into leaves. A grid of duplicated coordinates
+// manufactures large tie groups straddling node boundaries.
+func TestNearestWithTiesCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var pts []geom.Point
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			for dup := 0; dup < 3; dup++ {
+				pts = append(pts, geom.Pt(float64(x), float64(y)))
+			}
+		}
+	}
+	for _, fanout := range []int{2, 4, 16} {
+		tr := BulkPoints(pts, fanout)
+		for q := 0; q < 40; q++ {
+			query := geom.Pt(float64(rng.Intn(9)), float64(rng.Intn(9)))
+			k := 1 + rng.Intn(len(pts)+4)
+			got := tr.NearestWithTies(query, k)
+			dists := make([]float64, len(pts))
+			for i, p := range pts {
+				dists[i] = p.Dist(query)
+			}
+			sort.Float64s(dists)
+			kth := dists[len(dists)-1]
+			if k <= len(dists) {
+				kth = dists[k-1]
+			}
+			want := 0
+			for _, d := range dists {
+				if d <= kth {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("fanout=%d k=%d: got %d candidates, want %d (kth=%g)", fanout, k, len(got), want, kth)
+			}
+			for i, nb := range got {
+				if nb.Dist > kth+1e-12 {
+					t.Fatalf("candidate %d dist %g beyond kth %g", i, nb.Dist, kth)
+				}
+				if i > 0 && nb.Dist < got[i-1].Dist {
+					t.Fatal("candidates not in nondecreasing order")
+				}
+			}
+		}
+	}
+	if got := BulkPoints(pts, 4).NearestWithTies(geom.Pt(0, 0), 0); got != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	var empty Tree
+	if got := empty.NearestWithTies(geom.Pt(0, 0), 3); got != nil {
+		t.Fatal("empty tree must return nil")
+	}
+}

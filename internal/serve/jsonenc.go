@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"strconv"
+	"unicode/utf8"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/ops"
+)
+
+// Hand-rolled encoders for the two hot response bodies. encoding/json's
+// reflective struct walk plus its generic float path dominated the serve
+// CPU profile; these emit byte-identical output with append-only calls.
+// Byte identity with encoding/json is load-bearing — cached, coalesced
+// and freshly built responses must compare equal — and is pinned by a
+// differential test against json.Marshal.
+
+// jsonPlain reports whether s renders under encoding/json as itself, with
+// no escaping: printable ASCII minus the characters json escapes (quotes,
+// backslash and the HTML-safety set). Strings that fail this are routed
+// through the reflective fallback rather than replicating the escaper.
+func jsonPlain(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= utf8.RuneSelf || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64
+// (see geomio.AppendJSONFloat, shared with the pinned-partition fragment
+// builder).
+func appendJSONFloat(b []byte, f float64) ([]byte, error) {
+	return geomio.AppendJSONFloat(b, f)
+}
+
+// encodeRangeBody renders a rangeResponse body (with trailing newline).
+func encodeRangeBody(file, rect string, pts []geom.Point) ([]byte, error) {
+	if !jsonPlain(file) || !jsonPlain(rect) {
+		resp := rangeResponse{File: file, Rect: rect, Count: len(pts), Points: make([]pointJSON, len(pts))}
+		for i, p := range pts {
+			resp.Points[i] = pointJSON{X: p.X, Y: p.Y}
+		}
+		return marshalBody(resp)
+	}
+	var err error
+	// ~17 bytes per shortest-form float plus the per-point framing; an
+	// overshoot here is cheaper than re-growing a multi-hundred-KB body.
+	b := make([]byte, 0, 64+len(file)+len(rect)+48*len(pts))
+	b = append(b, `{"file":"`...)
+	b = append(b, file...)
+	b = append(b, `","rect":"`...)
+	b = append(b, rect...)
+	b = append(b, `","count":`...)
+	b = strconv.AppendInt(b, int64(len(pts)), 10)
+	b = append(b, `,"points":[`...)
+	for i, p := range pts {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"x":`...)
+		if b, err = appendJSONFloat(b, p.X); err != nil {
+			return nil, err
+		}
+		b = append(b, `,"y":`...)
+		if b, err = appendJSONFloat(b, p.Y); err != nil {
+			return nil, err
+		}
+		b = append(b, '}')
+	}
+	b = append(b, "]}\n"...)
+	return b, nil
+}
+
+// encodeRangeBodyMatches renders a rangeResponse body directly from
+// per-partition sorted match streams: a k-way merge by (X, then Y) whose
+// point objects are copied from the partitions' pre-encoded fragments
+// instead of re-formatting floats. Byte-identical to sorting the matched
+// points and calling encodeRangeBody (pinned by a differential test).
+// Returns ok=false — caller must fall back — when any partition lacks
+// fragments or a string needs escaping.
+func encodeRangeBodyMatches(file, rect string, matches []ops.LocalMatch) ([]byte, bool) {
+	if !jsonPlain(file) || !jsonPlain(rect) {
+		return nil, false
+	}
+	total := 0
+	payload := 0 // exact points-array byte size, from the fragment offsets
+	for _, m := range matches {
+		if m.Part.Frag == nil {
+			return nil, false
+		}
+		total += len(m.IDs)
+		for _, id := range m.IDs {
+			payload += int(m.Part.FragOff[id+1] - m.Part.FragOff[id])
+		}
+	}
+	b := make([]byte, 0, 64+len(file)+len(rect)+payload+total)
+	b = append(b, `{"file":"`...)
+	b = append(b, file...)
+	b = append(b, `","rect":"`...)
+	b = append(b, rect...)
+	b = append(b, `","count":`...)
+	b = strconv.AppendInt(b, int64(total), 10)
+	b = append(b, `,"points":[`...)
+	// heads[i] indexes matches[i].IDs; linear min-scan per emit (the
+	// planner caps local execution at a handful of partitions).
+	heads := make([]int, len(matches))
+	for n := 0; n < total; n++ {
+		best := -1
+		var bp geom.Point
+		for i, m := range matches {
+			if heads[i] == len(m.IDs) {
+				continue
+			}
+			p := m.Part.Pts[m.IDs[heads[i]]]
+			if best < 0 || p.X < bp.X || (p.X == bp.X && p.Y < bp.Y) {
+				best, bp = i, p
+			}
+		}
+		m := matches[best]
+		id := m.IDs[heads[best]]
+		heads[best]++
+		if n > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, m.Part.Frag[m.Part.FragOff[id]:m.Part.FragOff[id+1]]...)
+	}
+	b = append(b, "]}\n"...)
+	return b, true
+}
+
+// encodeKNNBody renders a knnResponse body (with trailing newline).
+func encodeKNNBody(file, point string, k int, nbs []neighborJSON) ([]byte, error) {
+	if !jsonPlain(file) || !jsonPlain(point) {
+		return marshalBody(knnResponse{File: file, Point: point, K: k, Count: len(nbs), Neighbors: nbs})
+	}
+	var err error
+	b := make([]byte, 0, 96+len(file)+len(point)+72*len(nbs))
+	b = append(b, `{"file":"`...)
+	b = append(b, file...)
+	b = append(b, `","point":"`...)
+	b = append(b, point...)
+	b = append(b, `","k":`...)
+	b = strconv.AppendInt(b, int64(k), 10)
+	b = append(b, `,"count":`...)
+	b = strconv.AppendInt(b, int64(len(nbs)), 10)
+	b = append(b, `,"neighbors":[`...)
+	for i, n := range nbs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"x":`...)
+		if b, err = appendJSONFloat(b, n.X); err != nil {
+			return nil, err
+		}
+		b = append(b, `,"y":`...)
+		if b, err = appendJSONFloat(b, n.Y); err != nil {
+			return nil, err
+		}
+		b = append(b, `,"dist":`...)
+		if b, err = appendJSONFloat(b, n.Dist); err != nil {
+			return nil, err
+		}
+		b = append(b, '}')
+	}
+	b = append(b, "]}\n"...)
+	return b, nil
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/ops"
+)
+
+// TestAppendJSONFloatMatchesEncodingJSON: the hand-rolled float encoder
+// must agree with encoding/json bit for bit across magnitude regimes —
+// the cache stores bodies, so any divergence would surface as a phantom
+// miss or a broken oracle comparison.
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	fixed := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.125, 123.456, -9999.875,
+		1e-6, 9.999e-7, 1e-7, -1e-7, 1e20, 1e21, -2.5e21, 1e300, -1e-300,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	rng := rand.New(rand.NewSource(42))
+	vals := fixed
+	for i := 0; i < 10_000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		vals = append(vals, f)
+	}
+	// Lattice-quantized values like the generators produce.
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, math.Round(rng.Float64()*8_000_000)/8)
+	}
+	for _, f := range vals {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := appendJSONFloat(nil, f)
+		if err != nil {
+			t.Fatalf("%v (bits %x): %v", f, math.Float64bits(f), err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("float %v (bits %x): encoder %q, encoding/json %q",
+				f, math.Float64bits(f), got, want)
+		}
+	}
+	if _, err := appendJSONFloat(nil, math.Inf(1)); err == nil {
+		t.Error("encoding +Inf should error like encoding/json")
+	}
+	if _, err := appendJSONFloat(nil, math.NaN()); err == nil {
+		t.Error("encoding NaN should error like encoding/json")
+	}
+}
+
+// TestEncodeBodiesMatchEncodingJSON: whole range and kNN bodies from the
+// fast encoders must be byte-identical to marshalBody over the mirror
+// structs, including the empty-result and escaping-fallback cases.
+func TestEncodeBodiesMatchEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randPts := func(n int) []geom.Point {
+		out := make([]geom.Point, n)
+		for i := range out {
+			out[i] = geom.Pt(math.Round(rng.Float64()*8000)/8, rng.NormFloat64()*1e5)
+		}
+		return out
+	}
+	files := []string{"pts", "p-1_2.bin", "", "a<b&c>d", `quo"te\slash`, "uni\u00e9", "ctl\n"}
+	for _, file := range files {
+		for _, n := range []int{0, 1, 7, 300} {
+			pts := randPts(n)
+			rect := canonicalRect(geom.NewRect(0, 0, 1000, 1000))
+			want := rangeResponse{File: file, Rect: rect, Count: len(pts), Points: make([]pointJSON, len(pts))}
+			for i, p := range pts {
+				want.Points[i] = pointJSON{X: p.X, Y: p.Y}
+			}
+			wantBody, err := marshalBody(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := encodeRangeBody(file, rect, pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, wantBody) {
+				t.Fatalf("range body file=%q n=%d:\n got %q\nwant %q", file, n, got, wantBody)
+			}
+
+			nbs := make([]neighborJSON, len(pts))
+			for i, p := range pts {
+				nbs[i] = neighborJSON{X: p.X, Y: p.Y, Dist: math.Hypot(p.X, p.Y)}
+			}
+			wantK, err := marshalBody(knnResponse{File: file, Point: "1,2", K: n + 1, Count: len(nbs), Neighbors: nbs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotK, err := encodeKNNBody(file, "1,2", n+1, nbs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotK, wantK) {
+				t.Fatalf("knn body file=%q n=%d:\n got %q\nwant %q", file, n, gotK, wantK)
+			}
+		}
+	}
+}
+
+// TestEncodeRangeBodyMatchesMergesIdentically pins the fragment-merge
+// fast path to the sort-then-encode slow path over real pinned
+// partitions: for every query, merging the partitions' pre-encoded
+// sorted streams must produce the same bytes as materializing, globally
+// sorting and float-formatting the points.
+func TestEncodeRangeBodyMatchesMergesIdentically(t *testing.T) {
+	sys := newServeSystem(t)
+	f, err := sys.Open("pts1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]*ops.LocalPartition, 0, len(f.Splits()))
+	for _, sp := range f.Splits() {
+		part, err := ops.PinSplit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if part.Frag == nil {
+			t.Fatalf("partition %s: no fragments built", part.Key)
+		}
+		if !slices.IsSortedFunc(part.Pts, func(a, b geom.Point) int {
+			switch {
+			case a.X < b.X:
+				return -1
+			case a.X > b.X:
+				return 1
+			case a.Y < b.Y:
+				return -1
+			case a.Y > b.Y:
+				return 1
+			}
+			return 0
+		}) {
+			t.Fatalf("partition %s: pinned points not canonically sorted", part.Key)
+		}
+		parts = append(parts, part)
+	}
+	rng := rand.New(rand.NewSource(5))
+	rects := []geom.Rect{
+		geom.NewRect(0, 0, 10_000, 10_000), // everything: full merge
+		geom.NewRect(0, 0, 0, 0),           // nothing
+	}
+	for i := 0; i < 30; i++ {
+		x, y := rng.Float64()*9000, rng.Float64()*9000
+		rects = append(rects, geom.NewRect(x, y, x+rng.Float64()*4000, y+rng.Float64()*4000))
+	}
+	for _, q := range rects {
+		var matches []ops.LocalMatch
+		var pts []geom.Point
+		for _, part := range parts {
+			ids := part.Tree.Search(q, nil)
+			slices.Sort(ids)
+			if len(ids) == 0 {
+				continue
+			}
+			matches = append(matches, ops.LocalMatch{Part: part, IDs: ids})
+			for _, id := range ids {
+				pts = append(pts, part.Pts[id])
+			}
+		}
+		canon := canonicalRect(q)
+		got, ok := encodeRangeBodyMatches("pts1", canon, matches)
+		if !ok {
+			t.Fatalf("rect %s: merge path unexpectedly refused", canon)
+		}
+		geom.SortPointsXY(pts)
+		want, err := encodeRangeBody("pts1", canon, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("rect %s: merged body diverges from sort-then-encode\n got %.200q\nwant %.200q", canon, got, want)
+		}
+	}
+	// Non-plain strings must route to the fallback.
+	if _, ok := encodeRangeBodyMatches("a<b", "0,0,1,1", nil); ok {
+		t.Error("merge path accepted a file name that needs JSON escaping")
+	}
+}

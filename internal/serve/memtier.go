@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/obs"
+	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/sindex"
+)
+
+// MemTier is the serving layer's memory-resident read tier: partitions
+// pinned as decoded points + per-partition R-trees (ops.LocalPartition),
+// under a byte budget with LRU eviction, plus one spatial bitmap filter
+// (sindex.SFilter) per file generation. Everything is keyed by
+// (file, DFS mutation epoch): a write to the file mints a new epoch, so
+// stale pinned data can never answer a fresh query even if the eager
+// invalidation signal (the DFS epoch hook) were lost. The hook just frees
+// the memory sooner.
+type MemTier struct {
+	budget int64
+	reg    *obs.Registry
+
+	mu      sync.Mutex
+	lru     *list.List               // front = most recently used
+	entries map[string]*list.Element // "file@epoch|partition" → *tierEntry
+	pending map[string]*pinCall      // same key; pins in flight
+	filters map[string]*sindex.SFilter
+	bytes   int64
+}
+
+type tierEntry struct {
+	key  string
+	part *ops.LocalPartition
+}
+
+// pinCall deduplicates concurrent pins of the same partition: one loader
+// decodes, everyone else waits for it.
+type pinCall struct {
+	done chan struct{}
+	part *ops.LocalPartition
+	err  error
+}
+
+// NewMemTier creates a tier with the given byte budget (> 0).
+func NewMemTier(budget int64, reg *obs.Registry) *MemTier {
+	return &MemTier{
+		budget:  budget,
+		reg:     reg,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		pending: make(map[string]*pinCall),
+		filters: make(map[string]*sindex.SFilter),
+	}
+}
+
+func tierKey(file string, epoch int64, partition string) string {
+	return fileKey(file, epoch) + "|" + partition
+}
+
+func fileKey(file string, epoch int64) string {
+	return file + "@" + strconv.FormatInt(epoch, 10)
+}
+
+// Source returns an ops.LocalSource bound to one (file, epoch, index):
+// what the local executors pin through. The bitmap filter is created from
+// the master index on first use of the generation and refined as
+// partitions get pinned.
+func (t *MemTier) Source(file string, epoch int64, gi *sindex.GlobalIndex) *tierSource {
+	fk := fileKey(file, epoch)
+	t.mu.Lock()
+	sf, ok := t.filters[fk]
+	if !ok {
+		t.mu.Unlock()
+		// Build outside the lock (O(cells) bitmap fills), then publish.
+		built := sindex.NewSFilter(gi, 0)
+		t.mu.Lock()
+		if sf, ok = t.filters[fk]; !ok {
+			t.filters[fk] = built
+			sf = built
+		}
+	}
+	t.mu.Unlock()
+	return &tierSource{t: t, file: file, epoch: epoch, sf: sf}
+}
+
+// pin returns the partition's memory-resident form, loading and refining
+// the bitmap filter on a miss, deduplicating concurrent loads, and
+// evicting least-recently-used partitions past the byte budget.
+func (t *MemTier) pin(file string, epoch int64, sf *sindex.SFilter, sp *mapreduce.Split) (*ops.LocalPartition, error) {
+	key := tierKey(file, epoch, sp.Partition)
+	t.mu.Lock()
+	if el, ok := t.entries[key]; ok {
+		t.lru.MoveToFront(el)
+		t.mu.Unlock()
+		t.reg.Inc("serve.memtier.hits", 1)
+		return el.Value.(*tierEntry).part, nil
+	}
+	if c, ok := t.pending[key]; ok {
+		t.mu.Unlock()
+		<-c.done
+		if c.err == nil {
+			t.reg.Inc("serve.memtier.hits", 1)
+		}
+		return c.part, c.err
+	}
+	c := &pinCall{done: make(chan struct{})}
+	t.pending[key] = c
+	t.mu.Unlock()
+
+	t.reg.Inc("serve.memtier.misses", 1)
+	part, err := ops.PinSplit(sp)
+	if err == nil {
+		// Exact bitmap for the pinned generation: later queries prune at
+		// record precision.
+		sf.Refine(part.Key, part.Pts)
+	}
+
+	t.mu.Lock()
+	delete(t.pending, key)
+	c.part, c.err = part, err
+	if err == nil {
+		t.entries[key] = t.lru.PushFront(&tierEntry{key: key, part: part})
+		t.bytes += part.Bytes
+		t.evictLocked()
+	}
+	t.mu.Unlock()
+	close(c.done)
+	return part, err
+}
+
+// evictLocked drops LRU tail entries until the budget holds. The newest
+// entry survives even when it alone exceeds the budget: the query that
+// pinned it is using it right now, and evicting it would only thrash.
+func (t *MemTier) evictLocked() {
+	for t.bytes > t.budget && t.lru.Len() > 1 {
+		el := t.lru.Back()
+		e := el.Value.(*tierEntry)
+		t.lru.Remove(el)
+		delete(t.entries, e.key)
+		t.bytes -= e.part.Bytes
+		t.reg.Inc("serve.memtier.evictions", 1)
+	}
+}
+
+// Invalidate eagerly drops every pinned partition and filter of the file,
+// across all epochs. It is the DFS epoch hook target and must therefore
+// never call back into the file system — it only touches the tier's own
+// maps. Correctness does not depend on it running: epoch-keyed lookups
+// already miss stale generations.
+func (t *MemTier) Invalidate(file string) {
+	prefix := file + "@"
+	t.mu.Lock()
+	var drop []*list.Element
+	for key, el := range t.entries {
+		if strings.HasPrefix(key, prefix) {
+			drop = append(drop, el)
+		}
+	}
+	for _, el := range drop {
+		e := el.Value.(*tierEntry)
+		t.lru.Remove(el)
+		delete(t.entries, e.key)
+		t.bytes -= e.part.Bytes
+	}
+	for fk := range t.filters {
+		if strings.HasPrefix(fk, prefix) {
+			delete(t.filters, fk)
+		}
+	}
+	t.mu.Unlock()
+	if len(drop) > 0 {
+		t.reg.Inc("serve.memtier.invalidations", int64(len(drop)))
+	}
+}
+
+// Pinned reports whether the partition is currently resident (without
+// touching LRU order — the planner peeks, it doesn't use).
+func (t *MemTier) Pinned(file string, epoch int64, partition string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.entries[tierKey(file, epoch, partition)]
+	return ok
+}
+
+// Stats returns the pinned partition count and byte footprint.
+func (t *MemTier) Stats() (partitions int, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Len(), t.bytes
+}
+
+// tierSource adapts the tier to ops.LocalSource for one file generation.
+type tierSource struct {
+	t     *MemTier
+	file  string
+	epoch int64
+	sf    *sindex.SFilter
+}
+
+func (src *tierSource) Pin(sp *mapreduce.Split) (*ops.LocalPartition, error) {
+	return src.t.pin(src.file, src.epoch, src.sf, sp)
+}
+
+func (src *tierSource) Filter() *sindex.SFilter { return src.sf }
+
+var _ ops.LocalSource = (*tierSource)(nil)

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/sindex"
+)
+
+// counterValue reads a counter from the serving registry snapshot.
+func counterValue(s *Server, name string) int64 {
+	return s.Metrics().Snapshot().Counters[name]
+}
+
+// TestMemTierEvictionBudget: a budget far below the file's footprint
+// forces LRU eviction on every new pin, yet answers stay correct and the
+// tier's byte accounting never exceeds budget (modulo the single newest
+// entry, which is always allowed to stay).
+func TestMemTierEvictionBudget(t *testing.T) {
+	sys := newServeSystem(t)
+	srv := New(sys, Config{CacheSize: -1, MemTierBytes: 4 << 10, Planner: PlannerLocal})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	oracleSrv := New(sys, Config{CacheSize: -1, MemTierBytes: -1, Planner: PlannerMapReduce})
+	ots := httptest.NewServer(oracleSrv.Handler())
+	defer ots.Close()
+
+	queries := []string{
+		"/rangequery?file=pts1&rect=0,0,2500,2500",
+		"/rangequery?file=pts1&rect=7500,7500,10000,10000",
+		"/rangequery?file=pts1&rect=0,7500,2500,10000",
+		"/knn?file=pts1&point=9000,1000&k=15",
+		"/rangequery?file=pts1&rect=0,0,2500,2500",
+	}
+	for _, q := range queries {
+		code, body, _ := fetch(t, ts.Client(), ts.URL+q)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", q, code, body)
+		}
+		_, want, _ := fetch(t, ots.Client(), ots.URL+q)
+		if !bytes.Equal(body, want) {
+			t.Fatalf("%s: local body under eviction pressure != mapreduce oracle", q)
+		}
+		parts, bytesPinned := srv.mt.Stats()
+		if parts > 1 && bytesPinned > 4<<10 {
+			t.Fatalf("tier holds %d parts / %d bytes, budget 4096", parts, bytesPinned)
+		}
+	}
+	if evs := counterValue(srv, "serve.memtier.evictions"); evs == 0 {
+		t.Error("no evictions recorded under a 4KiB budget")
+	}
+}
+
+// TestMemTierEpochInvalidation: mutating a file must (a) eagerly drop its
+// pinned partitions via the DFS epoch hook and (b) never let a stale pin
+// answer for the new epoch — fresh queries see the new data.
+func TestMemTierEpochInvalidation(t *testing.T) {
+	sys := core.New(core.Config{BlockSize: 2048, Workers: 4, Seed: 7})
+	area := geom.NewRect(0, 0, 1000, 1000)
+	pts := datagen.Points(datagen.Clustered, 800, area, 5)
+	if _, err := sys.LoadPoints("pts", pts, sindex.STR); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys, Config{CacheSize: -1, Planner: PlannerLocal})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const q = "/rangequery?file=pts&rect=0,0,1000,1000"
+	code, body1, _ := fetch(t, ts.Client(), ts.URL+q)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if parts, _ := srv.mt.Stats(); parts == 0 {
+		t.Fatal("query pinned nothing")
+	}
+
+	// Rewrite the file with one extra point: every mutation stamps a new
+	// epoch, and the hook drops the pins mid-write.
+	pts2 := append(append([]geom.Point{}, pts...), geom.Pt(123.5, 456.5))
+	if _, err := sys.LoadPoints("pts", pts2, sindex.STR); err != nil {
+		t.Fatal(err)
+	}
+	if parts, bytesPinned := srv.mt.Stats(); parts != 0 || bytesPinned != 0 {
+		t.Fatalf("after rewrite: %d partitions / %d bytes still pinned", parts, bytesPinned)
+	}
+	if inv := counterValue(srv, "serve.memtier.invalidations"); inv == 0 {
+		t.Error("no invalidations recorded")
+	}
+
+	_, body2, _ := fetch(t, ts.Client(), ts.URL+q)
+	if bytes.Equal(body1, body2) {
+		t.Fatal("post-rewrite response identical to pre-rewrite response")
+	}
+	if !bytes.Contains(body2, []byte(`{"x":123.5,"y":456.5}`)) {
+		t.Fatalf("post-rewrite response misses the new point: %s", body2)
+	}
+}
+
+// TestMemTierEvictionEpochInterleaving races concurrent query waves (under
+// a budget small enough to force eviction churn and with concurrent direct
+// invalidations) against serial epoch bumps between waves. Every response
+// of every wave must match that epoch's MapReduce oracle. Run under -race
+// this exercises pin/evict/invalidate interleavings end to end.
+func TestMemTierEvictionEpochInterleaving(t *testing.T) {
+	sys := core.New(core.Config{BlockSize: 1024, Workers: 4, Seed: 9})
+	area := geom.NewRect(0, 0, 1000, 1000)
+	base := datagen.Points(datagen.Clustered, 900, area, 31)
+	load := func(extra int) {
+		pts := append([]geom.Point{}, base...)
+		for i := 0; i < extra; i++ {
+			pts = append(pts, geom.Pt(float64(i)+0.25, float64(i)+0.75))
+		}
+		if _, err := sys.LoadPoints("pts", pts, sindex.QuadTree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load(0)
+
+	srv := New(sys, Config{CacheSize: -1, MemTierBytes: 8 << 10, Planner: PlannerLocal, MaxInFlight: 4, QueueDepth: 1024, JobDeadline: 30 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// The oracle server is built per epoch below; tier off, forced jobs.
+	queries := []string{
+		"/rangequery?file=pts&rect=0,0,400,400",
+		"/rangequery?file=pts&rect=600,600,1000,1000",
+		"/rangequery?file=pts&rect=0,600,400,1000",
+		"/rangequery?file=pts&rect=0,0,1000,1000",
+		"/knn?file=pts&point=100,900&k=12",
+		"/knn?file=pts&point=0.5,0.5&k=7",
+	}
+
+	for wave := 0; wave < 3; wave++ {
+		oracleSrv := New(sys, Config{CacheSize: -1, MemTierBytes: -1, Planner: PlannerMapReduce, MaxInFlight: 4, QueueDepth: 1024, JobDeadline: 30 * time.Second})
+		ots := httptest.NewServer(oracleSrv.Handler())
+		oracle := make(map[string][]byte, len(queries))
+		for _, q := range queries {
+			code, body, _ := fetch(t, ots.Client(), ots.URL+q)
+			if code != http.StatusOK {
+				t.Fatalf("wave %d oracle %s: status %d: %s", wave, q, code, body)
+			}
+			oracle[q] = body
+		}
+		ots.Close()
+		// The oracle server installed its (no-op) view of the epoch hook;
+		// rebind the tier server's hook for the next mutation.
+		sys.FS().SetEpochHook(func(name string, _ int64) { srv.mt.Invalidate(name) })
+
+		const repeats = 4
+		var wg sync.WaitGroup
+		errs := make(chan error, len(queries)*repeats)
+		for rep := 0; rep < repeats; rep++ {
+			for _, q := range queries {
+				wg.Add(1)
+				go func(q string) {
+					defer wg.Done()
+					code, body, _ := fetch(t, ts.Client(), ts.URL+q)
+					if code != http.StatusOK {
+						errs <- errf("wave %d %s: status %d", wave, q, code)
+						return
+					}
+					if !bytes.Equal(body, oracle[q]) {
+						errs <- errf("wave %d %s: body != oracle", wave, q)
+					}
+				}(q)
+			}
+		}
+		// Concurrent direct invalidations stress pin-vs-drop interleaving
+		// (the epoch itself is unchanged, so answers are unaffected).
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				srv.mt.Invalidate("pts")
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+		// Serial epoch bump between waves (the DFS has a single-writer
+		// model): the hook must leave the tier empty.
+		load(wave + 1)
+		if parts, _ := srv.mt.Stats(); parts != 0 {
+			t.Fatalf("wave %d: %d partitions survived the epoch bump", wave, parts)
+		}
+	}
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

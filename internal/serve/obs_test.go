@@ -48,7 +48,10 @@ func fetchTrace(t *testing.T, ts *httptest.Server, id string) obs.ReqTraceSnapsh
 // DFS reads.
 func TestTraceEndToEnd(t *testing.T) {
 	sys := newServeSystem(t)
-	srv := New(sys, Config{})
+	// Forced MapReduce: the span assertions below describe the job path
+	// (queue.wait, phases, slot.wait); the planner must not reroute the
+	// query to the local engine.
+	srv := New(sys, Config{Planner: PlannerMapReduce})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -146,9 +149,12 @@ func TestExplainReport(t *testing.T) {
 		Explain struct {
 			TraceID           string `json:"trace_id"`
 			Cache             string `json:"cache"`
+			Engine            string `json:"engine"`
 			PartitionsTotal   int    `json:"partitions_total"`
 			PartitionsScanned int    `json:"partitions_scanned"`
 			PartitionsPruned  int    `json:"partitions_pruned"`
+			SFilterHits       int    `json:"sfilter_hits"`
+			SFilterSkips      int    `json:"sfilter_skips"`
 		} `json:"explain"`
 	}
 	if err := json.Unmarshal(bodyMiss, &withExplain); err != nil {
@@ -166,6 +172,17 @@ func TestExplainReport(t *testing.T) {
 	}
 	if e.PartitionsScanned+e.PartitionsPruned != e.PartitionsTotal {
 		t.Errorf("scanned %d + pruned %d != total %d", e.PartitionsScanned, e.PartitionsPruned, e.PartitionsTotal)
+	}
+	// The planner decision is visible both as the explain engine field and
+	// the X-Engine header, and they agree.
+	if e.Engine != PlannerLocal && e.Engine != PlannerMapReduce {
+		t.Errorf("explain engine = %q, want local or mapreduce", e.Engine)
+	}
+	if hdr := respMiss.Header.Get("X-Engine"); hdr != e.Engine {
+		t.Errorf("X-Engine %q != explain engine %q", hdr, e.Engine)
+	}
+	if e.Engine == PlannerLocal && e.SFilterHits != e.PartitionsScanned {
+		t.Errorf("local engine: sfilter_hits %d != partitions_scanned %d", e.SFilterHits, e.PartitionsScanned)
 	}
 
 	// The cache stores the plain body: a plain request after the explained
@@ -188,6 +205,7 @@ func TestExplainReport(t *testing.T) {
 		Count   int `json:"count"`
 		Explain struct {
 			Cache           string `json:"cache"`
+			Engine          string `json:"engine"`
 			PartitionsTotal int    `json:"partitions_total"`
 		} `json:"explain"`
 	}
@@ -196,6 +214,9 @@ func TestExplainReport(t *testing.T) {
 	}
 	if hitExplain.Explain.Cache != "hit" || hitExplain.Explain.PartitionsTotal != 0 {
 		t.Errorf("explained hit report = %+v, want cache=hit with zero job stats", hitExplain.Explain)
+	}
+	if hitExplain.Explain.Engine != "cache" || respHit.Header.Get("X-Engine") != "cache" {
+		t.Errorf("explained hit engine = %q header %q, want cache", hitExplain.Explain.Engine, respHit.Header.Get("X-Engine"))
 	}
 	if hitExplain.Count != withExplain.Count {
 		t.Errorf("hit count %d != miss count %d", hitExplain.Count, withExplain.Count)
@@ -224,7 +245,8 @@ func TestMetricsPrometheus(t *testing.T) {
 	for _, q := range []string{
 		"/rangequery?file=pts1&rect=1000,1000,6000,6000",
 		"/rangequery?file=pts1&rect=1000,1000,6000,6000", // cache hit
-		"/knn?file=pts2&point=5000,5000&k=5",
+		"/rangequery?file=pts1&rect=0,0,10000,10000",     // full scan → mapreduce
+		"/knn?file=pts2&point=5000,5000&k=5",             // selective → local
 	} {
 		if resp, body := getWithTrace(t, ts, q); resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s: status %d body %s", q, resp.StatusCode, body)
@@ -273,6 +295,20 @@ func TestMetricsPrometheus(t *testing.T) {
 	}
 	if _, ok := pm.Get("shadoop_cluster_slots_cap", nil); !ok {
 		t.Errorf("missing shadoop_cluster_slots_cap")
+	}
+	// Memory-tier gauges and planner counters: the selective kNN above ran
+	// locally (pinning partitions), the full scan ran as a job.
+	if v, ok := pm.Get("shadoop_serve_memtier_pinned_partitions", nil); !ok || v < 1 {
+		t.Errorf("shadoop_serve_memtier_pinned_partitions = %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, ok := pm.Get("shadoop_serve_memtier_bytes", nil); !ok || v <= 0 {
+		t.Errorf("shadoop_serve_memtier_bytes = %v (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := pm.Get("shadoop_serve_planner_local_total", nil); !ok || v < 1 {
+		t.Errorf("shadoop_serve_planner_local_total = %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, ok := pm.Get("shadoop_serve_planner_mapreduce_total", nil); !ok || v < 1 {
+		t.Errorf("shadoop_serve_planner_mapreduce_total = %v (ok=%v), want >= 1", v, ok)
 	}
 	// Hot-partition telemetry rides the same exposition.
 	foundScan := false

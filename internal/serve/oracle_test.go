@@ -1,4 +1,4 @@
-package serve
+package serve_test
 
 import (
 	"bytes"
@@ -7,10 +7,46 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"io"
+	"net/http"
+
 	"spatialhadoop/internal/geom"
 	"spatialhadoop/internal/proptest"
+	"spatialhadoop/internal/serve"
 	"spatialhadoop/internal/sindex"
 )
+
+// rangeBody / knnBody mirror the serving layer's JSON response shapes
+// (this file lives in the external test package, so it decodes them from
+// the wire format like any client would).
+type rangeBody struct {
+	Points []struct {
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	} `json:"points"`
+}
+
+type knnBody struct {
+	Neighbors []struct {
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	} `json:"neighbors"`
+}
+
+// fetch issues one GET and returns status, body and the X-Cache header.
+func fetch(t *testing.T, client *http.Client, url string) (int, []byte, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("X-Cache")
+}
 
 // TestServeCacheHitMissByteIdentical pins the serving layer's caching
 // contract with the property-testing harness instead of bespoke
@@ -57,7 +93,7 @@ func TestServeCacheHitMissByteIdentical(t *testing.T) {
 
 	// Cache-disabled oracle server first (serially, then closed, so its
 	// temp outputs never collide with the caching server's).
-	usrv := New(sys, Config{CacheSize: -1})
+	usrv := serve.New(sys, serve.Config{CacheSize: -1})
 	uts := httptest.NewServer(usrv.Handler())
 	uncached := make(map[string][]byte, len(urls))
 	for _, u := range urls {
@@ -72,7 +108,7 @@ func TestServeCacheHitMissByteIdentical(t *testing.T) {
 	}
 	uts.Close()
 
-	srv := New(sys, Config{})
+	srv := serve.New(sys, serve.Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	for _, u := range urls {
@@ -100,7 +136,7 @@ func TestServeCacheHitMissByteIdentical(t *testing.T) {
 	for file := range files {
 		for _, q := range proptest.GenQueryRects(51) {
 			u := fmt.Sprintf("/rangequery?file=%s&rect=%g,%g,%g,%g", file, q.MinX, q.MinY, q.MaxX, q.MaxY)
-			var resp rangeResponse
+			var resp rangeBody
 			if err := json.Unmarshal(uncached[u], &resp); err != nil {
 				t.Fatalf("%s: %v", u, err)
 			}
@@ -118,7 +154,7 @@ func TestServeCacheHitMissByteIdentical(t *testing.T) {
 				continue
 			}
 			u := fmt.Sprintf("/knn?file=%s&point=%g,%g&k=%d", file, kq.Q.X, kq.Q.Y, kq.K)
-			var resp knnResponse
+			var resp knnBody
 			if err := json.Unmarshal(uncached[u], &resp); err != nil {
 				t.Fatalf("%s: %v", u, err)
 			}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/ops"
+)
+
+// Planner modes for Config.Planner.
+const (
+	// PlannerAuto routes each query from index statistics and estimated
+	// selectivity: selective queries over few partitions run in-process
+	// against the memory tier, everything else runs as a MapReduce job.
+	PlannerAuto = "auto"
+	// PlannerLocal forces the in-memory engine (MapReduce still serves
+	// heap files and the operations with no local engine).
+	PlannerLocal = "local"
+	// PlannerMapReduce forces the MapReduce engine.
+	PlannerMapReduce = "mapreduce"
+)
+
+// ValidPlanner reports whether mode names a planner mode ("" = auto).
+func ValidPlanner(mode string) bool {
+	switch mode {
+	case "", PlannerAuto, PlannerLocal, PlannerMapReduce:
+		return true
+	}
+	return false
+}
+
+// Planner auto-mode thresholds: a range query runs locally when, after
+// cover + bitmap pruning, at most plannerLocalMaxParts partitions remain
+// and the estimated records touched (per-partition record count × bitmap
+// selectivity) stay under plannerLocalMaxRecords — i.e. when scheduling a
+// job would cost more than the scan itself. Already-pinned candidate sets
+// waive the record bound: the data is memory-resident either way.
+const (
+	plannerLocalMaxParts   = 8
+	plannerLocalMaxRecords = 8192
+)
+
+// execMeta describes how one response body was built, for the X-Engine
+// header, the explain report, and the planner counters. Exactly one of
+// rep/local is set.
+type execMeta struct {
+	engine string // "local" or "mapreduce"
+	rep    *mapreduce.Report
+	local  *ops.LocalStats
+}
+
+// planRange decides the engine for a range query. A non-nil source means
+// local execution through it; nil means MapReduce.
+func (s *Server) planRange(file string, epoch int64, rect geom.Rect) *tierSource {
+	src, f := s.localSource(file, epoch)
+	if src == nil {
+		return nil
+	}
+	if s.cfg.Planner == PlannerLocal {
+		return src
+	}
+	candidates, pinned := 0, 0
+	estRecords := 0.0
+	for _, sp := range f.Splits() {
+		if !sp.Cover().Intersects(rect) || !src.sf.MayIntersect(sp.Partition, rect) {
+			continue
+		}
+		candidates++
+		estRecords += float64(sp.NumRecords()) * src.sf.EstimateFraction(sp.Partition, rect)
+		if s.mt.Pinned(file, epoch, sp.Partition) {
+			pinned++
+		}
+	}
+	if candidates > plannerLocalMaxParts {
+		return nil
+	}
+	if estRecords <= plannerLocalMaxRecords || pinned == candidates {
+		return src
+	}
+	return nil
+}
+
+// planKNN decides the engine for a kNN query. The kNN protocol is
+// selective by construction (round one touches a single partition, round
+// two only the correctness circle), so any indexed file runs locally when
+// the tier is on.
+func (s *Server) planKNN(file string, epoch int64) *tierSource {
+	src, _ := s.localSource(file, epoch)
+	return src
+}
+
+// localSource returns the memory-tier source for the file generation, or
+// (nil, nil) when local execution is impossible (tier disabled, planner
+// forced to MapReduce, file missing or unindexed).
+func (s *Server) localSource(file string, epoch int64) (*tierSource, *core.IndexedFile) {
+	if s.mt == nil || s.cfg.Planner == PlannerMapReduce {
+		return nil, nil
+	}
+	f, err := s.sys.Open(file)
+	if err != nil || f.Index == nil {
+		return nil, nil
+	}
+	return s.mt.Source(file, epoch, f.Index), f
+}

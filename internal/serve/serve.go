@@ -11,8 +11,9 @@ import (
 	"net"
 	"net/http"
 	"runtime"
-	"sort"
+	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,14 @@ type Config struct {
 	// ID, method, op, status, latency, cache state, bytes). Writes are
 	// serialized; rotation is the caller's concern.
 	AccessLog io.Writer
+	// MemTierBytes budgets the in-memory partition tier backing local
+	// query execution (default 64 MiB; negative disables the tier, zero
+	// means default).
+	MemTierBytes int64
+	// Planner selects the query engine per request: PlannerAuto (default),
+	// PlannerLocal, or PlannerMapReduce. Unrecognized values fall back to
+	// auto; the CLI validates before it gets here.
+	Planner string
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +75,12 @@ func (c Config) withDefaults() Config {
 	if c.TraceRingSize <= 0 {
 		c.TraceRingSize = 256
 	}
+	if c.MemTierBytes == 0 {
+		c.MemTierBytes = 64 << 20
+	}
+	if !ValidPlanner(c.Planner) || c.Planner == "" {
+		c.Planner = PlannerAuto
+	}
 	return c
 }
 
@@ -77,6 +92,8 @@ type Server struct {
 	sys      *core.System
 	cfg      Config
 	cache    *Cache
+	mt       *MemTier // nil when the memory tier is disabled
+	flight   flightGroup
 	reg      *obs.Registry
 	ring     *obs.TraceRing
 	hs       *http.Server
@@ -107,6 +124,16 @@ func New(sys *core.System, cfg Config) *Server {
 		reg:   reg,
 		ring:  obs.NewTraceRing(cfg.TraceRingSize),
 		wins:  make(map[string]*obs.SampleWindow),
+	}
+	if cfg.MemTierBytes > 0 {
+		s.mt = NewMemTier(cfg.MemTierBytes, reg)
+		// Eager invalidation: any DFS mutation of a file drops its pinned
+		// partitions immediately. Epoch-keyed lookups are the correctness
+		// backstop (a stale pin can never serve a fresh epoch); the hook
+		// just releases the memory at mutation time. Last server on a
+		// shared system wins the single hook slot, which is fine for the
+		// same reason.
+		sys.FS().SetEpochHook(func(name string, _ int64) { s.mt.Invalidate(name) })
 	}
 	sys.Cluster().SetAdmission(mapreduce.AdmissionConfig{
 		MaxInFlight: cfg.MaxInFlight,
@@ -329,13 +356,20 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 // explainJSON is the execution report `?explain=1` inlines into JSON
-// responses. Job fields are zero on cache hits (no job ran).
+// responses. Engine names who built the body ("local", "mapreduce", or
+// "cache" when no engine ran); execution fields are zero on cache hits.
+// For the local engine, partitions_scanned counts the partitions actually
+// consulted and the sfilter fields report bitmap-filter pruning; the
+// MapReduce job fields (shuffle, retries, phase times) stay zero.
 type explainJSON struct {
 	TraceID           string `json:"trace_id"`
 	Cache             string `json:"cache"`
+	Engine            string `json:"engine"`
 	PartitionsTotal   int    `json:"partitions_total"`
 	PartitionsScanned int    `json:"partitions_scanned"`
 	PartitionsPruned  int    `json:"partitions_pruned"`
+	SFilterHits       int    `json:"sfilter_hits"`
+	SFilterSkips      int    `json:"sfilter_skips"`
 	ShuffleBytes      int64  `json:"shuffle_bytes"`
 	Retries           int64  `json:"retries"`
 	Speculative       int64  `json:"speculative"`
@@ -345,8 +379,21 @@ type explainJSON struct {
 	CommitUS          int64  `json:"commit_us"`
 }
 
-func buildExplain(traceID, cache string, rep *mapreduce.Report) explainJSON {
-	e := explainJSON{TraceID: traceID, Cache: cache}
+func buildExplain(traceID, cache string, meta *execMeta) explainJSON {
+	e := explainJSON{TraceID: traceID, Cache: cache, Engine: "cache"}
+	if meta == nil {
+		return e
+	}
+	e.Engine = meta.engine
+	if st := meta.local; st != nil {
+		e.PartitionsTotal = st.PartitionsTotal
+		e.PartitionsScanned = st.PartitionsConsulted
+		e.PartitionsPruned = st.PartitionsPruned
+		e.SFilterHits = st.SFilterHits
+		e.SFilterSkips = st.SFilterSkips
+		return e
+	}
+	rep := meta.rep
 	if rep == nil {
 		return e
 	}
@@ -392,12 +439,16 @@ func spliceExplain(body []byte, e explainJSON) []byte {
 }
 
 // respond serves from the cache when possible, otherwise builds the body
-// under an "exec" span, caches it and writes it. Cache state travels in
-// the X-Cache header so hit and miss bodies stay byte-identical (the
-// concurrency suite compares bodies against serial oracles); `?explain=1`
-// splices the execution report into JSON bodies after the cache, so it
-// never poisons that identity.
-func (s *Server) respond(w http.ResponseWriter, r *http.Request, key, contentType string, build func(ctx context.Context) ([]byte, *mapreduce.Report, error)) error {
+// under an "exec" span — coalescing identical in-flight keys so a
+// thundering herd on one cold key runs one build — caches it and writes
+// it. Cache state travels in the X-Cache header ("hit", "miss", or
+// "coalesced" for requests that drafted behind another request's build)
+// and the engine that built the body in X-Engine, so hit, miss and
+// coalesced bodies stay byte-identical (the concurrency suite compares
+// bodies against serial oracles); `?explain=1` splices the execution
+// report into JSON bodies after the cache, so it never poisons that
+// identity.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, key, contentType string, build func(ctx context.Context) ([]byte, *execMeta, error)) error {
 	ctx := r.Context()
 	explain := r.URL.Query().Get("explain") == "1" && contentType == "application/json"
 	traceID := w.Header().Get("X-Trace-Id")
@@ -411,27 +462,48 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, key, contentTyp
 	}
 	probe.End()
 
-	var rep *mapreduce.Report
+	var meta *execMeta
+	coalesced := false
 	if !hit {
 		execCtx, exec := obs.StartSpan(ctx, "exec")
 		var err error
-		body, rep, err = build(execCtx)
+		body, meta, coalesced, err = s.flight.do(execCtx, key, func() ([]byte, *execMeta, error) {
+			b, m, err := build(execCtx)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.cache.Put(key, b)
+			return b, m, nil
+		})
 		exec.End()
 		if err != nil {
 			return err
 		}
-		s.cache.Put(key, body)
+		if coalesced {
+			s.reg.Inc("serve.flight.coalesced", 1)
+		}
 	}
 
 	cacheState := "miss"
-	if hit {
+	switch {
+	case hit:
 		cacheState = "hit"
+	case coalesced:
+		cacheState = "coalesced"
+	}
+	engine := "cache"
+	if meta != nil {
+		engine = meta.engine
 	}
 	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("X-Cache", cacheState)
+	w.Header().Set("X-Engine", engine)
 	if explain {
-		body = spliceExplain(body, buildExplain(traceID, cacheState, rep))
+		body = spliceExplain(body, buildExplain(traceID, cacheState, meta))
 	}
+	// Declaring the length keeps net/http from chunking large bodies,
+	// which halves the write syscalls and lets clients pre-size reads.
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	_, enc := obs.StartSpan(ctx, "encode")
 	enc.SetAttr("bytes", strconv.Itoa(len(body)))
 	_, err := w.Write(body)
@@ -527,26 +599,43 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	canon := canonicalRect(rect)
-	key := fmt.Sprintf("range|%s@%d|%s", file, s.sys.FS().FileEpoch(file), canon)
-	return s.respond(w, r, key, "application/json", func(ctx context.Context) ([]byte, *mapreduce.Report, error) {
-		out := s.tempOut(file)
-		defer s.sys.FS().Delete(out)
-		pts, rep, err := ops.RangeQueryPointsCtx(ctx, s.sys, file, rect, out)
-		if err != nil {
-			return nil, nil, err
-		}
-		sort.Slice(pts, func(i, j int) bool {
-			if pts[i].X != pts[j].X {
-				return pts[i].X < pts[j].X
+	epoch := s.sys.FS().FileEpoch(file)
+	key := fmt.Sprintf("range|%s@%d|%s", file, epoch, canon)
+	return s.respond(w, r, key, "application/json", func(ctx context.Context) ([]byte, *execMeta, error) {
+		var (
+			pts  []geom.Point
+			meta *execMeta
+		)
+		if src := s.planRange(file, epoch, rect); src != nil {
+			matches, stats, err := ops.LocalRangeMatches(s.sys, file, src, rect)
+			if err != nil {
+				return nil, nil, err
 			}
-			return pts[i].Y < pts[j].Y
-		})
-		resp := rangeResponse{File: file, Rect: canon, Count: len(pts), Points: make([]pointJSON, len(pts))}
-		for i, p := range pts {
-			resp.Points[i] = pointJSON{X: p.X, Y: p.Y}
+			s.reg.Inc("serve.planner.local", 1)
+			meta = &execMeta{engine: PlannerLocal, local: stats}
+			// Fast path: merge the partitions' sorted streams, copying
+			// pre-encoded fragments — no global sort, no float formatting.
+			if body, ok := encodeRangeBodyMatches(file, canon, matches); ok {
+				return body, meta, nil
+			}
+			for _, m := range matches {
+				for _, id := range m.IDs {
+					pts = append(pts, m.Part.Pts[id])
+				}
+			}
+		} else {
+			out := s.tempOut(file)
+			defer s.sys.FS().Delete(out)
+			mpts, rep, err := ops.RangeQueryPointsCtx(ctx, s.sys, file, rect, out)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.reg.Inc("serve.planner.mapreduce", 1)
+			pts, meta = mpts, &execMeta{engine: PlannerMapReduce, rep: rep}
 		}
-		body, err := marshalBody(resp)
-		return body, rep, err
+		geom.SortPointsXY(pts)
+		body, err := encodeRangeBody(file, canon, pts)
+		return body, meta, err
 	})
 }
 
@@ -578,16 +667,32 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 		return badRequest("k wants a positive integer, got %q", r.URL.Query().Get("k"))
 	}
 	canonPt := fnum(q.X) + "," + fnum(q.Y)
-	key := fmt.Sprintf("knn|%s@%d|%s|%d", file, s.sys.FS().FileEpoch(file), canonPt, k)
-	return s.respond(w, r, key, "application/json", func(ctx context.Context) ([]byte, *mapreduce.Report, error) {
-		prefix := s.tempOut(file)
-		defer func() {
-			s.sys.FS().Delete(prefix + ".r1")
-			s.sys.FS().Delete(prefix + ".r2")
-		}()
-		pts, rep, err := ops.KNNCtx(ctx, s.sys, file, q, k, prefix)
-		if err != nil {
-			return nil, nil, err
+	epoch := s.sys.FS().FileEpoch(file)
+	key := fmt.Sprintf("knn|%s@%d|%s|%d", file, epoch, canonPt, k)
+	return s.respond(w, r, key, "application/json", func(ctx context.Context) ([]byte, *execMeta, error) {
+		var (
+			pts  []geom.Point
+			meta *execMeta
+		)
+		if src := s.planKNN(file, epoch); src != nil {
+			lpts, stats, err := ops.LocalKNNPoints(s.sys, file, src, q, k)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.reg.Inc("serve.planner.local", 1)
+			pts, meta = lpts, &execMeta{engine: PlannerLocal, local: stats}
+		} else {
+			prefix := s.tempOut(file)
+			defer func() {
+				s.sys.FS().Delete(prefix + ".r1")
+				s.sys.FS().Delete(prefix + ".r2")
+			}()
+			mpts, rep, err := ops.KNNCtx(ctx, s.sys, file, q, k, prefix)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.reg.Inc("serve.planner.mapreduce", 1)
+			pts, meta = mpts, &execMeta{engine: PlannerMapReduce, rep: rep}
 		}
 		nbs := make([]neighborJSON, len(pts))
 		for i, p := range pts {
@@ -595,18 +700,25 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 		}
 		// (dist, x, y) order makes distance ties deterministic, which the
 		// byte-level oracle comparison requires.
-		sort.Slice(nbs, func(i, j int) bool {
-			if nbs[i].Dist != nbs[j].Dist {
-				return nbs[i].Dist < nbs[j].Dist
+		slices.SortFunc(nbs, func(a, b neighborJSON) int {
+			switch {
+			case a.Dist < b.Dist:
+				return -1
+			case a.Dist > b.Dist:
+				return 1
+			case a.X < b.X:
+				return -1
+			case a.X > b.X:
+				return 1
+			case a.Y < b.Y:
+				return -1
+			case a.Y > b.Y:
+				return 1
 			}
-			if nbs[i].X != nbs[j].X {
-				return nbs[i].X < nbs[j].X
-			}
-			return nbs[i].Y < nbs[j].Y
+			return 0
 		})
-		resp := knnResponse{File: file, Point: canonPt, K: k, Count: len(nbs), Neighbors: nbs}
-		body, err := marshalBody(resp)
-		return body, rep, err
+		body, err := encodeKNNBody(file, canonPt, k, nbs)
+		return body, meta, err
 	})
 }
 
@@ -630,25 +742,25 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) error {
 	}
 	// Both inputs' epochs key the entry: mutating either side invalidates.
 	key := fmt.Sprintf("join|%s@%d|%s@%d", left, s.sys.FS().FileEpoch(left), right, s.sys.FS().FileEpoch(right))
-	return s.respond(w, r, key, "application/json", func(ctx context.Context) ([]byte, *mapreduce.Report, error) {
+	return s.respond(w, r, key, "application/json", func(ctx context.Context) ([]byte, *execMeta, error) {
 		out := s.tempOut(left)
 		defer s.sys.FS().Delete(out)
 		pairs, rep, err := ops.SpatialJoinIndexedCtx(ctx, s.sys, left, right, out)
 		if err != nil {
 			return nil, nil, err
 		}
-		sort.Slice(pairs, func(i, j int) bool {
-			if pairs[i].Left != pairs[j].Left {
-				return pairs[i].Left < pairs[j].Left
+		slices.SortFunc(pairs, func(a, b ops.JoinPair) int {
+			if c := strings.Compare(a.Left, b.Left); c != 0 {
+				return c
 			}
-			return pairs[i].Right < pairs[j].Right
+			return strings.Compare(a.Right, b.Right)
 		})
 		resp := joinResponse{Left: left, Right: right, Count: len(pairs), Pairs: make([]joinPairJSON, len(pairs))}
 		for i, p := range pairs {
 			resp.Pairs[i] = joinPairJSON{Left: p.Left, Right: p.Right}
 		}
 		body, err := marshalBody(resp)
-		return body, rep, err
+		return body, &execMeta{engine: PlannerMapReduce, rep: rep}, err
 	})
 }
 
@@ -673,7 +785,7 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) error {
 		height = n
 	}
 	key := fmt.Sprintf("plot|%s@%d|%dx%d", file, s.sys.FS().FileEpoch(file), width, height)
-	return s.respond(w, r, key, "image/png", func(ctx context.Context) ([]byte, *mapreduce.Report, error) {
+	return s.respond(w, r, key, "image/png", func(ctx context.Context) ([]byte, *execMeta, error) {
 		out := s.tempOut(file)
 		defer s.sys.FS().Delete(out)
 		img, rep, err := ops.PlotCtx(ctx, s.sys, file, ops.PlotConfig{Width: width, Height: height, Out: out})
@@ -681,7 +793,7 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) error {
 			return nil, nil, err
 		}
 		body, err := ops.EncodePlotPNG(img)
-		return body, rep, err
+		return body, &execMeta{engine: PlannerMapReduce, rep: rep}, err
 	})
 }
 
@@ -701,6 +813,13 @@ func (s *Server) refreshGauges() {
 	pool := s.sys.Cluster().Slots()
 	s.reg.SetGauge("serve.jobs.inflight", float64(inFlight))
 	s.reg.SetGauge("serve.jobs.queued", float64(queued))
+	var pinned int
+	var pinnedBytes int64
+	if s.mt != nil {
+		pinned, pinnedBytes = s.mt.Stats()
+	}
+	s.reg.SetGauge("serve.memtier.pinned_partitions", float64(pinned))
+	s.reg.SetGauge("serve.memtier.bytes", float64(pinnedBytes))
 	s.reg.SetGauge("cluster.slots.cap", float64(pool.Cap()))
 	s.reg.SetGauge("cluster.slots.inuse", float64(pool.InUse()))
 	s.reg.SetGauge("cluster.slots.highwater", float64(pool.HighWater()))

@@ -94,8 +94,12 @@ func TestServeConcurrentOracle(t *testing.T) {
 	sys := newServeSystem(t)
 	queries := serveQueries()
 
-	// Phase 1: serial oracles through an uncached server, one at a time.
-	oracleSrv := New(sys, Config{CacheSize: -1, MaxInFlight: 1, QueueDepth: 1})
+	// Phase 1: serial oracles through an uncached server, one at a time —
+	// memory tier off and planner forced to MapReduce, so the concurrent
+	// servers below (default tier + auto planner) are checked across
+	// engines: any local-path answer must be byte-identical to the
+	// MapReduce oracle.
+	oracleSrv := New(sys, Config{CacheSize: -1, MaxInFlight: 1, QueueDepth: 1, MemTierBytes: -1, Planner: PlannerMapReduce})
 	ots := httptest.NewServer(oracleSrv.Handler())
 	oracle := make(map[string][]byte, len(queries))
 	for _, q := range queries {

@@ -1,0 +1,191 @@
+package sindex
+
+import (
+	"sync"
+
+	"spatialhadoop/internal/geom"
+)
+
+// SFilter is the serving layer's spatial bitmap filter (the "sFilter" of
+// LocationSpark): one compact occupancy bitmap per partition over a fixed
+// res×res grid of the indexed space, consulted before any block or pinned
+// R-tree is touched. A probe can return a false positive (the partition is
+// then searched and contributes nothing) but never a false negative:
+// build and probe discretize coordinates with the same floor arithmetic,
+// so any cell holding a record sets every bit a query covering that record
+// probes.
+//
+// A partition's bitmap starts conservative — the grid cells covered by the
+// partition's minimal content MBR, available from the master index alone —
+// and is refined to the exact occupancy of the decoded points when the
+// partition is pinned into the memory tier.
+type SFilter struct {
+	space  geom.Rect
+	res    int
+	cw, ch float64
+
+	mu    sync.RWMutex
+	parts map[string]*sfilterBits
+}
+
+// sfilterBits is one partition's occupancy bitmap.
+type sfilterBits struct {
+	words []uint64
+	set   int  // population count, maintained on Set
+	exact bool // true once refined from decoded records
+}
+
+// DefaultSFilterRes is the per-axis bitmap resolution: 64×64 bits = 512
+// bytes per partition.
+const DefaultSFilterRes = 64
+
+// NewSFilter builds the filter for a global index: every cell with content
+// gets a conservative bitmap covering its content MBR. res <= 0 selects
+// DefaultSFilterRes.
+func NewSFilter(gi *GlobalIndex, res int) *SFilter {
+	if res <= 0 {
+		res = DefaultSFilterRes
+	}
+	f := &SFilter{
+		space: gi.Space,
+		res:   res,
+		cw:    gi.Space.Width() / float64(res),
+		ch:    gi.Space.Height() / float64(res),
+		parts: make(map[string]*sfilterBits, len(gi.Cells)),
+	}
+	for _, c := range gi.Cells {
+		if c.Content.IsEmpty() {
+			continue
+		}
+		b := &sfilterBits{words: make([]uint64, (res*res+63)/64)}
+		f.setRect(b, c.Content)
+		f.parts[c.Key()] = b
+	}
+	return f
+}
+
+// col and row clamp a coordinate into the grid. The same floor expression
+// serves build and probe, which is what makes pruning sound: floor of a
+// monotone function is monotone, so a point's bit always lies inside the
+// bit range of any rectangle containing the point.
+func (f *SFilter) col(x float64) int { return clampIdx((x-f.space.MinX)/f.cw, f.res) }
+func (f *SFilter) row(y float64) int { return clampIdx((y-f.space.MinY)/f.ch, f.res) }
+
+func clampIdx(v float64, res int) int {
+	i := int(v)
+	if i < 0 {
+		return 0
+	}
+	if i >= res {
+		return res - 1
+	}
+	return i
+}
+
+func (b *sfilterBits) setBit(i int) {
+	w, m := i/64, uint64(1)<<(i%64)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.set++
+	}
+}
+
+func (b *sfilterBits) bit(i int) bool { return b.words[i/64]&(uint64(1)<<(i%64)) != 0 }
+
+// setRect sets every bit in the grid range covered by r.
+func (f *SFilter) setRect(b *sfilterBits, r geom.Rect) {
+	c0, c1 := f.col(r.MinX), f.col(r.MaxX)
+	r0, r1 := f.row(r.MinY), f.row(r.MaxY)
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			b.setBit(row*f.res + col)
+		}
+	}
+}
+
+// Refine replaces a partition's conservative bitmap with the exact
+// occupancy of its decoded points. The memory tier calls this when it pins
+// a partition, so repeated queries prune with record-level precision.
+func (f *SFilter) Refine(partition string, pts []geom.Point) {
+	b := &sfilterBits{words: make([]uint64, (f.res*f.res+63)/64), exact: true}
+	for _, p := range pts {
+		b.setBit(f.row(p.Y)*f.res + f.col(p.X))
+	}
+	f.mu.Lock()
+	f.parts[partition] = b
+	f.mu.Unlock()
+}
+
+// MayIntersect reports whether the partition may hold a record inside q.
+// False means certainly empty (sound to skip the partition); true means
+// the partition must be searched. Unknown partitions answer true.
+func (f *SFilter) MayIntersect(partition string, q geom.Rect) bool {
+	f.mu.RLock()
+	b, ok := f.parts[partition]
+	f.mu.RUnlock()
+	if !ok {
+		return true
+	}
+	if !q.Intersects(f.space) {
+		// Records live strictly inside the (buffered) index space.
+		return false
+	}
+	c0, c1 := f.col(q.MinX), f.col(q.MaxX)
+	r0, r1 := f.row(q.MinY), f.row(q.MaxY)
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			if b.bit(row*f.res + col) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EstimateFraction estimates the fraction of the partition's records that
+// fall inside q as (occupied bits within q's grid range) / (occupied bits
+// total). It is the planner's selectivity signal: multiplied by the
+// partition's record count it approximates the records a local search
+// would touch. Unknown or empty partitions answer 1 (no information).
+func (f *SFilter) EstimateFraction(partition string, q geom.Rect) float64 {
+	f.mu.RLock()
+	b, ok := f.parts[partition]
+	f.mu.RUnlock()
+	if !ok || b.set == 0 {
+		return 1
+	}
+	if !q.Intersects(f.space) {
+		return 0
+	}
+	c0, c1 := f.col(q.MinX), f.col(q.MaxX)
+	r0, r1 := f.row(q.MinY), f.row(q.MaxY)
+	in := 0
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			if b.bit(row*f.res + col) {
+				in++
+			}
+		}
+	}
+	return float64(in) / float64(b.set)
+}
+
+// Exact reports whether the partition's bitmap has been refined from
+// decoded records.
+func (f *SFilter) Exact(partition string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	b, ok := f.parts[partition]
+	return ok && b.exact
+}
+
+// Bytes returns the filter's approximate memory footprint.
+func (f *SFilter) Bytes() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var n int64
+	for _, b := range f.parts {
+		n += int64(len(b.words)) * 8
+	}
+	return n
+}
