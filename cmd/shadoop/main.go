@@ -50,13 +50,23 @@ import (
 
 func main() {
 	// Subcommand dispatch: "shadoop serve ..." starts the long-running
-	// HTTP query server; everything else is the one-shot driver.
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		if err := runServe(os.Args[2:]); err != nil {
-			fmt.Fprintln(os.Stderr, "shadoop serve:", err)
-			os.Exit(1)
+	// HTTP query server, "shadoop worker ..." a distributed-runtime worker
+	// process; everything else is the one-shot driver.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			if err := runServe(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "shadoop serve:", err)
+				os.Exit(1)
+			}
+			return
+		case "worker":
+			if err := runWorker(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "shadoop worker:", err)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 	var (
 		op        = flag.String("op", "skyline", "rangequery|knn|join|skyline|skyline-os|hull|hull-enhanced|closest|farthest|voronoi|delaunay|ann|plot|union|union-enhanced")
@@ -79,6 +89,7 @@ func main() {
 		chaosEv   = flag.String("chaos-events", "", "write the injected fault events as JSONL to this file")
 	)
 	chaosPlan := fault.PlanFlags(flag.CommandLine)
+	mf := registerMasterFlags(flag.CommandLine)
 	flag.Parse()
 
 	sys := core.New(core.Config{Workers: *workers, BlockSize: *blockSize, Seed: *seed, Fault: chaosPlan()})
@@ -86,6 +97,16 @@ func main() {
 	fatal := func(err error) {
 		fmt.Fprintln(os.Stderr, "shadoop:", err)
 		os.Exit(1)
+	}
+
+	// -master-listen turns this driver into a master: eligible jobs run on
+	// registered worker processes instead of in-process goroutines.
+	master, err := mf.start(sys)
+	if err != nil {
+		fatal(err)
+	}
+	if master != nil {
+		defer master.Stop()
 	}
 	report := func(what string, rep *mapreduce.Report, wall time.Duration) {
 		fmt.Printf("%s: %v wall; %d/%d partitions processed; counters: shuffle=%dB output=%d\n",
@@ -298,6 +319,10 @@ func main() {
 		report(fmt.Sprintf("spatial join -> %d pairs", len(pairs)), rep, time.Since(start))
 	default:
 		fatal(fmt.Errorf("unknown -op %q", *op))
+	}
+
+	if err := mf.finish(master); err != nil {
+		fatal(err)
 	}
 }
 

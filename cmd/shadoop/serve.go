@@ -56,6 +56,7 @@ func runServe(args []string) error {
 		accessLog   = fs.String("accesslog", "", "append one JSON line per request to this file (- for stdout)")
 		debugAddr   = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off when empty")
 	)
+	mf := registerMasterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,6 +65,20 @@ func runServe(args []string) error {
 	}
 
 	sys := core.New(core.Config{Workers: *workers, BlockSize: *blockSize, Seed: *seed})
+
+	// -master-listen lets the query server execute MapReduce-planned
+	// queries on registered worker processes; its shadoop_mr_* metric
+	// families surface through /metrics because the master shares the
+	// system registry.
+	master, err := mf.start(sys)
+	if err != nil {
+		return err
+	}
+	if master != nil {
+		defer master.Stop()
+		defer mf.finish(master)
+	}
+
 	d, err := datagen.ParseDistribution(*dist)
 	if err != nil {
 		return err

@@ -19,6 +19,12 @@
 // Profiles open with `go tool pprof`; traces with chrome://tracing after
 // conversion, or directly with any JSONL reader.
 //
+// Chaos: every experiment accepts the shared seeded fault plan flags
+// (-chaos-seed, -chaos-map-fail, -chaos-corrupt, -chaos-straggler, and
+// the worker-kill family -chaos-worker-kill / -chaos-kill-phase /
+// -chaos-kill-holder / -chaos-kill-budget) and must produce the same
+// tables as the fault-free run; only timings move.
+//
 // Benchmark baseline:
 //
 //	-benchjson BENCH_hotpath.json   run the hot-path suite (decode cache,

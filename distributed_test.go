@@ -1,0 +1,326 @@
+// Distributed end-to-end tests with real worker processes: the test
+// binary re-executes itself as a worker (SHADOOP_WORKER_MAIN=1), so the
+// master/worker runtime is exercised across genuine process boundaries —
+// RPC over real sockets, spills on a real filesystem, and SIGKILL
+// delivering real process death. The acceptance contract: a range query
+// and an indexed spatial join on >=2 worker processes are byte-identical
+// to the in-process run, and the job completes when one worker is
+// SIGKILLed mid-job, with the re-issue visible in the trace and the
+// master's fault log.
+package spatialhadoop_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/fault"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/obs"
+	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/sindex"
+	"spatialhadoop/internal/worker"
+)
+
+// TestMain reroutes the re-executed test binary into worker mode. The
+// ops package is imported above, so the worker process has the job kinds
+// (range-points, knn, spatial-join) registered.
+func TestMain(m *testing.M) {
+	if os.Getenv("SHADOOP_WORKER_MAIN") == "1" {
+		w, err := worker.Start(worker.Config{
+			Master: os.Getenv("SHADOOP_MASTER_ADDR"),
+			Dir:    os.Getenv("SHADOOP_WORKER_DIR"),
+			Tasks:  2,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		_ = w
+		select {} // run until the parent kills us
+	}
+	os.Exit(m.Run())
+}
+
+// workerProc is one spawned worker process; exited closes when it dies.
+type workerProc struct {
+	cmd    *exec.Cmd
+	exited chan struct{}
+}
+
+// spawnWorkerProcess re-executes the test binary as a worker process.
+func spawnWorkerProcess(t *testing.T, masterAddr string) *workerProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"SHADOOP_WORKER_MAIN=1",
+		"SHADOOP_MASTER_ADDR="+masterAddr,
+		"SHADOOP_WORKER_DIR="+t.TempDir(),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &workerProc{cmd: cmd, exited: make(chan struct{})}
+	go func() {
+		cmd.Wait()
+		close(p.exited)
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-p.exited
+	})
+	return p
+}
+
+// dead reports whether the process has exited, within a grace period.
+func (p *workerProc) dead(grace time.Duration) bool {
+	select {
+	case <-p.exited:
+		return true
+	case <-time.After(grace):
+		return false
+	}
+}
+
+func waitLive(t *testing.T, m *mapreduce.Master, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.LiveWorkers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d workers registered in time", m.LiveWorkers(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// distCorpus loads the same dataset into a system: an STR-indexed points
+// file and two indexed region files for the join.
+func distCorpus(t *testing.T, sys *core.System) {
+	t.Helper()
+	area := geom.NewRect(0, 0, 20_000, 20_000)
+	pts := datagen.Points(datagen.Clustered, 4000, area, 71)
+	if _, err := sys.LoadPoints("pts", pts, sindex.STR); err != nil {
+		t.Fatal(err)
+	}
+	toRegions := func(pgs []geom.Polygon) []geom.Region {
+		out := make([]geom.Region, len(pgs))
+		for i, pg := range pgs {
+			out[i] = geom.RegionOf(pg)
+		}
+		return out
+	}
+	if _, err := sys.LoadRegions("a", toRegions(datagen.Tessellation(6, 6, area, 3)), sindex.STR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.LoadRegions("b", toRegions(datagen.Tessellation(5, 5, area, 4)), sindex.STR); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readOutput(t *testing.T, sys *core.System, rep *mapreduce.Report) []string {
+	t.Helper()
+	out, err := sys.FS().ReadAll(rep.OutputFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func requireIdentical(t *testing.T, got, want []string, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records distributed vs %d in-process", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: record %d diverged:\n distributed: %q\n in-process:  %q", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDistributedRealProcesses is the acceptance run: range query and
+// indexed join on two real worker processes, byte-identical to the
+// in-process execution of the same system configuration.
+func TestDistributedRealProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process e2e is not -short")
+	}
+	newSys := func() *core.System {
+		return core.New(core.Config{Workers: 6, BlockSize: 8 << 10, Seed: 1})
+	}
+
+	// In-process oracle.
+	ref := newSys()
+	distCorpus(t, ref)
+	rect := geom.NewRect(2_000, 2_000, 16_000, 16_000)
+	_, rangeRep, err := ops.RangeQueryPoints(ref, "pts", rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRange := readOutput(t, ref, rangeRep)
+	_, joinRep, err := ops.SpatialJoinIndexed(ref, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJoin := readOutput(t, ref, joinRep)
+	_, knnRep, err := ops.KNN(ref, "pts", geom.Pt(10_000, 10_000), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKNN := readOutput(t, ref, knnRep)
+
+	// Distributed system: master plus two real worker processes.
+	sys := newSys()
+	distCorpus(t, sys)
+	m, err := sys.Cluster().StartMaster(mapreduce.MasterOptions{
+		HeartbeatEvery: 20 * time.Millisecond,
+		Lease:          200 * time.Millisecond,
+		Metrics:        sys.Metrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	spawnWorkerProcess(t, m.Addr())
+	spawnWorkerProcess(t, m.Addr())
+	waitLive(t, m, 2)
+
+	_, rep, err := ops.RangeQueryPoints(sys, "pts", rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, readOutput(t, sys, rep), wantRange, "range query on real workers")
+
+	_, rep, err = ops.SpatialJoinIndexed(sys, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, readOutput(t, sys, rep), wantJoin, "indexed join on real workers")
+
+	_, rep, err = ops.KNN(sys, "pts", geom.Pt(10_000, 10_000), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, readOutput(t, sys, rep), wantKNN, "knn on real workers")
+
+	if got := sys.Metrics().Counter(mapreduce.MetricWorkersRegistered); got < 2 {
+		t.Fatalf("workers registered = %d, want >= 2", got)
+	}
+}
+
+// TestDistributedSIGKILLMidJob SIGKILLs one of three real worker
+// processes at the moment it is assigned a map task. The job must
+// complete with byte-identical output, the kill and the resulting worker
+// loss must be in the master's fault log, and the trace must show the
+// killed task's re-issued attempt winning.
+func TestDistributedSIGKILLMidJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process e2e is not -short")
+	}
+	newSys := func() *core.System {
+		return core.New(core.Config{Workers: 6, BlockSize: 8 << 10, Seed: 1})
+	}
+	ref := newSys()
+	distCorpus(t, ref)
+	rect := geom.NewRect(2_000, 2_000, 16_000, 16_000)
+	_, rangeRep, err := ops.RangeQueryPoints(ref, "pts", rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRange := readOutput(t, ref, rangeRep)
+
+	sys := newSys()
+	distCorpus(t, sys)
+	// Arm the real-process kill mode: the first map assignment SIGKILLs
+	// its assignee.
+	sys.Cluster().SetFault(fault.Plan{
+		Seed:            11,
+		WorkerKillRate:  1.0,
+		WorkerKillPhase: mapreduce.TaskMap,
+		KillBudget:      1,
+	})
+	pol := fault.DefaultRetryPolicy()
+	pol.MaxAttempts = 8
+	pol.BaseBackoff = time.Millisecond
+	pol.MaxBackoff = 10 * time.Millisecond
+	sys.Cluster().SetRetryPolicy(pol)
+
+	m, err := sys.Cluster().StartMaster(mapreduce.MasterOptions{
+		HeartbeatEvery: 20 * time.Millisecond,
+		Lease:          200 * time.Millisecond,
+		Metrics:        sys.Metrics(),
+		EnableKill:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	procs := []*workerProc{
+		spawnWorkerProcess(t, m.Addr()),
+		spawnWorkerProcess(t, m.Addr()),
+		spawnWorkerProcess(t, m.Addr()),
+	}
+	waitLive(t, m, 3)
+
+	_, rep, err := ops.RangeQueryPoints(sys, "pts", rect)
+	if err != nil {
+		t.Fatalf("range query with SIGKILL mid-job: %v", err)
+	}
+	requireIdentical(t, readOutput(t, sys, rep), wantRange, "range query surviving SIGKILL")
+
+	kills, losses := 0, 0
+	for _, e := range m.FaultLog().Events() {
+		switch e.Kind {
+		case "worker-kill":
+			kills++
+		case "worker-lost":
+			losses++
+		}
+	}
+	if kills != 1 {
+		t.Fatalf("fault log records %d worker-kills, want exactly 1", kills)
+	}
+	if losses == 0 {
+		t.Fatal("fault log records no worker-lost after the SIGKILL")
+	}
+	if rep.Counters[mapreduce.CounterWorkerLost] == 0 {
+		t.Fatal("no dispatch failed by worker death; the SIGKILL hit nothing in-flight")
+	}
+
+	// The re-issue is visible in the trace: the killed task's later
+	// attempt won after the first was abandoned.
+	reissued := false
+	for _, s := range rep.Trace.Spans() {
+		if s.Phase == obs.PhaseMap && s.Attempt > 0 && s.Outcome == obs.OutcomeOK {
+			reissued = true
+		}
+	}
+	if !reissued {
+		t.Fatal("trace shows no re-issued map attempt winning after the kill")
+	}
+
+	// Exactly one of the three processes actually died, and the master's
+	// pool settled on the two survivors.
+	dead := 0
+	for _, p := range procs {
+		if p.dead(500 * time.Millisecond) {
+			dead++
+		}
+	}
+	if dead != 1 {
+		t.Fatalf("%d worker processes dead, want exactly 1 (the SIGKILL victim)", dead)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.LiveWorkers() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("live workers = %d after the kill, want 2", m.LiveWorkers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,90 @@
+package dfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Intermediate-shard framing. Workers spill each map task's per-reducer
+// shard to local disk and serve it to reducers over RPC; a worker that is
+// SIGKILLed mid-write leaves a torn file behind. Every spill is therefore
+// wrapped in a self-verifying frame — magic, payload length, CRC32 (IEEE)
+// over the payload — so a torn or truncated shard is detected on read and
+// surfaces as a lost shard (triggering a map re-issue) rather than as
+// silently corrupt reduce input. The same integrity posture as block
+// checksums (checksum.go), applied to the shuffle path.
+
+// shardMagic marks the start of a sealed shard frame.
+var shardMagic = [4]byte{'S', 'H', 'R', 'D'}
+
+// shardHeaderSize is the frame overhead: magic + payload length + CRC32.
+const shardHeaderSize = 4 + 8 + 4
+
+// ErrTornShard is the sentinel wrapped by every shard-frame integrity
+// failure: bad magic, truncation, or CRC mismatch.
+var ErrTornShard = errors.New("dfs: torn shard frame")
+
+// TornShardError reports a shard frame that failed verification.
+type TornShardError struct {
+	Reason string
+}
+
+// Error renders the failure.
+func (e *TornShardError) Error() string {
+	return fmt.Sprintf("dfs: torn shard frame: %s", e.Reason)
+}
+
+// Unwrap ties the error to the ErrTornShard sentinel.
+func (e *TornShardError) Unwrap() error { return ErrTornShard }
+
+// Transient marks torn shards retryable for the scheduler: the master
+// re-runs the producing map task, so the fetch is worth re-attempting.
+func (e *TornShardError) Transient() bool { return true }
+
+// SealShard wraps a shard payload in its integrity frame.
+func SealShard(payload []byte) []byte {
+	out := make([]byte, shardHeaderSize+len(payload))
+	copy(out[:4], shardMagic[:])
+	binary.LittleEndian.PutUint64(out[4:12], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[12:16], crc32.ChecksumIEEE(payload))
+	copy(out[shardHeaderSize:], payload)
+	return out
+}
+
+// UnsealShard verifies a shard frame and returns its payload, or a
+// *TornShardError if the frame is truncated, mislabeled or corrupt.
+func UnsealShard(frame []byte) ([]byte, error) {
+	if len(frame) < shardHeaderSize {
+		return nil, &TornShardError{Reason: fmt.Sprintf("frame is %d bytes, header needs %d", len(frame), shardHeaderSize)}
+	}
+	if [4]byte(frame[:4]) != shardMagic {
+		return nil, &TornShardError{Reason: "bad magic"}
+	}
+	n := binary.LittleEndian.Uint64(frame[4:12])
+	payload := frame[shardHeaderSize:]
+	if uint64(len(payload)) != n {
+		return nil, &TornShardError{Reason: fmt.Sprintf("payload is %d bytes, header says %d", len(payload), n)}
+	}
+	want := binary.LittleEndian.Uint32(frame[12:16])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, &TornShardError{Reason: fmt.Sprintf("crc mismatch: stored %08x, read %08x", want, got)}
+	}
+	return payload, nil
+}
+
+// NewBlockFromRecords builds a sealed, checksummed block holding the given
+// records — the worker-side constructor for splits shipped over RPC. The
+// records arrive per block so a reconstructed split iterates in exactly
+// the order the in-process path would, and sealing here means the worker's
+// checksum scrub covers shipped blocks too. The block carries no ID or
+// data-node placement; it exists only for the duration of one task attempt.
+func NewBlockFromRecords(partition string, records []string) *Block {
+	b := &Block{Partition: partition, records: records}
+	for _, r := range records {
+		b.Bytes += int64(len(r)) + 1 // newline accounting, as the writer does
+	}
+	b.seal()
+	return b
+}

@@ -60,6 +60,27 @@ type Plan struct {
 	// read returns corrupted bytes (surfaced as a checksum mismatch,
 	// which is retryable: a re-read models fetching a healthy replica).
 	CorruptBlockRate float64 `json:"corrupt_block_rate,omitempty"`
+	// WorkerKillRate is the probability that handing an attempt to a
+	// remote worker SIGKILLs a live worker process at that (phase, task,
+	// attempt) decision point — the real-process chaos mode. It only takes
+	// effect on a master runtime with a kill function installed; the
+	// in-process scheduler ignores it. The kill draw uses a salted phase
+	// coordinate so it is independent of the failure/straggler draw for
+	// the same attempt.
+	WorkerKillRate float64 `json:"worker_kill_rate,omitempty"`
+	// WorkerKillPhase restricts kills to dispatches of one phase ("map"
+	// or "reduce"; empty means any) — how the chaos matrix aims a kill at
+	// "during map" versus "during reduce".
+	WorkerKillPhase string `json:"worker_kill_phase,omitempty"`
+	// WorkerKillHolder redirects a reduce-dispatch kill from the assignee
+	// to a live worker holding one of its input shards, modelling death
+	// during the shuffle fetch: the reducer survives but its source dies
+	// under it, losing the map task's intermediate output.
+	WorkerKillHolder bool `json:"worker_kill_holder,omitempty"`
+	// KillBudget caps the number of workers the plan may kill (0 = no
+	// cap). Chaos rows typically set 1: kill exactly one real process at
+	// the first seeded decision point reached.
+	KillBudget int `json:"kill_budget,omitempty"`
 
 	// FailEveryKth is the legacy counter-based mode kept for
 	// Cluster.InjectFailures: every k-th map attempt (counted across the
@@ -71,7 +92,8 @@ type Plan struct {
 // Enabled reports whether the plan injects anything at all.
 func (p Plan) Enabled() bool {
 	return p.MapFailRate > 0 || p.ReduceFailRate > 0 || p.PermanentFailRate > 0 ||
-		p.StragglerRate > 0 || p.CorruptBlockRate > 0 || p.FailEveryKth > 0
+		p.StragglerRate > 0 || p.CorruptBlockRate > 0 || p.FailEveryKth > 0 ||
+		p.WorkerKillRate > 0
 }
 
 // Kind classifies an injection decision.
@@ -114,13 +136,16 @@ type Decision struct {
 	Slowdown float64
 }
 
-// Event records one non-trivial injection decision, for the fault-event
-// JSONL log exported on chaos failures.
+// Event records one non-trivial injection decision or runtime fault, for
+// the fault-event JSONL log exported on chaos failures.
 type Event struct {
 	Phase   string `json:"phase"`
 	Task    int    `json:"task"`
 	Attempt int    `json:"attempt"`
 	Kind    string `json:"kind"`
+	// Worker identifies the worker involved in runtime fault events
+	// (worker-lost, worker-kill, reissue); 0 for injector decisions.
+	Worker int64 `json:"worker,omitempty"`
 }
 
 // Injector makes seeded injection decisions for task attempts. It is safe
@@ -132,6 +157,7 @@ type Injector struct {
 
 	mu     sync.Mutex
 	kth    int64 // legacy mode attempt counter
+	kills  int   // workers killed so far, against KillBudget
 	events []Event
 }
 
@@ -230,6 +256,32 @@ func (in *Injector) Decide(phase string, task, attempt int) Decision {
 	return d
 }
 
+// DecideKill reports whether handing this attempt to a remote worker
+// should SIGKILL that worker — the real-process chaos mode. The draw uses
+// a salted phase coordinate ("kill."+phase) so it is independent of the
+// failure/straggler draw Decide makes for the same attempt, and it honors
+// the plan's KillBudget: once the budget is spent, no further kills fire.
+// The caller records the actual kill (with the victim's identity) in its
+// own event log; DecideKill only accounts the budget.
+func (in *Injector) DecideKill(phase string, task, attempt int) bool {
+	if in == nil || in.plan.WorkerKillRate <= 0 {
+		return false
+	}
+	if in.plan.WorkerKillPhase != "" && phase != in.plan.WorkerKillPhase {
+		return false
+	}
+	if Uniform(in.plan.Seed, "kill."+phase, task, attempt) >= in.plan.WorkerKillRate {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.plan.KillBudget > 0 && in.kills >= in.plan.KillBudget {
+		return false
+	}
+	in.kills++
+	return true
+}
+
 // rateSum returns the total injection probability mass for a phase.
 func (p Plan) rateSum(phase string) float64 {
 	s := p.PermanentFailRate + p.StragglerRate
@@ -255,8 +307,42 @@ func (in *Injector) Events() []Event {
 // object per line — the fault-event trace uploaded by CI on chaos
 // failures.
 func (in *Injector) WriteEventsJSONL(w io.Writer) error {
+	return writeJSONL(w, in.Events())
+}
+
+// Log is a concurrency-safe fault-event log for runtime faults the
+// injector never sees: worker registrations, lease expiries, real-process
+// kills, shard-loss re-issues. The master runtime keeps one per job run
+// and exports it alongside the injector's decision log.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Append records one event.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// WriteJSONL writes the recorded events as one JSON object per line.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	return writeJSONL(w, l.Events())
+}
+
+func writeJSONL(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
-	for _, e := range in.Events() {
+	for _, e := range events {
 		b, err := json.Marshal(e)
 		if err != nil {
 			return err

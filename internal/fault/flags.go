@@ -14,6 +14,10 @@ func PlanFlags(fs *flag.FlagSet) func() Plan {
 	straggler := fs.Float64("chaos-straggler", 0, "probability an attempt straggles, triggering speculative execution")
 	slowdown := fs.Float64("chaos-straggler-slowdown", 0, "injected straggler delay multiplier (<=1 means 2)")
 	corrupt := fs.Float64("chaos-corrupt", 0, "probability a map attempt reads a corrupted block (retryable checksum mismatch)")
+	kill := fs.Float64("chaos-worker-kill", 0, "probability dispatching an attempt SIGKILLs the assigned worker process (master runtime only)")
+	killPhase := fs.String("chaos-kill-phase", "", "restrict worker kills to one phase: map or reduce (empty = any)")
+	killHolder := fs.Bool("chaos-kill-holder", false, "kill a shard holder instead of the reduce assignee (death during shuffle fetch)")
+	killBudget := fs.Int("chaos-kill-budget", 1, "max workers the plan may kill (0 = unlimited)")
 	return func() Plan {
 		return Plan{
 			Seed:              *seed,
@@ -23,6 +27,10 @@ func PlanFlags(fs *flag.FlagSet) func() Plan {
 			StragglerRate:     *straggler,
 			StragglerSlowdown: *slowdown,
 			CorruptBlockRate:  *corrupt,
+			WorkerKillRate:    *kill,
+			WorkerKillPhase:   *killPhase,
+			WorkerKillHolder:  *killHolder,
+			KillBudget:        *killBudget,
 		}
 	}
 }

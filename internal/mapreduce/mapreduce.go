@@ -18,7 +18,6 @@ package mapreduce
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -264,6 +263,12 @@ type CommitFunc func(cluster *Cluster, addOutput func(record string)) error
 // Job describes one MapReduce job.
 type Job struct {
 	Name string
+	// Kind optionally names a registered job kind (see RegisterKind).
+	// Functions are Go closures and cannot ship over RPC, so only jobs
+	// carrying a Kind are eligible for remote execution on worker
+	// processes: both sides rebuild Map/Combine/Reduce from the kind's
+	// builder and Conf. Jobs without a Kind always run in process.
+	Kind string
 	// Input files (already stored in the cluster's file system).
 	Input []string
 	// Splits, when non-nil, is used instead of the default one-per-block
@@ -433,6 +438,9 @@ type Cluster struct {
 	injector *fault.Injector
 	policy   fault.RetryPolicy
 	admit    *admission
+	// master is the distributed runtime's coordinator, nil in the default
+	// fully in-process configuration (see StartMaster).
+	master *Master
 }
 
 // NewCluster creates a cluster over fs with the given number of worker
@@ -612,6 +620,14 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 		rj.reg.SetGauge(GaugeFilterPruneRatio, float64(total-len(splits))/float64(total))
 	}
 
+	// When a master runtime is up with live workers and the job carries a
+	// registered kind, tasks execute on remote worker processes; rem stays
+	// nil otherwise and everything below runs in process as before.
+	rem := c.startRemote(rj, job, splits, numRed, root.ID)
+	if rem != nil {
+		defer rem.close()
+	}
+
 	// ---- Map phase ----
 	mapStart := time.Now()
 	mapCtx, mapSpan := obs.StartSpan(ctx, "phase.map")
@@ -636,7 +652,34 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 			blk = split.Blocks[0]
 		}
 		ms.addTask(i, fmt.Sprintf("map-%d", i), split.Partition, blk, func(attempt int) (attemptOut, error) {
-			shards, out, tm, err := c.runMapTask(rj, split, attempt)
+			if rem != nil {
+				res, err := rem.mapAttempt(split, i, attempt)
+				if err != nil {
+					return attemptOut{}, err
+				}
+				// Mirror the in-process bookkeeping onto the shipped metrics
+				// buffer so counters and histograms are identical either way.
+				tm := res.tm
+				tm.Inc(CounterShuffleBytes, res.bytes)
+				tm.Inc(CounterShufflePairs, res.pairs)
+				tm.Observe(HistMapTaskRecordsIn, float64(res.recordsIn))
+				tm.Observe(HistMapTaskShuffleBytes, float64(res.bytes))
+				return attemptOut{
+					recordsIn:  res.recordsIn,
+					recordsOut: res.pairs + int64(len(res.out)),
+					bytes:      res.bytes,
+					apply: func(dur time.Duration) {
+						tm.Observe(HistMapTaskDurationUS, float64(dur.Microseconds()))
+						rj.reg.Merge(tm)
+						// Publishing the shard location under the win gate
+						// guarantees reducers fetch exactly one attempt's
+						// shards, whichever attempt won.
+						res.publish()
+						results[i] = mapResult{out: res.out, pairs: res.pairs, bytes: res.bytes, dur: dur}
+					},
+				}, nil
+			}
+			shards, out, tm, err := runMapAttempt(rj, split, attempt)
 			if err != nil {
 				// The attempt's metric buffer is dropped with the attempt.
 				return attemptOut{}, err
@@ -695,27 +738,33 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 	shSpan := rj.trace.Start("shuffle", obs.PhaseShuffle, root.ID, -1)
 	groups := make([]map[string][]string, numRed)
 	var swg sync.WaitGroup
-	for ri := 0; ri < numRed; ri++ {
-		swg.Add(1)
-		go func(ri int) {
-			defer swg.Done()
-			// Merge work is bounded and must complete even when ctx is
-			// cancelled (the job fails later with complete state), so the
-			// acquire does not take the job context.
-			_ = c.slots.Acquire(context.Background())
-			defer c.slots.Release()
-			g := make(map[string][]string)
-			for _, r := range results {
-				if ri >= len(r.shards) {
-					continue // task emitted nothing
+	if rem == nil {
+		for ri := 0; ri < numRed; ri++ {
+			swg.Add(1)
+			go func(ri int) {
+				defer swg.Done()
+				// Merge work is bounded and must complete even when ctx is
+				// cancelled (the job fails later with complete state), so the
+				// acquire does not take the job context.
+				_ = c.slots.Acquire(context.Background())
+				defer c.slots.Release()
+				g := make(map[string][]string)
+				for _, r := range results {
+					if ri >= len(r.shards) {
+						continue // task emitted nothing
+					}
+					for _, p := range r.shards[ri] {
+						g[p.Key] = append(g[p.Key], p.Value)
+					}
 				}
-				for _, p := range r.shards[ri] {
-					g[p.Key] = append(g[p.Key], p.Value)
-				}
-			}
-			groups[ri] = g
-		}(ri)
+				groups[ri] = g
+			}(ri)
+		}
 	}
+	// Under remote execution the map shards never pass through the master:
+	// they sit spilled on the workers (or in the master shard store) and
+	// each reducer fetches its shard directly from every holder. The
+	// shuffle span still records the job-wide totals.
 	var directOut []string
 	var shufflePairs, shuffleBytes int64
 	for _, r := range results {
@@ -742,23 +791,20 @@ func (c *Cluster) runJob(ctx context.Context, job *Job) (*Report, error) {
 		for ri := 0; ri < numRed; ri++ {
 			ri := ri
 			rs.addTask(ri, fmt.Sprintf("reduce-%d", ri), "", nil, func(attempt int) (attemptOut, error) {
-				keys := make([]string, 0, len(groups[ri]))
+				var out []string
 				var valuesIn int64
-				for k, vs := range groups[ri] {
-					keys = append(keys, k)
-					valuesIn += int64(len(vs))
+				var tm *obs.TaskMetrics
+				var err error
+				if rem != nil {
+					var res remoteReduceResult
+					res, err = rem.reduceAttempt(ri, attempt)
+					out, valuesIn, tm = res.out, res.recordsIn, res.tm
+				} else {
+					out, valuesIn, tm, err = runReduceAttempt(rj, groups[ri], attempt)
 				}
-				sort.Strings(keys)
-				tm := obs.NewTaskMetrics()
-				rctx := &TaskContext{job: rj, metrics: tm, attempt: attempt}
-				for _, k := range keys {
-					tm.Inc(CounterReduceGroups, 1)
-					if err := job.Reduce(rctx, k, groups[ri][k]); err != nil {
-						return attemptOut{}, err
-					}
+				if err != nil {
+					return attemptOut{}, err
 				}
-				tm.Observe(HistReducePartRecords, float64(valuesIn))
-				out := rctx.out
 				return attemptOut{
 					recordsIn:  valuesIn,
 					recordsOut: int64(len(out)),
@@ -898,14 +944,16 @@ func (c *Cluster) attemptCommit(in *fault.Injector, job *Job, directOut []string
 	return w.Close()
 }
 
-// runMapTask executes one map attempt, applying the combiner to its
+// runMapAttempt executes one map attempt, applying the combiner to its
 // output, and returns the task's emitted pairs bucketed by reducer shard.
 // The attempt's metrics stay in the returned TaskMetrics buffer; the
 // caller merges it into the job registry only on success, so a failed
 // attempt's counts (including the combiner re-run) are discarded with it.
 // Block checksums are verified before any record is decoded; a mismatch
-// fails the attempt with the retryable dfs checksum error.
-func (c *Cluster) runMapTask(rj *runningJob, split *Split, attempt int) ([][]Pair, []string, *obs.TaskMetrics, error) {
+// fails the attempt with the retryable dfs checksum error. It is a free
+// function of the runningJob (not a Cluster method) because remote
+// workers run it too, against a runningJob rebuilt from the job kind.
+func runMapAttempt(rj *runningJob, split *Split, attempt int) ([][]Pair, []string, *obs.TaskMetrics, error) {
 	for _, group := range [][]*dfs.Block{split.Blocks, split.Extra} {
 		for _, b := range group {
 			if err := b.VerifyCached(); err != nil {

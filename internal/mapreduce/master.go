@@ -1,0 +1,677 @@
+package mapreduce
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"spatialhadoop/internal/fault"
+	"spatialhadoop/internal/obs"
+)
+
+// This file is the master side of the distributed runtime: it tracks
+// worker processes under heartbeat leases, hands out task dispatches over
+// a pull queue, marks a worker dead when its lease expires (failing its
+// in-flight dispatches with a transient error so the scheduler re-issues
+// them), and serves master-held shards to reducers. It also hosts the
+// real-process chaos mode: at a seeded (phase, task, attempt) decision
+// point it SIGKILLs a live worker, so fault tolerance is exercised by
+// genuine process death rather than injected errors alone.
+
+// Worker lifecycle metric names, written to the registry passed in
+// MasterOptions (the system registry, so a serving process exports them
+// at /metrics as shadoop_mr_workers_registered_total etc.).
+const (
+	MetricWorkersRegistered = "mr.workers.registered"
+	MetricWorkersLost       = "mr.workers.lost"
+	GaugeWorkersLive        = "mr.workers.live"
+	GaugeHeartbeatsMissed   = "mr.heartbeats.missed"
+)
+
+// Job-level fault counters recorded by the remote execution path.
+const (
+	// CounterWorkerLost counts dispatches failed because their worker's
+	// lease expired mid-task; each one turns into a scheduler retry.
+	CounterWorkerLost = "fault.worker.lost"
+	// CounterReissuedMaps counts map tasks re-executed because the worker
+	// holding their winning attempt's shards died before every reducer
+	// fetched them. The re-run's metrics are suppressed (the task already
+	// counted once); only this counter and the reissue span record it.
+	CounterReissuedMaps = "fault.reissue.map"
+)
+
+// reissueAttempt is the attempt coordinate base of shard-loss re-issues:
+// disjoint from primary retries (0..) and speculative duplicates (1000..)
+// so every re-issue is distinguishable in traces and draws independent
+// backoff jitter.
+const reissueAttempt = 2000
+
+// MasterOptions configures a master runtime.
+type MasterOptions struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// HeartbeatEvery is the interval workers are told to heartbeat at
+	// (default 100ms). Lease is how long past the last sign of life the
+	// master waits before declaring a worker dead (default 10x heartbeat).
+	HeartbeatEvery time.Duration
+	Lease          time.Duration
+	// PollWait bounds a GetTask long-poll (default HeartbeatEvery).
+	PollWait time.Duration
+	// Metrics, when set, receives the worker lifecycle counters/gauges —
+	// pass the system registry so a serving process exports them.
+	Metrics *obs.Registry
+	// EnableKill arms the injector's worker-kill mode: without it the
+	// master never signals a process, whatever the fault plan says.
+	EnableKill bool
+	// KillFn overrides how a victim pid is killed (tests substitute a
+	// goroutine-worker stopper). Nil means SIGKILL, skipped when the pid
+	// is the master's own process (in-process test workers).
+	KillFn func(pid int) error
+	// RecordHeartbeats logs one event per Heartbeat RPC into the
+	// heartbeat log (see HeartbeatLog) — the JSONL artifact the CI e2e
+	// step uploads. Off by default: a busy pool heartbeats constantly.
+	RecordHeartbeats bool
+}
+
+func (o MasterOptions) withDefaults() MasterOptions {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = 100 * time.Millisecond
+	}
+	if o.Lease <= 0 {
+		o.Lease = 10 * o.HeartbeatEvery
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = o.HeartbeatEvery
+	}
+	return o
+}
+
+// workerState is the master's view of one registered worker.
+type workerState struct {
+	id       int64
+	addr     string
+	pid      int
+	live     bool
+	lastBeat time.Time
+	inflight map[int64]*dispatch
+}
+
+// dispatchResult is the outcome of one dispatched attempt.
+type dispatchResult struct {
+	workerID   int64
+	workerAddr string
+
+	out       []string
+	metrics   obs.TaskMetricsWire
+	recordsIn int64
+	pairs     int64
+	bytes     int64
+
+	lostMaps   []int
+	workerLost bool
+	err        error
+}
+
+// dispatch is one task attempt travelling through the master's queue.
+type dispatch struct {
+	id      int64
+	jobID   int64
+	phase   string
+	task    int
+	attempt int
+	jobKind string
+	conf    map[string]string
+	nshards int
+	sources []ShardSource
+
+	resultCh chan dispatchResult
+	finished sync.Once
+	isDone   atomic.Bool
+}
+
+// finish delivers the result exactly once (a task may be failed by worker
+// death and then reported by a late TaskDone from a process that was only
+// presumed dead).
+func (d *dispatch) finish(r dispatchResult) {
+	d.finished.Do(func() {
+		d.isDone.Store(true)
+		d.resultCh <- r
+	})
+}
+
+// done reports whether finish already ran.
+func (d *dispatch) done() bool { return d.isDone.Load() }
+
+// Master is the distributed runtime's coordinator.
+type Master struct {
+	c     *Cluster
+	opts  MasterOptions
+	ln    net.Listener
+	srv   *rpc.Server
+	flog  *fault.Log
+	hblog *fault.Log
+
+	mu           sync.Mutex
+	workers      map[int64]*workerState
+	nextWorker   int64
+	nextDispatch int64
+	nextJob      int64
+	dispatches   map[int64]*dispatch
+	runs         map[int64]*remoteRun
+	live         int
+	queue        chan *dispatch
+	closed       bool
+
+	stop chan struct{}
+}
+
+// StartMaster starts a master runtime listening for worker registrations.
+// Jobs submitted to the cluster while at least one worker is live (and
+// whose Kind is registered) execute on the workers; with none, execution
+// falls back in process — the zero-config default.
+func (c *Cluster) StartMaster(opts MasterOptions) (*Master, error) {
+	opts = opts.withDefaults()
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{
+		c:          c,
+		opts:       opts,
+		ln:         ln,
+		srv:        rpc.NewServer(),
+		flog:       &fault.Log{},
+		hblog:      &fault.Log{},
+		workers:    make(map[int64]*workerState),
+		dispatches: make(map[int64]*dispatch),
+		runs:       make(map[int64]*remoteRun),
+		queue:      make(chan *dispatch, 4096),
+		stop:       make(chan struct{}),
+	}
+	if err := m.srv.RegisterName(MasterService, &masterService{m: m}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if err := m.srv.RegisterName(ShardService, &masterShards{m: m}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	go m.acceptLoop()
+	go m.leaseMonitor()
+	c.mu.Lock()
+	c.master = m
+	c.mu.Unlock()
+	return m, nil
+}
+
+// Master returns the cluster's running master runtime (nil when none was
+// started — the common, fully in-process configuration).
+func (c *Cluster) Master() *Master {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.master
+}
+
+// Addr returns the master's listen address, the value workers dial.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// FaultLog returns the master's runtime fault-event log: registrations,
+// lease expiries, kills and re-issues.
+func (m *Master) FaultLog() *fault.Log { return m.flog }
+
+// HeartbeatLog returns the heartbeat event log (populated only under
+// MasterOptions.RecordHeartbeats).
+func (m *Master) HeartbeatLog() *fault.Log { return m.hblog }
+
+// Stop shuts the master down: the listener closes, queued and in-flight
+// dispatches fail transiently (jobs still running fall back in process),
+// and the cluster reverts to in-process execution.
+func (m *Master) Stop() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	var pending []*dispatch
+	for _, d := range m.dispatches {
+		pending = append(pending, d)
+	}
+	m.dispatches = make(map[int64]*dispatch)
+	m.live = 0
+	for _, ws := range m.workers {
+		ws.live = false
+	}
+	m.mu.Unlock()
+	close(m.stop)
+	m.ln.Close()
+	for _, d := range pending {
+		d.finish(dispatchResult{err: fault.Transientf("mapreduce: master stopped"), workerLost: true})
+	}
+	m.c.mu.Lock()
+	if m.c.master == m {
+		m.c.master = nil
+	}
+	m.c.mu.Unlock()
+}
+
+// LiveWorkers returns the number of workers currently under lease.
+func (m *Master) LiveWorkers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live
+}
+
+// Workers returns the ids of the currently live workers.
+func (m *Master) WorkerIDs() []int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var ids []int64
+	for id, ws := range m.workers {
+		if ws.live {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func (m *Master) acceptLoop() {
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go m.srv.ServeConn(conn)
+	}
+}
+
+// leaseMonitor expires workers that stopped heartbeating and maintains
+// the live/missed gauges.
+func (m *Master) leaseMonitor() {
+	tick := m.opts.Lease / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		var expired []*workerState
+		missed := 0
+		m.mu.Lock()
+		for _, ws := range m.workers {
+			if !ws.live {
+				continue
+			}
+			since := now.Sub(ws.lastBeat)
+			missed += int(since / m.opts.HeartbeatEvery)
+			if since > m.opts.Lease {
+				expired = append(expired, ws)
+			}
+		}
+		m.mu.Unlock()
+		if r := m.opts.Metrics; r != nil {
+			r.SetGauge(GaugeHeartbeatsMissed, float64(missed))
+		}
+		for _, ws := range expired {
+			m.markDead(ws)
+		}
+	}
+}
+
+// markDead declares a worker dead: its lease is revoked, its in-flight
+// dispatches fail transiently (the scheduler re-issues them), and every
+// active run is told so completed map tasks whose shards died with the
+// worker are re-run. When the last worker dies, the queue is drained so
+// waiting dispatches fall back to in-process execution instead of
+// stalling on a poll nobody makes.
+func (m *Master) markDead(ws *workerState) {
+	m.mu.Lock()
+	if !ws.live {
+		m.mu.Unlock()
+		return
+	}
+	ws.live = false
+	m.live--
+	inflight := ws.inflight
+	ws.inflight = make(map[int64]*dispatch)
+	for id := range inflight {
+		delete(m.dispatches, id)
+	}
+	var drained []*dispatch
+	if m.live == 0 {
+	drain:
+		for {
+			select {
+			case d := <-m.queue:
+				if !d.done() {
+					delete(m.dispatches, d.id)
+					drained = append(drained, d)
+				}
+			default:
+				break drain
+			}
+		}
+	}
+	live := m.live
+	runs := make([]*remoteRun, 0, len(m.runs))
+	for _, r := range m.runs {
+		runs = append(runs, r)
+	}
+	m.mu.Unlock()
+
+	if r := m.opts.Metrics; r != nil {
+		r.Inc(MetricWorkersLost, 1)
+		r.SetGauge(GaugeWorkersLive, float64(live))
+	}
+	m.flog.Append(fault.Event{Kind: "worker-lost", Worker: ws.id})
+	lost := fault.Transientf("mapreduce: worker %d lost (lease expired)", ws.id)
+	for _, d := range inflight {
+		d.finish(dispatchResult{err: lost, workerLost: true})
+	}
+	noWorkers := fault.Transientf("mapreduce: no live workers")
+	for _, d := range drained {
+		d.finish(dispatchResult{err: noWorkers, workerLost: true})
+	}
+	for _, run := range runs {
+		go run.onWorkerLost(ws.id)
+	}
+}
+
+// submit queues a dispatch for the next polling worker. It fails fast
+// (transiently) when no worker is live, so callers fall back in process.
+func (m *Master) submit(d *dispatch) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fault.Transientf("mapreduce: master stopped")
+	}
+	if m.live == 0 {
+		m.mu.Unlock()
+		return fault.Transientf("mapreduce: no live workers")
+	}
+	m.nextDispatch++
+	d.id = m.nextDispatch
+	select {
+	case m.queue <- d:
+	default:
+		m.mu.Unlock()
+		return fault.Transientf("mapreduce: dispatch queue full")
+	}
+	m.dispatches[d.id] = d
+	m.mu.Unlock()
+	return nil
+}
+
+// registerRun attaches a job run to the master, allocating its job id.
+func (m *Master) registerRun(r *remoteRun) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextJob++
+	r.id = m.nextJob
+	m.runs[r.id] = r
+	return r.id
+}
+
+// unregisterRun detaches a finished run and fails its outstanding
+// dispatches so no goroutine waits on a result that will never come.
+func (m *Master) unregisterRun(r *remoteRun) {
+	m.mu.Lock()
+	delete(m.runs, r.id)
+	var pending []*dispatch
+	for id, d := range m.dispatches {
+		if d.jobID == r.id {
+			delete(m.dispatches, id)
+			pending = append(pending, d)
+		}
+	}
+	m.mu.Unlock()
+	for _, d := range pending {
+		d.finish(dispatchResult{err: fault.Transientf("mapreduce: job run ended")})
+	}
+}
+
+// run looks up an active run by job id.
+func (m *Master) run(jobID int64) *remoteRun {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runs[jobID]
+}
+
+// renewLease stamps a sign of life from the worker.
+func (m *Master) renewLease(workerID int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ws := m.workers[workerID]
+	if ws == nil || !ws.live {
+		return false
+	}
+	ws.lastBeat = time.Now()
+	return true
+}
+
+// maybeKill consults the fault plan's worker-kill mode for a dispatch
+// being assigned and, when the seeded decision fires, kills the victim:
+// the assignee (death during map or reduce execution) or, for reduce
+// dispatches under WorkerKillHolder, a live shard holder other than the
+// assignee (death during shuffle fetch).
+func (m *Master) maybeKill(d *dispatch, assignee *workerState) {
+	if !m.opts.EnableKill {
+		return
+	}
+	in := m.c.Injector()
+	if in == nil || !in.DecideKill(d.phase, d.task, d.attempt) {
+		return
+	}
+	victim := assignee
+	if in.Plan().WorkerKillHolder && d.phase == TaskReduce {
+		m.mu.Lock()
+		for _, src := range d.sources {
+			for _, ws := range m.workers {
+				if ws.live && ws.addr == src.Addr && ws.id != assignee.id {
+					victim = ws
+					break
+				}
+			}
+			if victim != assignee {
+				break
+			}
+		}
+		m.mu.Unlock()
+	}
+	m.flog.Append(fault.Event{Phase: d.phase, Task: d.task, Attempt: d.attempt, Kind: "worker-kill", Worker: victim.id})
+	if kf := m.opts.KillFn; kf != nil {
+		_ = kf(victim.pid)
+		return
+	}
+	if victim.pid > 0 && victim.pid != os.Getpid() {
+		_ = syscall.Kill(victim.pid, syscall.SIGKILL)
+	}
+}
+
+// masterService hosts the control-plane RPC calls workers make.
+type masterService struct {
+	m *Master
+}
+
+// Register admits a worker into the pool.
+func (s *masterService) Register(args RegisterArgs, reply *RegisterReply) error {
+	m := s.m
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("mapreduce: master stopped")
+	}
+	m.nextWorker++
+	id := m.nextWorker
+	m.workers[id] = &workerState{
+		id: id, addr: args.Addr, pid: args.PID,
+		live: true, lastBeat: time.Now(),
+		inflight: make(map[int64]*dispatch),
+	}
+	m.live++
+	live := m.live
+	m.mu.Unlock()
+	if r := m.opts.Metrics; r != nil {
+		r.Inc(MetricWorkersRegistered, 1)
+		r.SetGauge(GaugeWorkersLive, float64(live))
+	}
+	m.flog.Append(fault.Event{Kind: "worker-register", Worker: id})
+	reply.WorkerID = id
+	reply.HeartbeatEvery = m.opts.HeartbeatEvery
+	reply.Lease = m.opts.Lease
+	return nil
+}
+
+// Heartbeat renews the worker's lease. OK=false tells a worker the master
+// forgot it (lease expired); it must re-register.
+func (s *masterService) Heartbeat(args HeartbeatArgs, reply *HeartbeatReply) error {
+	reply.OK = s.m.renewLease(args.WorkerID)
+	if s.m.opts.RecordHeartbeats {
+		kind := "heartbeat"
+		if !reply.OK {
+			kind = "heartbeat-rejected"
+		}
+		s.m.hblog.Append(fault.Event{Kind: kind, Worker: args.WorkerID})
+	}
+	return nil
+}
+
+// GetTask long-polls for work. The poll doubles as a heartbeat.
+func (s *masterService) GetTask(args GetTaskArgs, reply *TaskAssignment) error {
+	m := s.m
+	if !m.renewLease(args.WorkerID) {
+		reply.Phase = TaskNone
+		return nil
+	}
+	deadline := time.NewTimer(m.opts.PollWait)
+	defer deadline.Stop()
+	for {
+		select {
+		case d := <-m.queue:
+			if d.done() {
+				continue // failed while queued (worker death drain, run end)
+			}
+			m.mu.Lock()
+			ws := m.workers[args.WorkerID]
+			if ws == nil || !ws.live {
+				m.mu.Unlock()
+				// The poller died between lease renewal and assignment;
+				// fail the dispatch transiently so the scheduler retries.
+				delete(m.dispatches, d.id)
+				d.finish(dispatchResult{err: fault.Transientf("mapreduce: assignee lost"), workerLost: true})
+				reply.Phase = TaskNone
+				return nil
+			}
+			ws.inflight[d.id] = d
+			m.mu.Unlock()
+			m.maybeKill(d, ws)
+			reply.DispatchID = d.id
+			reply.Phase = d.phase
+			reply.JobID = d.jobID
+			reply.Task = d.task
+			reply.Attempt = d.attempt
+			reply.JobKind = d.jobKind
+			reply.Conf = d.conf
+			reply.NumShards = d.nshards
+			reply.Sources = d.sources
+			return nil
+		case <-deadline.C:
+			reply.Phase = TaskNone
+			return nil
+		case <-m.stop:
+			reply.Phase = TaskNone
+			return nil
+		}
+	}
+}
+
+// ReadSplit ships a map task's split records to the worker — the remote
+// DFS read path.
+func (s *masterService) ReadSplit(args ReadSplitArgs, reply *WireSplit) error {
+	r := s.m.run(args.JobID)
+	if r == nil {
+		return fmt.Errorf("mapreduce: no active run %d", args.JobID)
+	}
+	if args.Task < 0 || args.Task >= len(r.splits) {
+		return fmt.Errorf("mapreduce: run %d has no task %d", args.JobID, args.Task)
+	}
+	*reply = *r.splits[args.Task].ToWire()
+	return nil
+}
+
+// TaskDone receives an attempt's outcome and routes it to the waiting
+// dispatcher. Reports for dispatches already failed (presumed-dead
+// worker, abandoned deadline attempt, finished run) are dropped.
+func (s *masterService) TaskDone(args TaskDoneArgs, reply *TaskDoneReply) error {
+	m := s.m
+	m.renewLease(args.WorkerID)
+	m.mu.Lock()
+	d := m.dispatches[args.DispatchID]
+	var addr string
+	if d != nil {
+		delete(m.dispatches, d.id)
+		if ws := m.workers[args.WorkerID]; ws != nil {
+			delete(ws.inflight, d.id)
+			addr = ws.addr
+		}
+	}
+	m.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	res := dispatchResult{
+		workerID:   args.WorkerID,
+		workerAddr: addr,
+		out:        args.Out,
+		metrics:    args.Metrics,
+		recordsIn:  args.RecordsIn,
+		pairs:      args.Pairs,
+		bytes:      args.Bytes,
+		lostMaps:   args.LostMaps,
+	}
+	if args.Err != "" {
+		err := fmt.Errorf("mapreduce: remote %s task %d: %s", d.phase, d.task, args.Err)
+		if args.Transient {
+			res.err = fault.Transient(err)
+		} else {
+			res.err = err
+		}
+	}
+	d.finish(res)
+	return nil
+}
+
+// masterShards serves shards produced by in-process (fallback or
+// re-issued) map attempts, under the same Shards.Fetch contract workers
+// serve their spill files with.
+type masterShards struct {
+	m *Master
+}
+
+// Fetch returns one master-held sealed shard frame.
+func (s *masterShards) Fetch(args FetchShardArgs, reply *FetchShardReply) error {
+	r := s.m.run(args.JobID)
+	if r == nil {
+		return fmt.Errorf("mapreduce: no active run %d", args.JobID)
+	}
+	frame, ok := r.masterShard(args.Task, args.Attempt, args.Reduce)
+	if !ok {
+		return fmt.Errorf("mapreduce: master holds no shard j%d/m%d.a%d.r%d", args.JobID, args.Task, args.Attempt, args.Reduce)
+	}
+	reply.Frame = frame
+	return nil
+}

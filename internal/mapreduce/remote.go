@@ -1,0 +1,168 @@
+package mapreduce
+
+import (
+	"fmt"
+	"net/rpc"
+	"sort"
+	"sync"
+
+	"spatialhadoop/internal/obs"
+)
+
+// Job kinds. Map/reduce functions are Go closures and cannot ship over
+// RPC, so a job that may run on remote workers carries a Kind name; both
+// sides rebuild the job's functions from the kind's registered builder
+// and the job's Conf (which, like Hadoop's job configuration, is the only
+// state broadcast to tasks). Jobs without a Kind — or with one no builder
+// was registered for — always run in process.
+
+// KindFuncs is the set of task-side functions a kind builder produces.
+// Filter and Commit hooks are master-only and never rebuilt remotely.
+type KindFuncs struct {
+	Map     MapFunc
+	Combine ReduceFunc
+	Reduce  ReduceFunc
+}
+
+// KindBuilder rebuilds a job kind's functions from its configuration.
+type KindBuilder func(conf map[string]string) (KindFuncs, error)
+
+var (
+	kindsMu sync.RWMutex
+	kinds   = map[string]KindBuilder{}
+)
+
+// RegisterKind registers a job kind builder, typically from an init
+// function of the operations layer. Registering the same name twice
+// panics: two builders for one kind would silently diverge master and
+// worker execution.
+func RegisterKind(name string, b KindBuilder) {
+	kindsMu.Lock()
+	defer kindsMu.Unlock()
+	if _, ok := kinds[name]; ok {
+		panic(fmt.Sprintf("mapreduce: job kind %q registered twice", name))
+	}
+	kinds[name] = b
+}
+
+// HasKind reports whether a builder is registered for the kind.
+func HasKind(name string) bool {
+	kindsMu.RLock()
+	defer kindsMu.RUnlock()
+	_, ok := kinds[name]
+	return ok
+}
+
+// BuildKind rebuilds a kind's functions from conf.
+func BuildKind(name string, conf map[string]string) (KindFuncs, error) {
+	kindsMu.RLock()
+	b, ok := kinds[name]
+	kindsMu.RUnlock()
+	if !ok {
+		return KindFuncs{}, fmt.Errorf("mapreduce: unknown job kind %q", name)
+	}
+	return b(conf)
+}
+
+// remoteJob builds the minimal runningJob a worker-side attempt executes
+// under: the kind's functions, the shipped conf, and a throwaway registry
+// (worker-side attempts report their metrics through the TaskMetrics
+// buffer they return, never through a registry).
+func remoteJob(kf KindFuncs, name string, conf map[string]string, nshards int) *runningJob {
+	return &runningJob{
+		job: &Job{
+			Name:    name,
+			Map:     kf.Map,
+			Combine: kf.Combine,
+			Reduce:  kf.Reduce,
+			Conf:    conf,
+		},
+		reg:     obs.NewRegistry(),
+		trace:   obs.NewTrace(name),
+		nshards: nshards,
+	}
+}
+
+// ExecMapAttempt runs one map attempt of a registered job kind against a
+// reconstructed split — the worker-side map execution path. It is the
+// exact code path of an in-process attempt (checksum verification, map,
+// combiner, per-shard bucketing), so the returned shards and direct
+// output are byte-identical to what the master would have produced.
+func ExecMapAttempt(kf KindFuncs, jobName string, conf map[string]string, split *Split, nshards, attempt int) (shards [][]Pair, out []string, tm *obs.TaskMetrics, err error) {
+	return runMapAttempt(remoteJob(kf, jobName, conf, nshards), split, attempt)
+}
+
+// ExecReduceAttempt runs one reduce attempt of a registered job kind over
+// the fetched-and-grouped shard pairs — the worker-side reduce execution
+// path, sharing the in-process attempt body (sorted key order, group
+// counter, partition-records observation).
+func ExecReduceAttempt(kf KindFuncs, jobName string, conf map[string]string, groups map[string][]string, attempt int) (out []string, valuesIn int64, tm *obs.TaskMetrics, err error) {
+	return runReduceAttempt(remoteJob(kf, jobName, conf, 1), groups, attempt)
+}
+
+// GroupShards merges fetched map shards into reduce groups, in map-task
+// order — the same order the in-process shuffle concatenates per-reducer
+// runs in, so grouped value order (and therefore reduce output) is
+// identical on both paths. taskShards must be indexed by map task.
+func GroupShards(taskShards [][]Pair) map[string][]string {
+	g := make(map[string][]string)
+	for _, shard := range taskShards {
+		for _, p := range shard {
+			g[p.Key] = append(g[p.Key], p.Value)
+		}
+	}
+	return g
+}
+
+// runReduceAttempt executes one reduce attempt over grouped values: keys
+// in sorted order, one CounterReduceGroups tick per key, and the
+// partition-records observation — shared verbatim by the in-process
+// scheduler and remote workers.
+func runReduceAttempt(rj *runningJob, groups map[string][]string, attempt int) (out []string, valuesIn int64, tm *obs.TaskMetrics, err error) {
+	keys := make([]string, 0, len(groups))
+	for k, vs := range groups {
+		keys = append(keys, k)
+		valuesIn += int64(len(vs))
+	}
+	sort.Strings(keys)
+	tm = obs.NewTaskMetrics()
+	rctx := &TaskContext{job: rj, metrics: tm, attempt: attempt}
+	for _, k := range keys {
+		tm.Inc(CounterReduceGroups, 1)
+		if err := rj.job.Reduce(rctx, k, groups[k]); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	tm.Observe(HistReducePartRecords, float64(valuesIn))
+	return rctx.out, valuesIn, tm, nil
+}
+
+// ShardTotals sums a map attempt's shuffle output: pair count and encoded
+// key+value bytes, the numbers behind CounterShufflePairs/Bytes. Exported
+// for the worker package, which reports them in TaskDone.
+func ShardTotals(shards [][]Pair) (pairs, bytes int64) {
+	for _, shard := range shards {
+		pairs += int64(len(shard))
+		for _, p := range shard {
+			bytes += int64(len(p.Key) + len(p.Value))
+		}
+	}
+	return pairs, bytes
+}
+
+// FetchShardFrom fetches and decodes one map shard from a shard server
+// (worker or master) at addr. Connection failures, torn frames and gob
+// damage all surface as errors the caller treats as a lost shard.
+func FetchShardFrom(addr string, jobID int64, task, attempt, reduce int) ([]Pair, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	var reply FetchShardReply
+	args := FetchShardArgs{JobID: jobID, Task: task, Attempt: attempt, Reduce: reduce}
+	if err := client.Call(ShardService+".Fetch", args, &reply); err != nil {
+		return nil, err
+	}
+	return DecodeShard(reply.Frame)
+}

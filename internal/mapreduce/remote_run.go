@@ -1,0 +1,371 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spatialhadoop/internal/fault"
+	"spatialhadoop/internal/obs"
+)
+
+// remoteRun is the per-job state of remote execution: the job's splits
+// (served to workers via ReadSplit), the shard-location table naming the
+// worker holding each map task's winning spill, the master-held shard
+// store for attempts that ran in process (fallback and re-issues), and
+// the shard-loss recovery path — a singleflight re-run of a map task
+// whose shards died with their worker, published under the reissue
+// attempt range with its metrics suppressed so the task still counts
+// exactly once.
+type remoteRun struct {
+	m       *Master
+	c       *Cluster
+	rj      *runningJob
+	job     *Job
+	id      int64
+	root    int64
+	splits  []*Split
+	nshards int
+
+	mu           sync.Mutex
+	locs         []shardLoc
+	masterShards map[shardKey][]byte
+	reissue      map[int]*reissueCall
+	reissueNext  int
+	closed       bool
+}
+
+// shardLoc names the holder of one map task's winning shards.
+type shardLoc struct {
+	addr    string
+	attempt int
+	worker  int64 // 0 when master-held
+}
+
+type shardKey struct {
+	task, attempt, reduce int
+}
+
+// reissueCall is the singleflight slot for one task's shard recovery.
+type reissueCall struct {
+	done chan struct{}
+	err  error
+}
+
+// remoteMapResult is one successful remote (or fallback-local) map
+// attempt, before the win gate: publish records the shard location and
+// runs only for the winning attempt.
+type remoteMapResult struct {
+	out       []string
+	pairs     int64
+	bytes     int64
+	recordsIn int64
+	tm        *obs.TaskMetrics
+	publish   func()
+}
+
+// remoteReduceResult is one successful remote reduce attempt.
+type remoteReduceResult struct {
+	out       []string
+	recordsIn int64
+	tm        *obs.TaskMetrics
+}
+
+// startRemote decides whether the job runs on the worker pool and, if so,
+// registers a run with the master. It returns nil — in-process execution
+// — when no master is running, no worker is live, or the job carries no
+// registered kind (its functions cannot be rebuilt remotely).
+func (c *Cluster) startRemote(rj *runningJob, job *Job, splits []*Split, nshards int, root int64) *remoteRun {
+	m := c.Master()
+	if m == nil || m.LiveWorkers() == 0 {
+		return nil
+	}
+	if job.Kind == "" || !HasKind(job.Kind) {
+		return nil
+	}
+	r := &remoteRun{
+		m: m, c: c, rj: rj, job: job, root: root,
+		splits: splits, nshards: nshards,
+		locs:         make([]shardLoc, len(splits)),
+		masterShards: make(map[shardKey][]byte),
+		reissue:      make(map[int]*reissueCall),
+	}
+	m.registerRun(r)
+	return r
+}
+
+// close detaches the run from the master; outstanding dispatches fail so
+// nothing blocks on a job that already ended.
+func (r *remoteRun) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.m.unregisterRun(r)
+}
+
+func (r *remoteRun) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// setLoc records the winning attempt's shard holder for a map task.
+func (r *remoteRun) setLoc(task int, loc shardLoc) {
+	r.mu.Lock()
+	r.locs[task] = loc
+	r.mu.Unlock()
+}
+
+// storeMasterShards keeps an in-process attempt's sealed shard frames so
+// reducers (remote or local) can fetch them from the master.
+func (r *remoteRun) storeMasterShards(task, attempt int, frames [][]byte) {
+	r.mu.Lock()
+	for ri, frame := range frames {
+		r.masterShards[shardKey{task, attempt, ri}] = frame
+	}
+	r.mu.Unlock()
+}
+
+// masterShard serves one master-held frame to Shards.Fetch.
+func (r *remoteRun) masterShard(task, attempt, reduce int) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	frame, ok := r.masterShards[shardKey{task, attempt, reduce}]
+	return frame, ok
+}
+
+// sources snapshots the shard-location table in map-task order — the
+// fetch list shipped with every reduce dispatch. Re-issued shards show up
+// here automatically on the reduce retry.
+func (r *remoteRun) sources() []ShardSource {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ShardSource, len(r.locs))
+	for i, loc := range r.locs {
+		out[i] = ShardSource{Task: i, Attempt: loc.attempt, Addr: loc.addr}
+	}
+	return out
+}
+
+// mapAttempt executes one map attempt remotely — or in process when no
+// worker is live (total worker loss mid-job; the shards are then held by
+// the master). The returned publish callback is deferred to the win gate.
+func (r *remoteRun) mapAttempt(split *Split, task, attempt int) (remoteMapResult, error) {
+	if r.m.LiveWorkers() == 0 {
+		shards, out, tm, err := runMapAttempt(r.rj, split, attempt)
+		if err != nil {
+			return remoteMapResult{}, err
+		}
+		pairs, bytes := ShardTotals(shards)
+		frames := make([][]byte, len(shards))
+		for ri, shard := range shards {
+			frame, err := EncodeShard(shard)
+			if err != nil {
+				return remoteMapResult{}, err
+			}
+			frames[ri] = frame
+		}
+		return remoteMapResult{
+			out: out, pairs: pairs, bytes: bytes,
+			recordsIn: int64(split.NumRecords()), tm: tm,
+			publish: func() {
+				r.storeMasterShards(task, attempt, frames)
+				r.setLoc(task, shardLoc{addr: r.m.Addr(), attempt: attempt})
+			},
+		}, nil
+	}
+	d := &dispatch{
+		jobID: r.id, phase: TaskMap, task: task, attempt: attempt,
+		jobKind: r.job.Kind, conf: r.job.Conf, nshards: r.nshards,
+		resultCh: make(chan dispatchResult, 1),
+	}
+	if err := r.m.submit(d); err != nil {
+		return remoteMapResult{}, err
+	}
+	res := <-d.resultCh
+	if res.err != nil {
+		if res.workerLost {
+			r.rj.reg.Inc(CounterWorkerLost, 1)
+		}
+		return remoteMapResult{}, res.err
+	}
+	return remoteMapResult{
+		out: res.out, pairs: res.pairs, bytes: res.bytes,
+		recordsIn: res.recordsIn, tm: obs.ImportTaskMetrics(res.metrics),
+		publish: func() {
+			r.setLoc(task, shardLoc{addr: res.workerAddr, attempt: attempt, worker: res.workerID})
+		},
+	}, nil
+}
+
+// reduceAttempt executes one reduce attempt remotely — or in process when
+// no worker is live, fetching worker-held shards itself. A fetch failure
+// (dead holder, torn spill) triggers shard recovery and fails the attempt
+// transiently; the scheduler's retry then reads the re-issued locations.
+func (r *remoteRun) reduceAttempt(ri, attempt int) (remoteReduceResult, error) {
+	sources := r.sources()
+	if r.m.LiveWorkers() == 0 {
+		taskShards := make([][]Pair, len(sources))
+		var lost []int
+		for i, src := range sources {
+			pairs, err := r.fetchShard(src, ri)
+			if err != nil {
+				lost = append(lost, src.Task)
+				continue
+			}
+			taskShards[i] = pairs
+		}
+		if len(lost) > 0 {
+			r.recoverMaps(lost)
+			return remoteReduceResult{}, fault.Transientf("mapreduce: reduce %d lost shards of %d map task(s)", ri, len(lost))
+		}
+		out, valuesIn, tm, err := runReduceAttempt(r.rj, GroupShards(taskShards), attempt)
+		if err != nil {
+			return remoteReduceResult{}, err
+		}
+		return remoteReduceResult{out: out, recordsIn: valuesIn, tm: tm}, nil
+	}
+	d := &dispatch{
+		jobID: r.id, phase: TaskReduce, task: ri, attempt: attempt,
+		jobKind: r.job.Kind, conf: r.job.Conf, nshards: r.nshards,
+		sources:  sources,
+		resultCh: make(chan dispatchResult, 1),
+	}
+	if err := r.m.submit(d); err != nil {
+		return remoteReduceResult{}, err
+	}
+	res := <-d.resultCh
+	if res.err != nil {
+		if res.workerLost {
+			r.rj.reg.Inc(CounterWorkerLost, 1)
+		}
+		if len(res.lostMaps) > 0 {
+			r.recoverMaps(res.lostMaps)
+		}
+		return remoteReduceResult{}, res.err
+	}
+	return remoteReduceResult{out: res.out, recordsIn: res.recordsIn, tm: obs.ImportTaskMetrics(res.metrics)}, nil
+}
+
+// fetchShard reads one map shard for the master's own (fallback) reduce:
+// master-held frames come straight from the store, worker-held ones over
+// Shards.Fetch.
+func (r *remoteRun) fetchShard(src ShardSource, reduce int) ([]Pair, error) {
+	if src.Addr == "" {
+		return nil, fmt.Errorf("mapreduce: map task %d has no shard location", src.Task)
+	}
+	if src.Addr == r.m.Addr() {
+		frame, ok := r.masterShard(src.Task, src.Attempt, reduce)
+		if !ok {
+			return nil, fmt.Errorf("mapreduce: master holds no shard m%d.a%d.r%d", src.Task, src.Attempt, reduce)
+		}
+		return DecodeShard(frame)
+	}
+	return FetchShardFrom(src.Addr, r.id, src.Task, src.Attempt, reduce)
+}
+
+// onWorkerLost re-runs the completed map tasks whose winning shards lived
+// on the dead worker. Map-only jobs skip it: their direct output is
+// already on the master and their shards are never fetched.
+func (r *remoteRun) onWorkerLost(workerID int64) {
+	if r.job.Reduce == nil || r.isClosed() {
+		return
+	}
+	r.mu.Lock()
+	var tasks []int
+	for t, loc := range r.locs {
+		if loc.worker == workerID && loc.addr != "" {
+			tasks = append(tasks, t)
+		}
+	}
+	r.mu.Unlock()
+	if len(tasks) > 0 {
+		r.recoverMaps(tasks)
+	}
+}
+
+// recoverMaps re-runs the given map tasks, one singleflight per task:
+// the proactive path (lease expiry) and the lazy path (reduce fetch
+// failure) coalesce onto one re-execution.
+func (r *remoteRun) recoverMaps(tasks []int) {
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.ensureShards(t)
+		}()
+	}
+	wg.Wait()
+}
+
+// ensureShards re-runs one map task under singleflight.
+func (r *remoteRun) ensureShards(task int) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	if call, ok := r.reissue[task]; ok {
+		r.mu.Unlock()
+		<-call.done
+		return call.err
+	}
+	call := &reissueCall{done: make(chan struct{})}
+	r.reissue[task] = call
+	r.mu.Unlock()
+
+	call.err = r.reissueMap(task)
+	close(call.done)
+
+	r.mu.Lock()
+	delete(r.reissue, task)
+	r.mu.Unlock()
+	return call.err
+}
+
+// reissueMap re-executes one already-won map task because its shards were
+// lost. The re-run publishes new shards and a span with OutcomeReissue,
+// but its metrics buffer is dropped: the task's counters were merged when
+// its original attempt won, and merging the re-run would double-count it.
+func (r *remoteRun) reissueMap(task int) error {
+	split := r.splits[task]
+	pol := r.c.RetryPolicy()
+	seed := int64(0)
+	if in := r.c.Injector(); in != nil {
+		seed = in.Plan().Seed
+	}
+	var lastErr error
+	for try := 0; ; try++ {
+		if r.isClosed() {
+			return fault.Transientf("mapreduce: run ended during shard recovery")
+		}
+		r.mu.Lock()
+		r.reissueNext++
+		attempt := reissueAttempt + r.reissueNext
+		r.mu.Unlock()
+		span := r.rj.trace.Start(fmt.Sprintf("map-%d", task), obs.PhaseMap, r.root, task)
+		span.Partition = split.Partition
+		span.Attempt = attempt
+		res, err := r.mapAttempt(split, task, attempt)
+		if err == nil {
+			res.publish()
+			span.RecordsIn = res.recordsIn
+			span.RecordsOut = res.pairs + int64(len(res.out))
+			span.Bytes = res.bytes
+			span.Finish(obs.OutcomeReissue)
+			r.rj.reg.Inc(CounterReissuedMaps, 1)
+			r.m.flog.Append(fault.Event{Phase: TaskMap, Task: task, Attempt: attempt, Kind: "reissue"})
+			return nil
+		}
+		span.Finish(obs.OutcomeFailed)
+		lastErr = err
+		if !pol.ShouldRetry(err, try) {
+			return lastErr
+		}
+		if d := pol.Backoff(seed, TaskMap, task, attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+// Distributed-runtime tests at the mapreduce/worker seam, with workers
+// running as goroutines in this process: registration and lease
+// lifecycle, remote execution byte-identity against the in-process path,
+// worker death mid-job, and the exactly-once accounting of shard-loss
+// re-issues. These run in the external test package because the worker
+// package imports mapreduce.
+package mapreduce_test
+
+import (
+	"fmt"
+	iofs "io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/fault"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/obs"
+	"spatialhadoop/internal/worker"
+)
+
+// The test job kind: word count, the canonical exercise of the full
+// map/combine/shuffle/reduce pipeline. Registered once for the package.
+func init() {
+	mapreduce.RegisterKind("test-wordcount", func(conf map[string]string) (mapreduce.KindFuncs, error) {
+		return mapreduce.KindFuncs{
+			Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+				for _, rec := range split.Records() {
+					for _, w := range strings.Fields(rec) {
+						ctx.Emit(w, "1")
+					}
+				}
+				return nil
+			},
+			Combine: func(ctx *mapreduce.TaskContext, key string, values []string) error {
+				ctx.Emit(key, strconv.Itoa(len(values)))
+				return nil
+			},
+			Reduce: func(ctx *mapreduce.TaskContext, key string, values []string) error {
+				sum := 0
+				for _, v := range values {
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return err
+					}
+					sum += n
+				}
+				ctx.Write(fmt.Sprintf("%s\t%d", key, sum))
+				return nil
+			},
+		}, nil
+	})
+}
+
+func kindWordCountJob() *mapreduce.Job {
+	kf, err := mapreduce.BuildKind("test-wordcount", nil)
+	if err != nil {
+		panic(err)
+	}
+	return &mapreduce.Job{
+		Name:        "wordcount",
+		Kind:        "test-wordcount",
+		Input:       []string{"text"},
+		Map:         kf.Map,
+		Combine:     kf.Combine,
+		Reduce:      kf.Reduce,
+		NumReducers: 3,
+		Output:      "out",
+	}
+}
+
+func writeDistText(t *testing.T, c *mapreduce.Cluster) {
+	t.Helper()
+	recs := make([]string, 0, 120)
+	for i := 0; i < 120; i++ {
+		recs = append(recs, fmt.Sprintf("the quick brown fox %d jumps over the lazy dog", i%7))
+	}
+	if err := c.FS().WriteFile("text", recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fastPolicy keeps the tests quick under bursts of worker-death retries.
+func fastPolicy() fault.RetryPolicy {
+	p := fault.DefaultRetryPolicy()
+	p.MaxAttempts = 8
+	p.BaseBackoff = 100 * time.Microsecond
+	p.MaxBackoff = 2 * time.Millisecond
+	p.SpeculativeMin = 50 * time.Millisecond
+	return p
+}
+
+// workerPool runs n goroutine workers against one master, with a KillFn
+// that maps the fake pids back onto Worker.Stop — so the master's kill
+// mode exercises real (if in-process) worker death.
+type workerPool struct {
+	mu      sync.Mutex
+	workers map[int]*worker.Worker // by fake pid
+}
+
+func (p *workerPool) kill(pid int) error {
+	p.mu.Lock()
+	w := p.workers[pid]
+	p.mu.Unlock()
+	if w != nil {
+		w.Stop()
+	}
+	return nil
+}
+
+func (p *workerPool) stopAll() {
+	p.mu.Lock()
+	ws := make([]*worker.Worker, 0, len(p.workers))
+	for _, w := range p.workers {
+		ws = append(ws, w)
+	}
+	p.mu.Unlock()
+	for _, w := range ws {
+		w.Stop()
+	}
+}
+
+// startDistributed stands up a cluster, a master with test-speed leases,
+// and n goroutine workers, and waits until all are under lease.
+func startDistributed(t *testing.T, n int, reg *obs.Registry) (*mapreduce.Cluster, *mapreduce.Master, *workerPool) {
+	t.Helper()
+	fs := dfs.New(dfs.Config{BlockSize: 256, DataNodes: 4})
+	c := mapreduce.NewCluster(fs, 4)
+	c.SetRetryPolicy(fastPolicy())
+	pool := &workerPool{workers: make(map[int]*worker.Worker)}
+	m, err := c.StartMaster(mapreduce.MasterOptions{
+		HeartbeatEvery:   5 * time.Millisecond,
+		Lease:            50 * time.Millisecond,
+		Metrics:          reg,
+		EnableKill:       true,
+		KillFn:           pool.kill,
+		RecordHeartbeats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Stop)
+	for i := 0; i < n; i++ {
+		pid := 1000 + i
+		w, err := worker.Start(worker.Config{
+			Master:  m.Addr(),
+			Dir:     t.TempDir(),
+			Tasks:   2,
+			FakePID: pid,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.mu.Lock()
+		pool.workers[pid] = w
+		pool.mu.Unlock()
+	}
+	t.Cleanup(pool.stopAll)
+	waitFor(t, time.Second, func() bool { return m.LiveWorkers() == n })
+	return c, m, pool
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// inProcessOracle runs the same job fully in process and returns its
+// output records and report.
+func inProcessOracle(t *testing.T) ([]string, *mapreduce.Report) {
+	t.Helper()
+	fs := dfs.New(dfs.Config{BlockSize: 256, DataNodes: 4})
+	c := mapreduce.NewCluster(fs, 4)
+	writeDistText(t, c)
+	rep, err := c.Run(kindWordCountJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.FS().ReadAll("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, rep
+}
+
+func readOut(t *testing.T, c *mapreduce.Cluster) []string {
+	t.Helper()
+	out, err := c.FS().ReadAll("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertSameRecords(t *testing.T, got, want []string, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records vs %d in-process", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: record %d diverged: %q vs %q", what, i, got[i], want[i])
+		}
+	}
+}
+
+// countFaultEvents tallies a fault log's events by kind.
+func countFaultEvents(l *fault.Log) map[string]int {
+	out := map[string]int{}
+	for _, e := range l.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// TestWorkerPoolLifecycle pins registration, the lifecycle metrics, the
+// heartbeat log, and lease expiry on silent death.
+func TestWorkerPoolLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, m, pool := startDistributed(t, 2, reg)
+
+	if got := reg.Counter(mapreduce.MetricWorkersRegistered); got != 2 {
+		t.Fatalf("registered counter = %d, want 2", got)
+	}
+	if got := reg.Snapshot().Gauges[mapreduce.GaugeWorkersLive]; got != 2 {
+		t.Fatalf("live gauge = %v, want 2", got)
+	}
+
+	// Stop one worker without telling the master: its lease must expire.
+	pool.kill(1000)
+	waitFor(t, time.Second, func() bool { return m.LiveWorkers() == 1 })
+	if got := reg.Counter(mapreduce.MetricWorkersLost); got != 1 {
+		t.Fatalf("lost counter = %d, want 1", got)
+	}
+	ev := countFaultEvents(m.FaultLog())
+	if ev["worker-register"] != 2 || ev["worker-lost"] != 1 {
+		t.Fatalf("fault events = %v, want 2 registrations and 1 loss", ev)
+	}
+	waitFor(t, time.Second, func() bool { return len(m.HeartbeatLog().Events()) > 0 })
+	for _, e := range m.HeartbeatLog().Events() {
+		if e.Worker == 0 {
+			t.Fatalf("heartbeat event without worker id: %+v", e)
+		}
+	}
+}
+
+// TestRemoteByteIdentity is the core contract: the same job on real
+// workers produces byte-identical output to the in-process run, and it
+// genuinely ran remotely (the workers spilled shards).
+func TestRemoteByteIdentity(t *testing.T) {
+	want, wantRep := inProcessOracle(t)
+
+	c, _, pool := startDistributed(t, 2, obs.NewRegistry())
+	writeDistText(t, c)
+	rep, err := c.Run(kindWordCountJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, readOut(t, c), want, "remote wordcount")
+
+	// The data counters must agree exactly with the in-process run.
+	for _, name := range []string{
+		mapreduce.CounterMapRecordsIn, mapreduce.CounterMapRecordsOut,
+		mapreduce.CounterShufflePairs, mapreduce.CounterReduceGroups,
+		mapreduce.CounterOutputRecords,
+	} {
+		if rep.Counters[name] != wantRep.Counters[name] {
+			t.Errorf("counter %s = %d remotely, %d in process", name, rep.Counters[name], wantRep.Counters[name])
+		}
+	}
+
+	// Spill evidence: at least one worker wrote shard files.
+	spilled := 0
+	pool.mu.Lock()
+	dirs := make([]string, 0, len(pool.workers))
+	for _, w := range pool.workers {
+		dirs = append(dirs, w.Dir())
+	}
+	pool.mu.Unlock()
+	for _, dir := range dirs {
+		if n := countSpillFiles(t, dir); n > 0 {
+			spilled++
+		}
+	}
+	if spilled == 0 {
+		t.Fatal("no worker spilled any shards; the job did not run remotely")
+	}
+}
+
+func countSpillFiles(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d iofs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".r") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestRemoteFallbackNoWorkers: a master with an empty pool must leave
+// jobs on the in-process path.
+func TestRemoteFallbackNoWorkers(t *testing.T) {
+	want, _ := inProcessOracle(t)
+	fs := dfs.New(dfs.Config{BlockSize: 256, DataNodes: 4})
+	c := mapreduce.NewCluster(fs, 4)
+	m, err := c.StartMaster(mapreduce.MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	writeDistText(t, c)
+	if _, err := c.Run(kindWordCountJob()); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, readOut(t, c), want, "fallback wordcount")
+}
+
+// TestWorkerKillDuringMap kills the assignee the moment its first map
+// task is assigned: the dispatch dies with the worker, the lease expires,
+// and the scheduler re-runs the task elsewhere — output unchanged.
+func TestWorkerKillDuringMap(t *testing.T) {
+	want, _ := inProcessOracle(t)
+
+	c, m, _ := startDistributed(t, 2, obs.NewRegistry())
+	c.SetFault(fault.Plan{
+		Seed:            7,
+		WorkerKillRate:  1.0,
+		WorkerKillPhase: mapreduce.TaskMap,
+		KillBudget:      1,
+	})
+	writeDistText(t, c)
+	rep, err := c.Run(kindWordCountJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, readOut(t, c), want, "wordcount with map-phase kill")
+
+	ev := countFaultEvents(m.FaultLog())
+	if ev["worker-kill"] != 1 {
+		t.Fatalf("fault events = %v, want exactly 1 worker-kill", ev)
+	}
+	if ev["worker-lost"] == 0 {
+		t.Fatalf("fault events = %v, want a worker-lost after the kill", ev)
+	}
+	if rep.Counters[mapreduce.CounterWorkerLost] == 0 {
+		t.Fatal("no dispatch was failed by worker death; the kill hit nothing in-flight")
+	}
+}
+
+// TestReissueCountedExactlyOnce is the exactly-once regression: kill the
+// worker holding finished map shards while a reduce is being assigned
+// (death during shuffle fetch). The lost map tasks are re-executed, yet
+// every job counter must match the fault-free run — the re-run's metrics
+// are suppressed — and each map task must have exactly one winning span,
+// with the re-runs marked as reissue spans.
+func TestReissueCountedExactlyOnce(t *testing.T) {
+	want, wantRep := inProcessOracle(t)
+
+	c, m, _ := startDistributed(t, 2, obs.NewRegistry())
+	c.SetFault(fault.Plan{
+		Seed:             3,
+		WorkerKillRate:   1.0,
+		WorkerKillPhase:  mapreduce.TaskReduce,
+		WorkerKillHolder: true,
+		KillBudget:       1,
+	})
+	writeDistText(t, c)
+	rep, err := c.Run(kindWordCountJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, readOut(t, c), want, "wordcount with holder kill")
+
+	if rep.Counters[mapreduce.CounterReissuedMaps] == 0 {
+		t.Fatal("holder death re-issued no map task; the scenario did not trigger")
+	}
+	ev := countFaultEvents(m.FaultLog())
+	if ev["worker-kill"] != 1 || ev["reissue"] == 0 {
+		t.Fatalf("fault events = %v, want 1 worker-kill and >=1 reissue", ev)
+	}
+
+	// Counters: exactly once. Everything the tasks measured must be
+	// identical to the fault-free run, re-issues notwithstanding.
+	for _, name := range []string{
+		mapreduce.CounterMapRecordsIn, mapreduce.CounterMapRecordsOut,
+		mapreduce.CounterShufflePairs, mapreduce.CounterReduceGroups,
+		mapreduce.CounterOutputRecords,
+	} {
+		if rep.Counters[name] != wantRep.Counters[name] {
+			t.Errorf("counter %s = %d with reissue, %d fault-free — the re-run double- or under-counted",
+				name, rep.Counters[name], wantRep.Counters[name])
+		}
+	}
+
+	// Spans: per map task exactly one winner (outcome ok); the re-runs
+	// appear only as reissue spans.
+	okByTask := map[int]int{}
+	reissues := 0
+	for _, s := range rep.Trace.Spans() {
+		if s.Phase != obs.PhaseMap {
+			continue
+		}
+		switch s.Outcome {
+		case obs.OutcomeOK:
+			okByTask[s.Task]++
+		case obs.OutcomeReissue:
+			reissues++
+			if s.Attempt < 2000 {
+				t.Errorf("reissue span of task %d has attempt %d, want the reissue range (2000+)", s.Task, s.Attempt)
+			}
+		}
+	}
+	if reissues == 0 {
+		t.Fatal("no reissue span recorded")
+	}
+	for task, n := range okByTask {
+		if n != 1 {
+			t.Errorf("map task %d has %d winning spans, want exactly 1", task, n)
+		}
+	}
+	if int64(reissues) != rep.Counters[mapreduce.CounterReissuedMaps] {
+		t.Errorf("%d reissue spans vs counter %d", reissues, rep.Counters[mapreduce.CounterReissuedMaps])
+	}
+}
+
+// TestTotalWorkerLossFallsBack: every worker dies mid-pool; the job must
+// still complete (in process) with identical output.
+func TestTotalWorkerLossFallsBack(t *testing.T) {
+	want, _ := inProcessOracle(t)
+	c, m, pool := startDistributed(t, 2, obs.NewRegistry())
+	writeDistText(t, c)
+	pool.stopAll()
+	waitFor(t, time.Second, func() bool { return m.LiveWorkers() == 0 })
+	if _, err := c.Run(kindWordCountJob()); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, readOut(t, c), want, "wordcount after total worker loss")
+}

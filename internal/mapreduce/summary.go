@@ -76,6 +76,8 @@ var faultCounters = []struct {
 	{CounterSpecSuppressed, "duplicates suppressed"},
 	{CounterDeadlineExceeded, "deadlines exceeded"},
 	{CounterChecksumFailures, "checksum failures"},
+	{CounterWorkerLost, "workers lost mid-task"},
+	{CounterReissuedMaps, "map shards re-issued"},
 }
 
 // writeFaultTable prints the fault-tolerance event table. A fault-free

@@ -1,0 +1,230 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/gob"
+	"time"
+
+	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/obs"
+)
+
+// This file is the wire protocol between the master runtime and worker
+// processes (net/rpc over TCP, gob-encoded). The protocol is pull-based,
+// like Hadoop's: workers register, heartbeat, long-poll for task
+// assignments, read their split's records from the master (the DFS lives
+// in the master process), execute, spill intermediate shards locally, and
+// report completion. Reducers fetch map shards directly from the worker
+// that produced them — or from the master, for attempts that ran in
+// process — over the same Shards.Fetch call on either side.
+
+// RPC service names registered on the master and worker RPC servers.
+const (
+	// MasterService hosts the control-plane calls workers make.
+	MasterService = "Master"
+	// ShardService hosts Shards.Fetch and is registered by both sides:
+	// workers serve their spilled shard files, the master serves shards
+	// produced by in-process (fallback or re-issued) map attempts.
+	ShardService = "Shards"
+)
+
+// Task phases carried in assignments.
+const (
+	TaskMap    = "map"
+	TaskReduce = "reduce"
+	// TaskNone is returned by a GetTask long-poll that timed out with no
+	// work available; the worker simply polls again.
+	TaskNone = ""
+)
+
+// RegisterArgs introduces a worker to the master.
+type RegisterArgs struct {
+	// Addr is the worker's shard-serving listen address.
+	Addr string
+	// PID is the worker's OS process id, used by the real-process kill
+	// mode of the chaos harness.
+	PID int
+}
+
+// RegisterReply assigns the worker its identity and lease terms.
+type RegisterReply struct {
+	WorkerID int64
+	// HeartbeatEvery is how often the worker must check in; Lease is how
+	// long the master waits past the last heartbeat before declaring the
+	// worker dead and re-issuing its in-flight tasks.
+	HeartbeatEvery time.Duration
+	Lease          time.Duration
+}
+
+// HeartbeatArgs renews a worker's lease.
+type HeartbeatArgs struct {
+	WorkerID int64
+}
+
+// HeartbeatReply acknowledges a heartbeat. OK is false when the master no
+// longer knows the worker (its lease expired); the worker must
+// re-register before pulling further tasks.
+type HeartbeatReply struct {
+	OK bool
+}
+
+// GetTaskArgs long-polls for a task assignment. A GetTask call also
+// renews the worker's lease, so a worker busy polling never expires.
+type GetTaskArgs struct {
+	WorkerID int64
+}
+
+// ShardSource tells a reducer where to fetch one map task's shard: the
+// shard-serving address of the worker (or master) holding the winning
+// attempt's spill.
+type ShardSource struct {
+	Task    int
+	Attempt int
+	Addr    string
+}
+
+// TaskAssignment is one unit of work handed to a worker. Phase TaskNone
+// means the long-poll timed out.
+type TaskAssignment struct {
+	DispatchID int64
+	Phase      string // TaskMap, TaskReduce or TaskNone
+	JobID      int64
+	Task       int
+	Attempt    int
+	// JobKind names the registered job kind whose functions the worker
+	// rebuilds from Conf (functions cannot ship over RPC).
+	JobKind string
+	Conf    map[string]string
+	// NumShards is the job's reducer count; map tasks bucket their emitted
+	// pairs into this many spill shards.
+	NumShards int
+	// Sources lists, for reduce tasks, the shard holders of every map
+	// task in task order — the order the in-process shuffle merges in.
+	Sources []ShardSource
+}
+
+// ReadSplitArgs fetches the records of a map task's split from the
+// master — the DFS read path of a remote map attempt.
+type ReadSplitArgs struct {
+	JobID int64
+	Task  int
+}
+
+// WireSplit is a Split flattened for the wire. Records are shipped per
+// block (not concatenated) because map output order depends on per-block
+// iteration, and blocks are re-sealed worker-side so the checksum scrub
+// covers shipped data too.
+type WireSplit struct {
+	Partition  string
+	MBR        geom.Rect
+	ContentMBR geom.Rect
+	Tag        string
+	// BlockParts/BlockRecords describe the primary block group, one entry
+	// per block; ExtraParts/ExtraRecords the secondary group (pair splits).
+	BlockParts   []string
+	BlockRecords [][]string
+	ExtraParts   []string
+	ExtraRecords [][]string
+}
+
+// ToWire flattens a split for shipping.
+func (s *Split) ToWire() *WireSplit {
+	w := &WireSplit{Partition: s.Partition, MBR: s.MBR, ContentMBR: s.ContentMBR, Tag: s.Tag}
+	for _, b := range s.Blocks {
+		w.BlockParts = append(w.BlockParts, b.Partition)
+		w.BlockRecords = append(w.BlockRecords, b.Records())
+	}
+	for _, b := range s.Extra {
+		w.ExtraParts = append(w.ExtraParts, b.Partition)
+		w.ExtraRecords = append(w.ExtraRecords, b.Records())
+	}
+	return w
+}
+
+// Split reconstructs the split worker-side, sealing each block so record
+// iteration order, local-index construction and checksum verification
+// match the in-process path exactly.
+func (w *WireSplit) Split() *Split {
+	s := &Split{Partition: w.Partition, MBR: w.MBR, ContentMBR: w.ContentMBR, Tag: w.Tag}
+	for i, recs := range w.BlockRecords {
+		s.Blocks = append(s.Blocks, dfs.NewBlockFromRecords(w.BlockParts[i], recs))
+	}
+	for i, recs := range w.ExtraRecords {
+		s.Extra = append(s.Extra, dfs.NewBlockFromRecords(w.ExtraParts[i], recs))
+	}
+	return s
+}
+
+// TaskDoneArgs reports an attempt's outcome. Exactly one of Err/"success
+// fields" is meaningful: a non-empty Err carries the failure (with its
+// transience classification), otherwise Out/Metrics/totals carry the
+// result. LostMaps lists map tasks whose shards a reduce attempt failed
+// to fetch (dead holder, torn spill); the master re-issues those maps and
+// the reduce attempt is retried.
+type TaskDoneArgs struct {
+	WorkerID   int64
+	DispatchID int64
+
+	Err       string
+	Transient bool
+	LostMaps  []int
+
+	// Out is the attempt's direct (early-flush) output for map tasks, or
+	// the reduce partition's output for reduce tasks.
+	Out []string
+	// Metrics is the attempt's task-local counter/observation buffer; the
+	// master merges it through the win gate exactly like an in-process
+	// attempt's buffer.
+	Metrics obs.TaskMetricsWire
+	// RecordsIn is the attempt's input record (map) or value (reduce)
+	// count; Pairs/Bytes are a map attempt's shuffle totals.
+	RecordsIn int64
+	Pairs     int64
+	Bytes     int64
+}
+
+// TaskDoneReply acknowledges a completion report.
+type TaskDoneReply struct{}
+
+// FetchShardArgs requests one map task's spill shard for one reducer.
+type FetchShardArgs struct {
+	JobID   int64
+	Task    int
+	Attempt int
+	Reduce  int
+}
+
+// FetchShardReply carries the sealed shard frame (dfs.SealShard); the
+// fetcher unseals it, so torn or truncated spill files are detected at
+// the consumer regardless of which side served the bytes.
+type FetchShardReply struct {
+	Frame []byte
+}
+
+// EncodeShard serializes one reducer's pairs into a sealed spill frame.
+func EncodeShard(pairs []Pair) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pairs); err != nil {
+		return nil, err
+	}
+	return dfs.SealShard(buf.Bytes()), nil
+}
+
+// DecodeShard unseals and deserializes a spill frame. Frame damage
+// surfaces as dfs.ErrTornShard (transient: the producing map task can be
+// re-run).
+func DecodeShard(frame []byte) ([]Pair, error) {
+	payload, err := dfs.UnsealShard(frame)
+	if err != nil {
+		return nil, err
+	}
+	var pairs []Pair
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&pairs); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}

@@ -262,3 +262,40 @@ func (t *TaskMetrics) Get(name string) int64 { return t.counters[name] }
 func (t *TaskMetrics) Observe(name string, v float64) {
 	t.observations[name] = append(t.observations[name], v)
 }
+
+// TaskMetricsWire is the serializable form of a TaskMetrics buffer. Remote
+// workers execute task attempts in another process and ship the buffer
+// back over RPC; the master imports it and merges it through the same
+// win gate as an in-process attempt, so the exactly-once merge semantics
+// are identical on both paths.
+type TaskMetricsWire struct {
+	Counters     map[string]int64
+	Observations map[string][]float64
+}
+
+// Export copies the buffer into its wire form.
+func (t *TaskMetrics) Export() TaskMetricsWire {
+	w := TaskMetricsWire{
+		Counters:     make(map[string]int64, len(t.counters)),
+		Observations: make(map[string][]float64, len(t.observations)),
+	}
+	for k, v := range t.counters {
+		w.Counters[k] = v
+	}
+	for k, vs := range t.observations {
+		w.Observations[k] = append([]float64(nil), vs...)
+	}
+	return w
+}
+
+// ImportTaskMetrics rebuilds a TaskMetrics buffer from its wire form.
+func ImportTaskMetrics(w TaskMetricsWire) *TaskMetrics {
+	t := NewTaskMetrics()
+	for k, v := range w.Counters {
+		t.counters[k] = v
+	}
+	for k, vs := range w.Observations {
+		t.observations[k] = append([]float64(nil), vs...)
+	}
+	return t
+}

@@ -55,6 +55,13 @@ func goldenRegistry() *Registry {
 	r.SetGauge("serve.memtier.bytes", 8192)
 	r.Inc("serve.planner.local", 5)
 	r.Inc("serve.planner.mapreduce", 2)
+	// Worker lifecycle families exported by the distributed runtime's
+	// master (mapreduce.MetricWorkers*/Gauge* — literals here because obs
+	// cannot import mapreduce).
+	r.Inc("mr.workers.registered", 3)
+	r.Inc("mr.workers.lost", 1)
+	r.SetGauge("mr.workers.live", 2)
+	r.SetGauge("mr.heartbeats.missed", 4)
 	return r
 }
 
@@ -92,6 +99,12 @@ func TestWritePrometheusParsesBack(t *testing.T) {
 	}
 	if v, ok := m.Get("shadoop_serve_latency_us_sum", map[string]string{"endpoint": "range"}); !ok || v != 104 {
 		t.Fatalf("latency sum = %v, %v", v, ok)
+	}
+	if v, ok := m.Get("shadoop_mr_workers_registered_total", nil); !ok || v != 3 {
+		t.Fatalf("mr_workers_registered = %v, %v", v, ok)
+	}
+	if v, ok := m.Get("shadoop_mr_workers_live", nil); !ok || v != 2 {
+		t.Fatalf("mr_workers_live = %v, %v", v, ok)
 	}
 	// Escaped label round-trips back to the raw value.
 	if v, ok := m.Get("shadoop_test_escape", map[string]string{"path": "a\"b\\c\nd"}); !ok || v != 7 {

@@ -30,6 +30,12 @@ const (
 	// attempt of the same task had already won (speculative execution or
 	// an abandoned deadline attempt); its output was suppressed.
 	OutcomeDuplicate = "duplicate"
+	// OutcomeReissue marks a map task re-executed after its original
+	// attempt had already won, because the worker holding its intermediate
+	// shards died before every reducer fetched them. The re-run's shards
+	// replace the lost ones but its metrics are suppressed, so the task is
+	// still counted exactly once in the job counters.
+	OutcomeReissue = "reissue"
 )
 
 // Span is one traced unit of work: a map attempt, the shuffle, one reduce

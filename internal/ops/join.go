@@ -70,9 +70,7 @@ func SpatialJoinIndexedCtx(ctx context.Context, sys *core.System, left, right, o
 		return s.MBR
 	}
 
-	type pairBounds struct{ left, right geom.Rect }
 	var pairs []*mapreduce.Split
-	var bounds []pairBounds
 	for _, ls := range lsplits {
 		for _, rs := range rsplits {
 			if !extent(ls).Intersects(extent(rs)) {
@@ -83,37 +81,28 @@ func SpatialJoinIndexedCtx(ctx context.Context, sys *core.System, left, right, o
 				MBR:       ls.MBR.Union(rs.MBR),
 				Blocks:    ls.Blocks,
 				Extra:     rs.Blocks,
-				Tag:       strconv.Itoa(len(bounds)),
+				// The per-side boundaries ride the split's Tag so they ship
+				// to remote workers with the records.
+				Tag: joinTag(ls.MBR, rs.MBR),
 			})
-			bounds = append(bounds, pairBounds{left: ls.MBR, right: rs.MBR})
 		}
 	}
 
+	conf := map[string]string{}
+	if lDisjoint {
+		conf[confJoinLDisjoint] = "1"
+		conf[confJoinLSpace] = geomio.EncodeRect(lSpace)
+	}
+	if rDisjoint {
+		conf[confJoinRDisjoint] = "1"
+		conf[confJoinRSpace] = geomio.EncodeRect(rSpace)
+	}
 	job := &mapreduce.Job{
 		Name:   "spatial-join",
+		Kind:   "spatial-join",
+		Conf:   conf,
 		Splits: pairs,
-		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			pi, err := strconv.Atoi(split.Tag)
-			if err != nil {
-				return err
-			}
-			pb := bounds[pi]
-			lrecs := split.Records()
-			rrecs := split.ExtraRecords()
-			return planeSweepJoin(lrecs, rrecs, func(lrec, rrec string, overlap geom.Rect) {
-				ctx.Inc(CounterJoinCandidates, 1)
-				ref := geom.Point{X: overlap.MinX, Y: overlap.MinY}
-				if lDisjoint && !ownsRef(pb.left, lSpace, ref) {
-					ctx.Inc(CounterDedupDropped, 1)
-					return
-				}
-				if rDisjoint && !ownsRef(pb.right, rSpace, ref) {
-					ctx.Inc(CounterDedupDropped, 1)
-					return
-				}
-				ctx.Write(lrec + "\t" + rrec)
-			})
-		},
+		Map:    indexedJoinMap(lDisjoint, rDisjoint, lSpace, rSpace),
 		Output: out,
 	}
 	rep, err := sys.Cluster().RunCtx(ctx, job)

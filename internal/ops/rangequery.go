@@ -60,6 +60,8 @@ func RangeQueryPointsCtx(ctx context.Context, sys *core.System, file string, que
 	}
 	job := &mapreduce.Job{
 		Name:   "range-points",
+		Kind:   "range-points",
+		Conf:   map[string]string{confRangeQuery: geomio.EncodeRect(query)},
 		Splits: f.Splits(),
 		Filter: withHeat(sys, file, func(splits []*mapreduce.Split) []*mapreduce.Split {
 			var keep []*mapreduce.Split
@@ -72,23 +74,9 @@ func RangeQueryPointsCtx(ctx context.Context, sys *core.System, file string, que
 			}
 			return keep
 		}),
-		Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-			countPartitionRecords(ctx, split)
-			for _, b := range split.Blocks {
-				idx, err := sys.LocalIndex(b)
-				if err != nil {
-					return err
-				}
-				ctx.Inc(CounterRangeBlocksScanned, 1)
-				recs := b.Records()
-				for _, id := range idx.Search(query, nil) {
-					ctx.Inc(CounterRangeMatches, 1)
-					countPartitionMatches(ctx, split, 1)
-					ctx.Write(recs[id])
-				}
-			}
-			return nil
-		},
+		// Same body a worker rebuilds from the kind, resolving local
+		// indexes through the system's per-block cache.
+		Map:    rangePointsMap(query, sys.LocalIndex),
 		Output: out,
 	}
 	rep, err := sys.Cluster().RunCtx(ctx, job)
@@ -270,42 +258,16 @@ func KNNCtx(ctx context.Context, sys *core.System, file string, q geom.Point, k 
 	}
 	run := func(filter mapreduce.FilterFunc, out string) (*mapreduce.Report, []knnCandidate, error) {
 		job := &mapreduce.Job{
-			Name:   "knn",
+			Name: "knn",
+			Kind: "knn",
+			Conf: map[string]string{
+				confKNNQ: geomio.EncodePoint(q),
+				confKNNK: strconv.Itoa(k),
+			},
 			Splits: f.Splits(),
 			Filter: withHeat(sys, file, filter),
-			Map: func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
-				countPartitionRecords(ctx, split)
-				for _, b := range split.Blocks {
-					idx, err := sys.LocalIndex(b)
-					if err != nil {
-						return err
-					}
-					recs := b.Records()
-					for _, nb := range idx.NearestWithTies(q, k) {
-						countPartitionMatches(ctx, split, 1)
-						ctx.Emit("k", encodeCandidate(knnCandidate{dist: nb.Dist, rec: recs[nb.Entry.ID]}))
-					}
-				}
-				return nil
-			},
-			Reduce: func(ctx *mapreduce.TaskContext, key string, values []string) error {
-				cands := make([]knnCandidate, 0, len(values))
-				for _, v := range values {
-					c, err := decodeCandidate(v)
-					if err != nil {
-						return err
-					}
-					cands = append(cands, c)
-				}
-				sort.Slice(cands, func(i, j int) bool { return lessCandidate(cands[i], cands[j]) })
-				if len(cands) > k {
-					cands = cands[:k]
-				}
-				for _, c := range cands {
-					ctx.Write(encodeCandidate(c))
-				}
-				return nil
-			},
+			Map:    knnMap(q, k, sys.LocalIndex),
+			Reduce: knnReduce(k),
 			Output: out,
 		}
 		rep, err := sys.Cluster().RunCtx(ctx, job)

@@ -1,0 +1,196 @@
+package ops
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/rtree"
+)
+
+// This file makes the core query operations runnable on remote worker
+// processes. A worker cannot receive Go closures, so each operation's
+// task-side functions are built from a registered job kind plus the job's
+// Conf (the broadcast configuration); the in-process path shares the same
+// builders, with one difference: it resolves local indexes through the
+// System's per-block cache, while a worker (which has no System) bulk-
+// loads a fresh R-tree per block. BulkPoints is deterministic, so both
+// paths probe identical trees and produce byte-identical output.
+
+// Conf keys broadcast to remote tasks.
+const (
+	confRangeQuery    = "ops.range.query"
+	confKNNQ          = "ops.knn.q"
+	confKNNK          = "ops.knn.k"
+	confJoinLDisjoint = "ops.join.ldisjoint"
+	confJoinRDisjoint = "ops.join.rdisjoint"
+	confJoinLSpace    = "ops.join.lspace"
+	confJoinRSpace    = "ops.join.rspace"
+)
+
+// localIndexFn resolves the R-tree local index of a points block. The
+// master passes System.LocalIndex (cached); workers pass freshLocalIndex.
+type localIndexFn func(*dfs.Block) (*rtree.Tree, error)
+
+// freshLocalIndex bulk-loads a block's local index from scratch — the
+// worker-side path, where no System cache exists. Same records, same
+// deterministic bulk load, same tree shape as the master's cache.
+func freshLocalIndex(b *dfs.Block) (*rtree.Tree, error) {
+	pts, err := b.Points()
+	if err != nil {
+		return nil, err
+	}
+	return rtree.BulkPoints(pts, rtree.DefaultFanout), nil
+}
+
+// rangePointsMap is the map body of the range-points job.
+func rangePointsMap(query geom.Rect, localIndex localIndexFn) mapreduce.MapFunc {
+	return func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+		countPartitionRecords(ctx, split)
+		for _, b := range split.Blocks {
+			idx, err := localIndex(b)
+			if err != nil {
+				return err
+			}
+			ctx.Inc(CounterRangeBlocksScanned, 1)
+			recs := b.Records()
+			for _, id := range idx.Search(query, nil) {
+				ctx.Inc(CounterRangeMatches, 1)
+				countPartitionMatches(ctx, split, 1)
+				ctx.Write(recs[id])
+			}
+		}
+		return nil
+	}
+}
+
+// knnMap is the map body of one kNN round: each block's local index
+// nominates its k nearest (with ties), shuffled under a single key.
+func knnMap(q geom.Point, k int, localIndex localIndexFn) mapreduce.MapFunc {
+	return func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+		countPartitionRecords(ctx, split)
+		for _, b := range split.Blocks {
+			idx, err := localIndex(b)
+			if err != nil {
+				return err
+			}
+			recs := b.Records()
+			for _, nb := range idx.NearestWithTies(q, k) {
+				countPartitionMatches(ctx, split, 1)
+				ctx.Emit("k", encodeCandidate(knnCandidate{dist: nb.Dist, rec: recs[nb.Entry.ID]}))
+			}
+		}
+		return nil
+	}
+}
+
+// knnReduce merges the candidate set down to the k nearest, in the
+// canonical candidate order.
+func knnReduce(k int) mapreduce.ReduceFunc {
+	return func(ctx *mapreduce.TaskContext, key string, values []string) error {
+		cands := make([]knnCandidate, 0, len(values))
+		for _, v := range values {
+			c, err := decodeCandidate(v)
+			if err != nil {
+				return err
+			}
+			cands = append(cands, c)
+		}
+		sort.Slice(cands, func(i, j int) bool { return lessCandidate(cands[i], cands[j]) })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		for _, c := range cands {
+			ctx.Write(encodeCandidate(c))
+		}
+		return nil
+	}
+}
+
+// joinTag encodes the pair split's per-side partition boundaries into the
+// split Tag — the only per-task state the indexed join needs beyond Conf,
+// carried on the split itself so it ships to workers with the records.
+func joinTag(left, right geom.Rect) string {
+	return geomio.EncodeRect(left) + "|" + geomio.EncodeRect(right)
+}
+
+func parseJoinTag(tag string) (left, right geom.Rect, err error) {
+	l, r, ok := strings.Cut(tag, "|")
+	if !ok {
+		return left, right, strconv.ErrSyntax
+	}
+	if left, err = geomio.DecodeRect(l); err != nil {
+		return left, right, err
+	}
+	right, err = geomio.DecodeRect(r)
+	return left, right, err
+}
+
+// indexedJoinMap is the map body of the indexed spatial join: plane-sweep
+// the pair split's two block groups, deduplicating replicated matches
+// with the reference-point rule on each disjoint side.
+func indexedJoinMap(lDisjoint, rDisjoint bool, lSpace, rSpace geom.Rect) mapreduce.MapFunc {
+	return func(ctx *mapreduce.TaskContext, split *mapreduce.Split) error {
+		lBound, rBound, err := parseJoinTag(split.Tag)
+		if err != nil {
+			return err
+		}
+		lrecs := split.Records()
+		rrecs := split.ExtraRecords()
+		return planeSweepJoin(lrecs, rrecs, func(lrec, rrec string, overlap geom.Rect) {
+			ctx.Inc(CounterJoinCandidates, 1)
+			ref := geom.Point{X: overlap.MinX, Y: overlap.MinY}
+			if lDisjoint && !ownsRef(lBound, lSpace, ref) {
+				ctx.Inc(CounterDedupDropped, 1)
+				return
+			}
+			if rDisjoint && !ownsRef(rBound, rSpace, ref) {
+				ctx.Inc(CounterDedupDropped, 1)
+				return
+			}
+			ctx.Write(lrec + "\t" + rrec)
+		})
+	}
+}
+
+func init() {
+	mapreduce.RegisterKind("range-points", func(conf map[string]string) (mapreduce.KindFuncs, error) {
+		query, err := geomio.DecodeRect(conf[confRangeQuery])
+		if err != nil {
+			return mapreduce.KindFuncs{}, err
+		}
+		return mapreduce.KindFuncs{Map: rangePointsMap(query, freshLocalIndex)}, nil
+	})
+	mapreduce.RegisterKind("knn", func(conf map[string]string) (mapreduce.KindFuncs, error) {
+		q, err := geomio.DecodePoint(conf[confKNNQ])
+		if err != nil {
+			return mapreduce.KindFuncs{}, err
+		}
+		k, err := strconv.Atoi(conf[confKNNK])
+		if err != nil {
+			return mapreduce.KindFuncs{}, err
+		}
+		return mapreduce.KindFuncs{Map: knnMap(q, k, freshLocalIndex), Reduce: knnReduce(k)}, nil
+	})
+	mapreduce.RegisterKind("spatial-join", func(conf map[string]string) (mapreduce.KindFuncs, error) {
+		var lSpace, rSpace geom.Rect
+		var err error
+		if s := conf[confJoinLSpace]; s != "" {
+			if lSpace, err = geomio.DecodeRect(s); err != nil {
+				return mapreduce.KindFuncs{}, err
+			}
+		}
+		if s := conf[confJoinRSpace]; s != "" {
+			if rSpace, err = geomio.DecodeRect(s); err != nil {
+				return mapreduce.KindFuncs{}, err
+			}
+		}
+		return mapreduce.KindFuncs{
+			Map: indexedJoinMap(conf[confJoinLDisjoint] == "1", conf[confJoinRDisjoint] == "1", lSpace, rSpace),
+		}, nil
+	})
+}

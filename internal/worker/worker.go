@@ -1,0 +1,445 @@
+// Package worker implements the worker side of the distributed runtime:
+// a process that registers with a master over RPC, heartbeats under a
+// lease, long-polls for map and reduce tasks, executes them against split
+// records shipped from the master's DFS, spills intermediate shards to a
+// local directory, and serves those spills to reducers. A worker holds no
+// job state of its own — everything it needs to run a task arrives in the
+// assignment (job kind, configuration, shard sources), so a worker that
+// dies is replaced by re-issuing its tasks elsewhere, exactly as in
+// Hadoop's tasktracker model.
+package worker
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"spatialhadoop/internal/fault"
+	"spatialhadoop/internal/mapreduce"
+)
+
+// Config configures one worker process.
+type Config struct {
+	// Master is the master's RPC address (required).
+	Master string
+	// Dir is the spill directory for intermediate shards. Empty means a
+	// fresh temporary directory, removed on Stop.
+	Dir string
+	// Tasks is the number of concurrently executing tasks (default 2).
+	Tasks int
+	// Listen is the shard-serving listen address (default "127.0.0.1:0").
+	Listen string
+	// FakePID, when nonzero, is reported to the master instead of the real
+	// process id. Tests running workers as goroutines use it to give each
+	// in-process worker a distinct identity for the kill harness.
+	FakePID int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tasks <= 0 {
+		c.Tasks = 2
+	}
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	return c
+}
+
+// Worker is a running worker instance.
+type Worker struct {
+	cfg     Config
+	ln      net.Listener
+	dir     string
+	ownsDir bool
+
+	mu     sync.Mutex
+	client *rpc.Client
+	id     int64
+	hb     time.Duration
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Start launches a worker: it opens the shard server, registers with the
+// master (failing fast if the master is unreachable), and spawns the
+// heartbeat loop and task executors. The worker runs until Stop.
+func Start(cfg Config) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Master == "" {
+		return nil, fmt.Errorf("worker: no master address")
+	}
+	dir, ownsDir := cfg.Dir, false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "shadoop-worker-")
+		if err != nil {
+			return nil, err
+		}
+		dir, ownsDir = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		if ownsDir {
+			os.RemoveAll(dir)
+		}
+		return nil, err
+	}
+	w := &Worker{cfg: cfg, ln: ln, dir: dir, ownsDir: ownsDir, stop: make(chan struct{})}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(mapreduce.ShardService, &shardServer{w: w}); err != nil {
+		ln.Close()
+		if ownsDir {
+			os.RemoveAll(dir)
+		}
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	if err := w.connect(); err != nil {
+		ln.Close()
+		if ownsDir {
+			os.RemoveAll(dir)
+		}
+		return nil, err
+	}
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+	for i := 0; i < cfg.Tasks; i++ {
+		w.wg.Add(1)
+		go w.executorLoop()
+	}
+	return w, nil
+}
+
+// Addr returns the worker's shard-serving address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// ID returns the worker id the master assigned at (re-)registration.
+func (w *Worker) ID() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// Dir returns the worker's spill directory.
+func (w *Worker) Dir() string { return w.dir }
+
+// Stop shuts the worker down: loops exit, the shard listener closes, and
+// a temporary spill directory is removed. It does not wait for an
+// in-flight task attempt to finish executing — from the master's point of
+// view that is indistinguishable from a crash, which is the point: the
+// lease expires and the task is re-issued.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		w.ln.Close()
+		w.mu.Lock()
+		if w.client != nil {
+			w.client.Close()
+			w.client = nil
+		}
+		w.mu.Unlock()
+		if w.ownsDir {
+			os.RemoveAll(w.dir)
+		}
+	})
+}
+
+// Wait blocks until the worker's loops have exited (after Stop).
+func (w *Worker) Wait() { w.wg.Wait() }
+
+// connect dials the master and registers, replacing any previous client.
+func (w *Worker) connect() error {
+	client, err := rpc.Dial("tcp", w.cfg.Master)
+	if err != nil {
+		return err
+	}
+	pid := w.cfg.FakePID
+	if pid == 0 {
+		pid = os.Getpid()
+	}
+	var reply mapreduce.RegisterReply
+	args := mapreduce.RegisterArgs{Addr: w.Addr(), PID: pid}
+	if err := client.Call(mapreduce.MasterService+".Register", args, &reply); err != nil {
+		client.Close()
+		return err
+	}
+	w.mu.Lock()
+	if w.client != nil {
+		w.client.Close()
+	}
+	w.client = client
+	w.id = reply.WorkerID
+	w.hb = reply.HeartbeatEvery
+	w.mu.Unlock()
+	return nil
+}
+
+// session snapshots the current client and worker id.
+func (w *Worker) session() (*rpc.Client, int64, time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.client, w.id, w.hb
+}
+
+// reconnect re-establishes the master session after a connection failure
+// or a lease the master expired, retrying until it succeeds or the worker
+// stops.
+func (w *Worker) reconnect() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		if err := w.connect(); err == nil {
+			return
+		}
+		_, _, hb := w.session()
+		if hb <= 0 {
+			hb = 100 * time.Millisecond
+		}
+		select {
+		case <-w.stop:
+			return
+		case <-time.After(hb):
+		}
+	}
+}
+
+// heartbeatLoop renews the worker's lease. A failed call or a negative
+// acknowledgement (the master expired our lease while we were alive but
+// slow) triggers re-registration under a fresh id.
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	for {
+		client, id, hb := w.session()
+		if hb <= 0 {
+			hb = 100 * time.Millisecond
+		}
+		select {
+		case <-w.stop:
+			return
+		case <-time.After(hb):
+		}
+		if client == nil {
+			w.reconnect()
+			continue
+		}
+		var reply mapreduce.HeartbeatReply
+		err := client.Call(mapreduce.MasterService+".Heartbeat", mapreduce.HeartbeatArgs{WorkerID: id}, &reply)
+		if err != nil || !reply.OK {
+			select {
+			case <-w.stop:
+				return
+			default:
+			}
+			w.reconnect()
+		}
+	}
+}
+
+// executorLoop pulls and executes tasks until the worker stops. The
+// GetTask long-poll doubles as a heartbeat, so a busy worker polling for
+// its next task never expires.
+func (w *Worker) executorLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+		client, id, hb := w.session()
+		if client == nil {
+			if hb <= 0 {
+				hb = 100 * time.Millisecond
+			}
+			select {
+			case <-w.stop:
+				return
+			case <-time.After(hb):
+			}
+			continue
+		}
+		var t mapreduce.TaskAssignment
+		if err := client.Call(mapreduce.MasterService+".GetTask", mapreduce.GetTaskArgs{WorkerID: id}, &t); err != nil {
+			// The heartbeat loop owns reconnection; just back off.
+			select {
+			case <-w.stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		if t.Phase == mapreduce.TaskNone {
+			continue
+		}
+		var res mapreduce.TaskDoneArgs
+		switch t.Phase {
+		case mapreduce.TaskMap:
+			res = w.runMap(client, id, &t)
+		case mapreduce.TaskReduce:
+			res = w.runReduce(id, &t)
+		default:
+			continue
+		}
+		var ack mapreduce.TaskDoneReply
+		_ = client.Call(mapreduce.MasterService+".TaskDone", res, &ack)
+	}
+}
+
+// fail fills a TaskDoneArgs failure report.
+func fail(res *mapreduce.TaskDoneArgs, err error) mapreduce.TaskDoneArgs {
+	res.Err = err.Error()
+	res.Transient = fault.IsTransient(err)
+	return *res
+}
+
+// runMap executes one map attempt: read the split from the master,
+// rebuild the job kind, run the shared attempt body, spill one sealed
+// shard frame per reducer, and report totals plus the metrics buffer.
+func (w *Worker) runMap(client *rpc.Client, id int64, t *mapreduce.TaskAssignment) mapreduce.TaskDoneArgs {
+	res := mapreduce.TaskDoneArgs{WorkerID: id, DispatchID: t.DispatchID}
+	var ws mapreduce.WireSplit
+	args := mapreduce.ReadSplitArgs{JobID: t.JobID, Task: t.Task}
+	if err := client.Call(mapreduce.MasterService+".ReadSplit", args, &ws); err != nil {
+		return fail(&res, fault.Transient(err))
+	}
+	split := ws.Split()
+	kf, err := mapreduce.BuildKind(t.JobKind, t.Conf)
+	if err != nil {
+		return fail(&res, err) // permanent: the worker cannot run this kind
+	}
+	shards, out, tm, err := mapreduce.ExecMapAttempt(kf, t.JobKind, t.Conf, split, t.NumShards, t.Attempt)
+	if err != nil {
+		return fail(&res, err)
+	}
+	// Every reducer's shard file is written, even when empty, so a fetch
+	// never has to distinguish "no pairs" from "spill lost".
+	for ri := 0; ri < t.NumShards; ri++ {
+		var pairs []mapreduce.Pair
+		if ri < len(shards) {
+			pairs = shards[ri]
+		}
+		frame, err := mapreduce.EncodeShard(pairs)
+		if err != nil {
+			return fail(&res, err)
+		}
+		if err := w.writeSpill(t.JobID, t.Task, t.Attempt, ri, frame); err != nil {
+			return fail(&res, fault.Transient(err))
+		}
+	}
+	pairs, bytes := mapreduce.ShardTotals(shards)
+	res.Out = out
+	res.Metrics = tm.Export()
+	res.RecordsIn = int64(split.NumRecords())
+	res.Pairs = pairs
+	res.Bytes = bytes
+	return res
+}
+
+// runReduce executes one reduce attempt: fetch every map task's shard
+// from its holder (in map-task order, matching the in-process shuffle),
+// group, run the shared reduce body, and report the partition output. A
+// shard that cannot be fetched — dead holder, torn spill — is reported in
+// LostMaps so the master re-runs those map tasks before the retry.
+func (w *Worker) runReduce(id int64, t *mapreduce.TaskAssignment) mapreduce.TaskDoneArgs {
+	res := mapreduce.TaskDoneArgs{WorkerID: id, DispatchID: t.DispatchID}
+	kf, err := mapreduce.BuildKind(t.JobKind, t.Conf)
+	if err != nil {
+		return fail(&res, err)
+	}
+	taskShards := make([][]mapreduce.Pair, len(t.Sources))
+	var lost []int
+	for i, src := range t.Sources {
+		var pairs []mapreduce.Pair
+		var err error
+		if src.Addr == w.Addr() {
+			pairs, err = w.readSpill(t.JobID, src.Task, src.Attempt, t.Task)
+		} else {
+			pairs, err = mapreduce.FetchShardFrom(src.Addr, t.JobID, src.Task, src.Attempt, t.Task)
+		}
+		if err != nil {
+			lost = append(lost, src.Task)
+			continue
+		}
+		taskShards[i] = pairs
+	}
+	if len(lost) > 0 {
+		res.LostMaps = lost
+		return fail(&res, fault.Transientf("worker: reduce %d lost shards of %d map task(s)", t.Task, len(lost)))
+	}
+	out, valuesIn, tm, err := mapreduce.ExecReduceAttempt(kf, t.JobKind, t.Conf, mapreduce.GroupShards(taskShards), t.Attempt)
+	if err != nil {
+		return fail(&res, err)
+	}
+	res.Out = out
+	res.Metrics = tm.Export()
+	res.RecordsIn = valuesIn
+	return res
+}
+
+// spillPath lays the spill directory out as job<J>/m<task>.a<attempt>.r<reducer>.
+func (w *Worker) spillPath(jobID int64, task, attempt, reduce int) string {
+	return filepath.Join(w.dir, fmt.Sprintf("job%d", jobID), fmt.Sprintf("m%d.a%d.r%d", task, attempt, reduce))
+}
+
+// writeSpill persists one sealed shard frame via tmp+rename, so a crash
+// mid-write leaves no half-visible file: the fetch either finds a whole
+// frame (whose seal it still verifies) or no file at all.
+func (w *Worker) writeSpill(jobID int64, task, attempt, reduce int, frame []byte) error {
+	path := w.spillPath(jobID, task, attempt, reduce)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, frame, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readSpill reads back one of this worker's own spills (a reducer whose
+// source is itself skips the network).
+func (w *Worker) readSpill(jobID int64, task, attempt, reduce int) ([]mapreduce.Pair, error) {
+	frame, err := os.ReadFile(w.spillPath(jobID, task, attempt, reduce))
+	if err != nil {
+		return nil, err
+	}
+	return mapreduce.DecodeShard(frame)
+}
+
+// shardServer serves this worker's spilled shard frames to reducers.
+type shardServer struct {
+	w *Worker
+}
+
+// Fetch returns one sealed spill frame. The fetcher unseals it, so a
+// truncated or corrupted spill surfaces as a torn-shard error there.
+func (s *shardServer) Fetch(args mapreduce.FetchShardArgs, reply *FetchShardReply) error {
+	frame, err := os.ReadFile(s.w.spillPath(args.JobID, args.Task, args.Attempt, args.Reduce))
+	if err != nil {
+		return err
+	}
+	reply.Frame = frame
+	return nil
+}
+
+// FetchShardReply aliases the wire type so the RPC method signature stays
+// in the worker package.
+type FetchShardReply = mapreduce.FetchShardReply
