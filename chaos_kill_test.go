@@ -18,16 +18,19 @@ import (
 	"spatialhadoop/internal/core"
 	"spatialhadoop/internal/fault"
 	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/obs"
 	"spatialhadoop/internal/sindex"
 	"spatialhadoop/internal/worker"
 )
 
 // killMode is one row of the worker-kill matrix.
 type killMode struct {
-	name   string
-	op     string // chaosOps entry to run
-	phase  string
-	holder bool
+	name          string
+	op            string // chaosOps entry to run
+	phase         string
+	holder        bool
+	replicaHolder bool // kill the replica holder of the map split's input
+	replication   int  // data-plane replication factor (0 = plane off)
 }
 
 func killModes() []killMode {
@@ -35,6 +38,10 @@ func killModes() []killMode {
 		{name: "during-map", op: "rangequery", phase: mapreduce.TaskMap},
 		{name: "during-shuffle-fetch", op: "knn", phase: mapreduce.TaskReduce, holder: true},
 		{name: "during-reduce", op: "knn", phase: mapreduce.TaskReduce},
+		// Replication 1 makes the victim the *sole* holder of its blocks:
+		// the re-issued map must fall back to master reads and the plane
+		// must re-replicate the lost blocks onto the survivor.
+		{name: "replica-holder", op: "rangequery", phase: mapreduce.TaskMap, replicaHolder: true, replication: 1},
 	}
 }
 
@@ -50,9 +57,9 @@ func chaosOpByName(t *testing.T, name string) chaosOp {
 }
 
 // distChaosRun runs op on a system whose cluster has a master and two
-// goroutine workers, under plan, and returns the output records plus the
-// master's fault log.
-func distChaosRun(t *testing.T, op chaosOp, tech sindex.Technique, plan fault.Plan) ([]string, *mapreduce.Report, *fault.Log) {
+// goroutine workers, under plan, and returns the output records, the
+// master's fault log and the system metrics registry.
+func distChaosRun(t *testing.T, op chaosOp, tech sindex.Technique, plan fault.Plan, replication int) ([]string, *mapreduce.Report, *fault.Log, *obs.Registry) {
 	t.Helper()
 	sys := core.New(core.Config{BlockSize: 8 << 10, Workers: 6, Seed: 1, Fault: plan})
 	sys.Cluster().SetRetryPolicy(chaosPolicy())
@@ -62,6 +69,8 @@ func distChaosRun(t *testing.T, op chaosOp, tech sindex.Technique, plan fault.Pl
 	m, err := sys.Cluster().StartMaster(mapreduce.MasterOptions{
 		HeartbeatEvery: 5 * time.Millisecond,
 		Lease:          50 * time.Millisecond,
+		Metrics:        sys.Metrics(),
+		Replication:    replication,
 		EnableKill:     true,
 		KillFn: func(pid int) error {
 			mu.Lock()
@@ -112,12 +121,23 @@ func distChaosRun(t *testing.T, op chaosOp, tech sindex.Technique, plan fault.Pl
 			}
 			time.Sleep(time.Millisecond)
 		}
+		// The live-worker count drops before the data plane's synchronous
+		// re-replication pushes finish; hold the runtime open until they
+		// land so the caller's fault-log assertions see them.
+		if replication > 0 {
+			for countKind(m.FaultLog(), "re-replicate") == 0 {
+				if time.Now().After(deadline) {
+					t.Fatalf("%s: worker loss triggered no re-replication", op.name)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
 	}
 	out, err := sys.FS().ReadAll(rep.OutputFile)
 	if err != nil {
 		t.Fatalf("%s: reading %s: %v", op.name, rep.OutputFile, err)
 	}
-	return out, rep, m.FaultLog()
+	return out, rep, m.FaultLog(), sys.Metrics()
 }
 
 func countKind(l *fault.Log, kind string) int {
@@ -146,19 +166,31 @@ func TestChaosWorkerKill(t *testing.T) {
 			want, _, _ := chaosRun(t, op, sindex.STR, fault.Plan{})
 			for _, seed := range seeds {
 				plan := fault.Plan{
-					Seed:             seed,
-					WorkerKillRate:   1.0,
-					WorkerKillPhase:  mode.phase,
-					WorkerKillHolder: mode.holder,
-					KillBudget:       1,
+					Seed:                    seed,
+					WorkerKillRate:          1.0,
+					WorkerKillPhase:         mode.phase,
+					WorkerKillHolder:        mode.holder,
+					WorkerKillReplicaHolder: mode.replicaHolder,
+					KillBudget:              1,
 				}
 				cell := fmt.Sprintf("%s-seed%d", mode.name, seed)
-				got, _, flog := distChaosRun(t, op, sindex.STR, plan)
+				got, _, flog, reg := distChaosRun(t, op, sindex.STR, plan, mode.replication)
 				if kills := countKind(flog, "worker-kill"); kills != 1 {
 					t.Fatalf("%s: %d worker-kills fired, want exactly 1", cell, kills)
 				}
 				if countKind(flog, "worker-lost") == 0 {
 					t.Fatalf("%s: the killed worker's lease never expired", cell)
+				}
+				if mode.replicaHolder {
+					if countKind(flog, "replicate") == 0 {
+						t.Fatalf("%s: no blocks were ever replicated; the data plane was off", cell)
+					}
+					if countKind(flog, "re-replicate") == 0 {
+						t.Fatalf("%s: lost replicas were not re-replicated onto the survivor", cell)
+					}
+					if reg.Counter(mapreduce.MetricDFSLocalReads)+reg.Counter(mapreduce.MetricDFSRemoteReads) == 0 {
+						t.Fatalf("%s: no map input was read through the data plane", cell)
+					}
 				}
 				if len(got) != len(want) {
 					t.Fatalf("%s: %d records under worker kill vs %d fault-free", cell, len(got), len(want))
@@ -170,7 +202,7 @@ func TestChaosWorkerKill(t *testing.T) {
 				}
 
 				// Deterministic replay: same seed, same output, same kill.
-				replay, _, rlog := distChaosRun(t, op, sindex.STR, plan)
+				replay, _, rlog, _ := distChaosRun(t, op, sindex.STR, plan, mode.replication)
 				if len(replay) != len(got) {
 					t.Fatalf("%s: replay changed output size: %d vs %d", cell, len(replay), len(got))
 				}

@@ -26,6 +26,7 @@ type masterFlags struct {
 	workersWait *time.Duration
 	heartbeat   *time.Duration
 	lease       *time.Duration
+	replication *int
 	eventsFile  *string
 	hbFile      *string
 }
@@ -38,7 +39,8 @@ func registerMasterFlags(fs *flag.FlagSet) *masterFlags {
 		workersWait: fs.Duration("workers-wait", 30*time.Second, "how long to wait for -min-workers"),
 		heartbeat:   fs.Duration("heartbeat", 100*time.Millisecond, "worker heartbeat interval"),
 		lease:       fs.Duration("lease", 0, "worker lease duration (0 = 10x heartbeat)"),
-		eventsFile:  fs.String("master-events", "", "write the master's fault events (registrations, lease expiries, kills, re-issues) as JSONL to this file"),
+		replication: fs.Int("replication", 0, "push this many replicas of each input block onto workers so maps read locally (0 = off, all input served by the master)"),
+		eventsFile:  fs.String("master-events", "", "write the master's fault events (registrations, lease expiries, kills, re-issues, replica placement) as JSONL to this file"),
 		hbFile:      fs.String("heartbeat-log", "", "write one JSONL event per worker heartbeat to this file"),
 	}
 }
@@ -56,6 +58,7 @@ func (mf *masterFlags) start(sys *core.System) (*mapreduce.Master, error) {
 		Addr:             *mf.listen,
 		HeartbeatEvery:   *mf.heartbeat,
 		Lease:            *mf.lease,
+		Replication:      *mf.replication,
 		Metrics:          sys.Metrics(),
 		EnableKill:       true, // armed only by a -chaos-worker-kill plan
 		RecordHeartbeats: *mf.hbFile != "",

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -322,5 +323,134 @@ func TestDistributedSIGKILLMidJob(t *testing.T) {
 			t.Fatalf("live workers = %d after the kill, want 2", m.LiveWorkers())
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDistributedLocality is the data plane's acceptance run: with three
+// real worker processes and replication 2, a multi-job workload over the
+// same input files must read at least half of its map-input bytes from
+// local replicas (the counters behind shadoop_dfs_local_reads_total /
+// shadoop_dfs_remote_reads_total prove it), stay byte-identical to the
+// in-process run, and ship fewer bytes out of the master than the same
+// workload with the plane off. With DATAPLANE_ARTIFACT_DIR set, the
+// replica-placement and master fault-event logs are written there as
+// JSONL (CI uploads them).
+func TestDistributedLocality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process e2e is not -short")
+	}
+	newSys := func() *core.System {
+		return core.New(core.Config{Workers: 6, BlockSize: 8 << 10, Seed: 1})
+	}
+	rects := []geom.Rect{
+		geom.NewRect(2_000, 2_000, 16_000, 16_000),
+		geom.NewRect(500, 9_000, 11_000, 19_500),
+		geom.NewRect(7_500, 0, 19_000, 8_000),
+		geom.NewRect(0, 0, 20_000, 20_000),
+	}
+	// Several jobs over the same inputs: replicas are pushed once at the
+	// first job and reused by the rest, which is where the plane beats
+	// master-served reads (those re-ship every split every job).
+	runWorkload := func(sys *core.System) [][]string {
+		t.Helper()
+		var outs [][]string
+		for _, rect := range rects {
+			_, rep, err := ops.RangeQueryPoints(sys, "pts", rect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, readOutput(t, sys, rep))
+		}
+		_, rep, err := ops.KNN(sys, "pts", geom.Pt(10_000, 10_000), 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, readOutput(t, sys, rep))
+		_, rep, err = ops.SpatialJoinIndexed(sys, "a", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, readOutput(t, sys, rep))
+		return outs
+	}
+
+	ref := newSys()
+	distCorpus(t, ref)
+	want := runWorkload(ref)
+
+	startCluster := func(replication int) (*core.System, *mapreduce.Master) {
+		sys := newSys()
+		distCorpus(t, sys)
+		m, err := sys.Cluster().StartMaster(mapreduce.MasterOptions{
+			HeartbeatEvery: 20 * time.Millisecond,
+			Lease:          200 * time.Millisecond,
+			Metrics:        sys.Metrics(),
+			Replication:    replication,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(m.Stop)
+		for i := 0; i < 3; i++ {
+			spawnWorkerProcess(t, m.Addr())
+		}
+		waitLive(t, m, 3)
+		return sys, m
+	}
+
+	sys, m := startCluster(2)
+	got := runWorkload(sys)
+	for i := range want {
+		requireIdentical(t, got[i], want[i], fmt.Sprintf("workload job %d with replication 2", i))
+	}
+
+	reg := sys.Metrics()
+	localBytes := reg.Counter(mapreduce.MetricDFSLocalBytes)
+	remoteBytes := reg.Counter(mapreduce.MetricDFSRemoteBytes)
+	if localBytes+remoteBytes == 0 {
+		t.Fatal("no map-input bytes flowed through the data plane")
+	}
+	ratio := float64(localBytes) / float64(localBytes+remoteBytes)
+	t.Logf("locality: %d local / %d remote map-input bytes (%.0f%% local), %d local / %d nonlocal dispatches",
+		localBytes, remoteBytes, 100*ratio,
+		reg.Counter(mapreduce.MetricDispatchLocal), reg.Counter(mapreduce.MetricDispatchNonlocal))
+	if ratio < 0.5 {
+		t.Fatalf("only %.0f%% of map-input bytes were read locally, want >= 50%%", 100*ratio)
+	}
+	egressRepl := reg.Counter(mapreduce.MetricMasterEgress)
+
+	base, _ := startCluster(0)
+	gotBase := runWorkload(base)
+	for i := range want {
+		requireIdentical(t, gotBase[i], want[i], fmt.Sprintf("workload job %d with the plane off", i))
+	}
+	egressBase := base.Metrics().Counter(mapreduce.MetricMasterEgress)
+	t.Logf("master egress: %d bytes with replication 2 vs %d with the plane off", egressRepl, egressBase)
+	if egressRepl >= egressBase {
+		t.Fatalf("replication did not cut master egress: %d bytes vs %d with the plane off", egressRepl, egressBase)
+	}
+
+	if dir := os.Getenv("DATAPLANE_ARTIFACT_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		placement := &fault.Log{}
+		for _, e := range m.FaultLog().Events() {
+			if e.Kind == "replicate" || e.Kind == "re-replicate" {
+				placement.Append(e)
+			}
+		}
+		writeLog := func(name string, l *fault.Log) {
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if err := l.WriteJSONL(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		writeLog("placement-events.jsonl", placement)
+		writeLog("master-events.jsonl", m.FaultLog())
 	}
 }

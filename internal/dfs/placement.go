@@ -1,0 +1,105 @@
+package dfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block replica placement. The master pushes sealed block replicas onto
+// registered workers so map tasks read input locally instead of pulling
+// every split from the master's DFS. Placement is rendezvous hashing
+// (highest-random-weight): each placement group scores every candidate
+// worker with a seeded hash and takes the top Factor scorers. That gives
+// the three properties the data plane needs with no placement table to
+// synchronize:
+//
+//   - spread: the top-Factor scorers are distinct workers by construction;
+//   - co-location: blocks of one spatial partition share a placement
+//     group, so a global-index partition's blocks land on the same
+//     workers and a map task over that partition reads everything from
+//     one replica set;
+//   - stability: removing a worker only re-ranks the groups that scored
+//     it into their top Factor — every other group's holders are
+//     untouched, which is exactly the re-replication set on worker loss.
+
+// ReplicaPolicy is a deterministic block-to-worker placement function.
+type ReplicaPolicy struct {
+	// Seed salts the rendezvous hash; two policies with equal seeds make
+	// identical placements for identical worker sets.
+	Seed int64
+	// Factor is the number of replicas per placement group.
+	Factor int
+}
+
+// PlacementGroup names the co-location unit of a block: blocks of one
+// spatial partition share a group (their replicas co-locate), while
+// heap-file blocks, which carry no partition, each form their own group
+// so an unindexed file still spreads across the pool.
+func PlacementGroup(partition string, id BlockID) string {
+	if partition != "" {
+		return "p:" + partition
+	}
+	return fmt.Sprintf("b:%d", id)
+}
+
+// Place ranks the candidate workers for one placement group and returns
+// the top Factor of them (fewer when the pool is smaller). The result is
+// deterministic in (Seed, group, set-of-workers) — the order candidates
+// are passed in does not matter.
+func (p ReplicaPolicy) Place(group string, workers []int64) []int64 {
+	if p.Factor <= 0 || len(workers) == 0 {
+		return nil
+	}
+	type scored struct {
+		id    int64
+		score uint64
+	}
+	ranked := make([]scored, 0, len(workers))
+	for _, id := range workers {
+		ranked = append(ranked, scored{id: id, score: rendezvousScore(p.Seed, group, id)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	n := p.Factor
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = ranked[i].id
+	}
+	return out
+}
+
+// rendezvousScore hashes (seed, group, worker) with FNV-1a and a
+// splitmix64 finalizer so consecutive worker ids score independently.
+func rendezvousScore(seed int64, group string, worker int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(seed))
+	for i := 0; i < len(group); i++ {
+		h ^= uint64(group[i])
+		h *= prime64
+	}
+	mix(uint64(worker))
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -74,6 +74,29 @@ func UnsealShard(frame []byte) ([]byte, error) {
 	return payload, nil
 }
 
+// maxShardFrame bounds a declared frame payload; a header claiming more
+// is damage, not data (no spill or block frame approaches a terabyte).
+const maxShardFrame = 1 << 40
+
+// PeekShardFrame inspects the start of buf for a sealed frame header and
+// returns the total byte length of that frame (header + payload). It
+// returns 0 with no error when buf holds less than a full header — the
+// streaming-read case, where the caller needs more bytes — and a
+// *TornShardError when the bytes present cannot be a frame at all.
+func PeekShardFrame(buf []byte) (int, error) {
+	if len(buf) < shardHeaderSize {
+		return 0, nil
+	}
+	if [4]byte(buf[:4]) != shardMagic {
+		return 0, &TornShardError{Reason: "bad magic"}
+	}
+	n := binary.LittleEndian.Uint64(buf[4:12])
+	if n > maxShardFrame {
+		return 0, &TornShardError{Reason: fmt.Sprintf("frame header claims %d payload bytes", n)}
+	}
+	return shardHeaderSize + int(n), nil
+}
+
 // NewBlockFromRecords builds a sealed, checksummed block holding the given
 // records — the worker-side constructor for splits shipped over RPC. The
 // records arrive per block so a reconstructed split iterates in exactly

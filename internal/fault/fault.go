@@ -77,6 +77,12 @@ type Plan struct {
 	// during the shuffle fetch: the reducer survives but its source dies
 	// under it, losing the map task's intermediate output.
 	WorkerKillHolder bool `json:"worker_kill_holder,omitempty"`
+	// WorkerKillReplicaHolder redirects a map-dispatch kill to a live
+	// worker holding a replica of the task's split (often the assignee
+	// itself, since dispatch prefers holders), modelling loss of the
+	// local input copy: the re-issued map must fall back to peer or
+	// master reads and the data plane must re-replicate.
+	WorkerKillReplicaHolder bool `json:"worker_kill_replica_holder,omitempty"`
 	// KillBudget caps the number of workers the plan may kill (0 = no
 	// cap). Chaos rows typically set 1: kill exactly one real process at
 	// the first seeded decision point reached.

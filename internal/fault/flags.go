@@ -17,20 +17,22 @@ func PlanFlags(fs *flag.FlagSet) func() Plan {
 	kill := fs.Float64("chaos-worker-kill", 0, "probability dispatching an attempt SIGKILLs the assigned worker process (master runtime only)")
 	killPhase := fs.String("chaos-kill-phase", "", "restrict worker kills to one phase: map or reduce (empty = any)")
 	killHolder := fs.Bool("chaos-kill-holder", false, "kill a shard holder instead of the reduce assignee (death during shuffle fetch)")
+	killReplicaHolder := fs.Bool("chaos-kill-replica-holder", false, "kill a replica holder of the map task's split (loss of the local input copy)")
 	killBudget := fs.Int("chaos-kill-budget", 1, "max workers the plan may kill (0 = unlimited)")
 	return func() Plan {
 		return Plan{
-			Seed:              *seed,
-			MapFailRate:       *mapFail,
-			ReduceFailRate:    *reduceFail,
-			PermanentFailRate: *permanent,
-			StragglerRate:     *straggler,
-			StragglerSlowdown: *slowdown,
-			CorruptBlockRate:  *corrupt,
-			WorkerKillRate:    *kill,
-			WorkerKillPhase:   *killPhase,
-			WorkerKillHolder:  *killHolder,
-			KillBudget:        *killBudget,
+			Seed:                    *seed,
+			MapFailRate:             *mapFail,
+			ReduceFailRate:          *reduceFail,
+			PermanentFailRate:       *permanent,
+			StragglerRate:           *straggler,
+			StragglerSlowdown:       *slowdown,
+			CorruptBlockRate:        *corrupt,
+			WorkerKillRate:          *kill,
+			WorkerKillPhase:         *killPhase,
+			WorkerKillHolder:        *killHolder,
+			WorkerKillReplicaHolder: *killReplicaHolder,
+			KillBudget:              *killBudget,
 		}
 	}
 }

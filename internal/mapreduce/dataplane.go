@@ -1,0 +1,285 @@
+package mapreduce
+
+import (
+	"net/rpc"
+	"sort"
+	"sync"
+
+	"spatialhadoop/internal/dfs"
+	"spatialhadoop/internal/fault"
+)
+
+// The master-side data plane: which worker holds a sealed replica of
+// which DFS block. When a job starts on the worker pool, every block of
+// its splits is pushed (once — block ids are monotone and blocks are
+// immutable once sealed) to Replication workers chosen by rendezvous
+// placement, spatial-partition groups co-locating. Map dispatches then
+// carry the holder set, the dispatch queue prefers holders, and workers
+// read input locally or peer-to-peer; the master serves a block itself
+// only as the last fallback. When a worker's lease expires, the blocks
+// it held are re-replicated onto the survivors so the replica factor
+// recovers without touching the job path.
+
+// Data-plane metric names, written to the master's system registry —
+// never to job registries, so remote and in-process runs keep identical
+// job counter sets (the byte-identity contract).
+const (
+	// MetricDFSLocalReads / MetricDFSLocalBytes count map-input blocks
+	// (and their record bytes) served from the reading worker's own
+	// replica store; the Remote pair counts peer and master reads,
+	// including whole-split fallbacks. Exported as
+	// shadoop_dfs_local_reads_total etc.
+	MetricDFSLocalReads  = "dfs.local.reads"
+	MetricDFSLocalBytes  = "dfs.local.read.bytes"
+	MetricDFSRemoteReads = "dfs.remote.reads"
+	MetricDFSRemoteBytes = "dfs.remote.read.bytes"
+	// MetricMasterEgress totals data bytes the master itself shipped:
+	// split records, block frames, shard chunks, replica pushes. The
+	// number the data plane exists to shrink.
+	MetricMasterEgress = "dfs.master.egress.bytes"
+	// MetricRereplications counts replicas re-pushed after worker loss.
+	MetricRereplications = "dfs.rereplications"
+	// MetricTasksDispatched counts task assignments handed to workers;
+	// MetricDispatchLocal/Nonlocal split map assignments by whether the
+	// assignee held a replica of its split.
+	MetricTasksDispatched  = "mr.tasks.dispatched"
+	MetricDispatchLocal    = "mr.dispatch.local"
+	MetricDispatchNonlocal = "mr.dispatch.nonlocal"
+)
+
+// planeBlock is the data plane's record of one replicated block.
+type planeBlock struct {
+	partition string
+	frame     []byte // sealed records, what PushBlock ships and ReadBlock serves
+	bytes     int64  // decoded record bytes, for egress accounting
+	holders   []int64
+}
+
+// dataPlane tracks replica placement for one master.
+type dataPlane struct {
+	m      *Master
+	policy dfs.ReplicaPolicy
+
+	mu     sync.Mutex
+	blocks map[dfs.BlockID]*planeBlock
+}
+
+func newDataPlane(m *Master, replication int, seed int64) *dataPlane {
+	return &dataPlane{
+		m:      m,
+		policy: dfs.ReplicaPolicy{Seed: seed, Factor: replication},
+		blocks: make(map[dfs.BlockID]*planeBlock),
+	}
+}
+
+// ensureReplicated pushes replicas of every not-yet-placed block of the
+// given splits, called once per job at run registration. Push failures
+// are tolerated: a holder that never got its replica simply isn't
+// recorded, and readers fall through to the master.
+func (p *dataPlane) ensureReplicated(splits []*Split) {
+	if p == nil {
+		return
+	}
+	for _, s := range splits {
+		for _, b := range s.Blocks {
+			p.ensureBlock(b)
+		}
+		for _, b := range s.Extra {
+			p.ensureBlock(b)
+		}
+	}
+}
+
+// ensureBlock places and pushes one block if the plane has never seen it.
+func (p *dataPlane) ensureBlock(b *dfs.Block) {
+	p.mu.Lock()
+	if _, ok := p.blocks[b.ID]; ok {
+		p.mu.Unlock()
+		return
+	}
+	pb := &planeBlock{partition: b.Partition, bytes: b.Bytes}
+	p.blocks[b.ID] = pb
+	p.mu.Unlock()
+
+	frame, err := EncodeBlockFrame(b.Records())
+	if err != nil {
+		return // unencodable records never happen; leave the block master-served
+	}
+	group := dfs.PlacementGroup(b.Partition, b.ID)
+	targets := p.policy.Place(group, p.m.liveWorkerIDs())
+	p.mu.Lock()
+	pb.frame = frame
+	p.mu.Unlock()
+	for _, id := range targets {
+		if p.pushTo(id, b.ID, b.Partition, frame) {
+			p.mu.Lock()
+			pb.holders = append(pb.holders, id)
+			p.mu.Unlock()
+			p.m.flog.Append(fault.Event{Phase: "dfs", Task: int(b.ID), Kind: "replicate", Worker: id})
+		}
+	}
+}
+
+// pushTo installs one replica on one worker, best-effort.
+func (p *dataPlane) pushTo(workerID int64, id dfs.BlockID, partition string, frame []byte) bool {
+	addr := p.m.workerAddr(workerID)
+	if addr == "" {
+		return false
+	}
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return false
+	}
+	defer client.Close()
+	args := PushBlockArgs{ID: int64(id), Partition: partition, Frame: frame}
+	var reply PushBlockReply
+	if err := client.Call(ShardService+".PushBlock", args, &reply); err != nil {
+		return false
+	}
+	if r := p.m.opts.Metrics; r != nil {
+		r.Inc(MetricMasterEgress, int64(len(frame)))
+	}
+	return true
+}
+
+// holdersFor returns the ids of every worker holding a replica of some
+// block of the split — the dispatch queue's locality set.
+func (p *dataPlane) holdersFor(s *Split) []int64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set := map[int64]bool{}
+	collect := func(b *dfs.Block) {
+		if pb := p.blocks[b.ID]; pb != nil {
+			for _, id := range pb.holders {
+				set[id] = true
+			}
+		}
+	}
+	for _, b := range s.Blocks {
+		collect(b)
+	}
+	for _, b := range s.Extra {
+		collect(b)
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int64, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// blockRefs builds the per-block replica directory shipped in a map
+// assignment, resolving holder ids to live shard-serving addresses.
+func (p *dataPlane) blockRefs(s *Split) []WireBlockRef {
+	refs := make([]WireBlockRef, 0, len(s.Blocks)+len(s.Extra))
+	add := func(b *dfs.Block, extra bool) {
+		ref := WireBlockRef{ID: int64(b.ID), Partition: b.Partition, Extra: extra}
+		p.mu.Lock()
+		pb := p.blocks[b.ID]
+		var holders []int64
+		if pb != nil {
+			holders = append(holders, pb.holders...)
+		}
+		p.mu.Unlock()
+		for _, id := range holders {
+			if addr := p.m.workerAddr(id); addr != "" {
+				ref.Holders = append(ref.Holders, addr)
+			}
+		}
+		refs = append(refs, ref)
+	}
+	for _, b := range s.Blocks {
+		add(b, false)
+	}
+	for _, b := range s.Extra {
+		add(b, true)
+	}
+	return refs
+}
+
+// readFrame serves one replicated block's sealed frame from the master —
+// the fallback source for a worker that reached no replica.
+func (p *dataPlane) readFrame(id dfs.BlockID) ([]byte, bool) {
+	if p == nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pb := p.blocks[id]
+	if pb == nil || pb.frame == nil {
+		return nil, false
+	}
+	return pb.frame, true
+}
+
+// onWorkerLost re-replicates every block the dead worker held onto
+// surviving workers, restoring the replica factor. Runs on the lease
+// monitor's path, after the worker was already marked dead, so the
+// placement excludes it naturally.
+func (p *dataPlane) onWorkerLost(workerID int64) {
+	if p == nil {
+		return
+	}
+	type repush struct {
+		id        dfs.BlockID
+		pb        *planeBlock
+		partition string
+		frame     []byte
+	}
+	var lost []repush
+	p.mu.Lock()
+	for id, pb := range p.blocks {
+		for i, h := range pb.holders {
+			if h == workerID {
+				pb.holders = append(pb.holders[:i], pb.holders[i+1:]...)
+				if pb.frame != nil {
+					lost = append(lost, repush{id: id, pb: pb, partition: pb.partition, frame: pb.frame})
+				}
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+
+	live := p.m.liveWorkerIDs()
+	for _, r := range lost {
+		p.mu.Lock()
+		missing := p.policy.Factor - len(r.pb.holders)
+		current := map[int64]bool{}
+		for _, h := range r.pb.holders {
+			current[h] = true
+		}
+		p.mu.Unlock()
+		if missing <= 0 {
+			continue
+		}
+		// Rank the survivors for this block's group; the first non-holders
+		// are the re-replication targets, so placement stays deterministic.
+		ranked := p.policy.Place(dfs.PlacementGroup(r.partition, r.id), live)
+		for _, id := range ranked {
+			if missing <= 0 {
+				break
+			}
+			if current[id] {
+				continue
+			}
+			if p.pushTo(id, r.id, r.partition, r.frame) {
+				p.mu.Lock()
+				r.pb.holders = append(r.pb.holders, id)
+				p.mu.Unlock()
+				missing--
+				if reg := p.m.opts.Metrics; reg != nil {
+					reg.Inc(MetricRereplications, 1)
+				}
+				p.m.flog.Append(fault.Event{Phase: "dfs", Task: int(r.id), Kind: "re-replicate", Worker: id})
+			}
+		}
+	}
+}

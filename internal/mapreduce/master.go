@@ -5,11 +5,13 @@ import (
 	"net"
 	"net/rpc"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"spatialhadoop/internal/dfs"
 	"spatialhadoop/internal/fault"
 	"spatialhadoop/internal/obs"
 )
@@ -76,6 +78,16 @@ type MasterOptions struct {
 	// heartbeat log (see HeartbeatLog) — the JSONL artifact the CI e2e
 	// step uploads. Off by default: a busy pool heartbeats constantly.
 	RecordHeartbeats bool
+	// Replication, when positive, turns on the data plane: each job's
+	// input blocks are pushed to this many workers before its maps run,
+	// map dispatches prefer replica holders, and workers read input
+	// locally or peer-to-peer instead of from the master. Zero (the
+	// default) keeps the PR-8 behavior: every split ships from the
+	// master via ReadSplit.
+	Replication int
+	// PlacementSeed seeds rendezvous replica placement (default 1), so
+	// a replayed run places identically.
+	PlacementSeed int64
 }
 
 func (o MasterOptions) withDefaults() MasterOptions {
@@ -90,6 +102,9 @@ func (o MasterOptions) withDefaults() MasterOptions {
 	}
 	if o.PollWait <= 0 {
 		o.PollWait = o.HeartbeatEvery
+	}
+	if o.PlacementSeed == 0 {
+		o.PlacementSeed = 1
 	}
 	return o
 }
@@ -131,10 +146,27 @@ type dispatch struct {
 	conf    map[string]string
 	nshards int
 	sources []ShardSource
+	// holders are the worker ids holding a replica of this map task's
+	// split — the locality set the pending queue matches pollers against.
+	holders []int64
+	// meta is the replica-aware split descriptor shipped in the
+	// assignment (nil when the data plane is off: the worker falls back
+	// to a whole-split ReadSplit from the master).
+	meta *WireSplitMeta
 
 	resultCh chan dispatchResult
 	finished sync.Once
 	isDone   atomic.Bool
+}
+
+// holds reports whether workerID is in the dispatch's locality set.
+func (d *dispatch) holds(workerID int64) bool {
+	for _, h := range d.holders {
+		if h == workerID {
+			return true
+		}
+	}
+	return false
 }
 
 // finish delivers the result exactly once (a task may be failed by worker
@@ -159,6 +191,10 @@ type Master struct {
 	flog  *fault.Log
 	hblog *fault.Log
 
+	// plane is the block-replica data plane, nil unless
+	// MasterOptions.Replication is positive.
+	plane *dataPlane
+
 	mu           sync.Mutex
 	workers      map[int64]*workerState
 	nextWorker   int64
@@ -167,11 +203,19 @@ type Master struct {
 	dispatches   map[int64]*dispatch
 	runs         map[int64]*remoteRun
 	live         int
-	queue        chan *dispatch
-	closed       bool
+	// pending is the dispatch queue. A slice rather than a channel so an
+	// assignment can scan for a dispatch local to the polling worker
+	// instead of taking strict FIFO order; waitCh is closed (and
+	// replaced) on every submit to wake long-polling workers.
+	pending []*dispatch
+	waitCh  chan struct{}
+	closed  bool
 
 	stop chan struct{}
 }
+
+// maxPending bounds the dispatch queue, matching the old channel buffer.
+const maxPending = 4096
 
 // StartMaster starts a master runtime listening for worker registrations.
 // Jobs submitted to the cluster while at least one worker is live (and
@@ -193,8 +237,11 @@ func (c *Cluster) StartMaster(opts MasterOptions) (*Master, error) {
 		workers:    make(map[int64]*workerState),
 		dispatches: make(map[int64]*dispatch),
 		runs:       make(map[int64]*remoteRun),
-		queue:      make(chan *dispatch, 4096),
+		waitCh:     make(chan struct{}),
 		stop:       make(chan struct{}),
+	}
+	if opts.Replication > 0 {
+		m.plane = newDataPlane(m, opts.Replication, opts.PlacementSeed)
 	}
 	if err := m.srv.RegisterName(MasterService, &masterService{m: m}); err != nil {
 		ln.Close()
@@ -246,6 +293,7 @@ func (m *Master) Stop() {
 		pending = append(pending, d)
 	}
 	m.dispatches = make(map[int64]*dispatch)
+	m.pending = nil
 	m.live = 0
 	for _, ws := range m.workers {
 		ws.live = false
@@ -281,6 +329,26 @@ func (m *Master) WorkerIDs() []int64 {
 		}
 	}
 	return ids
+}
+
+// liveWorkerIDs is WorkerIDs in sorted order — the data plane's stable
+// placement candidate list.
+func (m *Master) liveWorkerIDs() []int64 {
+	ids := m.WorkerIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// workerAddr resolves a live worker's shard-serving address ("" when the
+// worker is unknown or dead).
+func (m *Master) workerAddr(id int64) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ws := m.workers[id]
+	if ws == nil || !ws.live {
+		return ""
+	}
+	return ws.addr
 }
 
 func (m *Master) acceptLoop() {
@@ -353,18 +421,13 @@ func (m *Master) markDead(ws *workerState) {
 	}
 	var drained []*dispatch
 	if m.live == 0 {
-	drain:
-		for {
-			select {
-			case d := <-m.queue:
-				if !d.done() {
-					delete(m.dispatches, d.id)
-					drained = append(drained, d)
-				}
-			default:
-				break drain
+		for _, d := range m.pending {
+			if !d.done() {
+				delete(m.dispatches, d.id)
+				drained = append(drained, d)
 			}
 		}
+		m.pending = nil
 	}
 	live := m.live
 	runs := make([]*remoteRun, 0, len(m.runs))
@@ -386,6 +449,11 @@ func (m *Master) markDead(ws *workerState) {
 	for _, d := range drained {
 		d.finish(dispatchResult{err: noWorkers, workerLost: true})
 	}
+	// Re-replicate the dead worker's blocks before the runs react, so a
+	// re-issued map already sees the restored holder set. markDead runs
+	// only on the lease monitor (and never holds m.mu here), so the
+	// synchronous pushes cannot deadlock or race another markDead.
+	m.plane.onWorkerLost(ws.id)
 	for _, run := range runs {
 		go run.onWorkerLost(ws.id)
 	}
@@ -403,17 +471,51 @@ func (m *Master) submit(d *dispatch) error {
 		m.mu.Unlock()
 		return fault.Transientf("mapreduce: no live workers")
 	}
-	m.nextDispatch++
-	d.id = m.nextDispatch
-	select {
-	case m.queue <- d:
-	default:
+	if len(m.pending) >= maxPending {
 		m.mu.Unlock()
 		return fault.Transientf("mapreduce: dispatch queue full")
 	}
+	m.nextDispatch++
+	d.id = m.nextDispatch
+	m.pending = append(m.pending, d)
 	m.dispatches[d.id] = d
+	// Wake every long-polling worker; each re-scans the pending list.
+	close(m.waitCh)
+	m.waitCh = make(chan struct{})
 	m.mu.Unlock()
 	return nil
+}
+
+// takePendingLocked removes and returns the dispatch the polling worker
+// should run: the first pending dispatch whose replica-holder set
+// contains the worker, or — with none local to it — the oldest pending
+// dispatch (locality is a preference, not an assignment constraint).
+// Dispatches finished while queued (worker-death drain, run teardown)
+// are dropped on the way. Callers hold m.mu.
+func (m *Master) takePendingLocked(workerID int64) *dispatch {
+	alive := m.pending[:0]
+	for _, d := range m.pending {
+		if !d.done() {
+			alive = append(alive, d)
+		}
+	}
+	m.pending = alive
+	idx := -1
+	for i, d := range m.pending {
+		if d.holds(workerID) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		if len(m.pending) == 0 {
+			return nil
+		}
+		idx = 0
+	}
+	d := m.pending[idx]
+	m.pending = append(m.pending[:idx], m.pending[idx+1:]...)
+	return d
 }
 
 // registerRun attaches a job run to the master, allocating its job id.
@@ -477,6 +579,20 @@ func (m *Master) maybeKill(d *dispatch, assignee *workerState) {
 		return
 	}
 	victim := assignee
+	if in.Plan().WorkerKillReplicaHolder && d.phase == TaskMap && len(d.holders) > 0 {
+		// Kill a live replica holder of the map task's split — possibly
+		// the assignee itself (locality makes that the common case) —
+		// so the read path's peer/master fallback and the plane's
+		// re-replication are what the chaos mode exercises.
+		m.mu.Lock()
+		for _, h := range d.holders {
+			if ws := m.workers[h]; ws != nil && ws.live {
+				victim = ws
+				break
+			}
+		}
+		m.mu.Unlock()
+	}
 	if in.Plan().WorkerKillHolder && d.phase == TaskReduce {
 		m.mu.Lock()
 		for _, src := range d.sources {
@@ -550,7 +666,9 @@ func (s *masterService) Heartbeat(args HeartbeatArgs, reply *HeartbeatReply) err
 	return nil
 }
 
-// GetTask long-polls for work. The poll doubles as a heartbeat.
+// GetTask long-polls for work. The poll doubles as a heartbeat. The
+// pending list is scanned for a dispatch local to this worker (one whose
+// split replicas it holds) before falling back to the oldest dispatch.
 func (s *masterService) GetTask(args GetTaskArgs, reply *TaskAssignment) error {
 	m := s.m
 	if !m.renewLease(args.WorkerID) {
@@ -560,24 +678,29 @@ func (s *masterService) GetTask(args GetTaskArgs, reply *TaskAssignment) error {
 	deadline := time.NewTimer(m.opts.PollWait)
 	defer deadline.Stop()
 	for {
-		select {
-		case d := <-m.queue:
-			if d.done() {
-				continue // failed while queued (worker death drain, run end)
-			}
-			m.mu.Lock()
-			ws := m.workers[args.WorkerID]
-			if ws == nil || !ws.live {
-				m.mu.Unlock()
-				// The poller died between lease renewal and assignment;
-				// fail the dispatch transiently so the scheduler retries.
-				delete(m.dispatches, d.id)
-				d.finish(dispatchResult{err: fault.Transientf("mapreduce: assignee lost"), workerLost: true})
-				reply.Phase = TaskNone
-				return nil
-			}
+		m.mu.Lock()
+		ws := m.workers[args.WorkerID]
+		if ws == nil || !ws.live {
+			// The poller died between lease renewal and the scan; it
+			// takes nothing.
+			m.mu.Unlock()
+			reply.Phase = TaskNone
+			return nil
+		}
+		d := m.takePendingLocked(args.WorkerID)
+		if d != nil {
 			ws.inflight[d.id] = d
 			m.mu.Unlock()
+			if r := m.opts.Metrics; r != nil {
+				r.Inc(MetricTasksDispatched, 1)
+				if m.plane != nil && d.phase == TaskMap {
+					if d.holds(args.WorkerID) {
+						r.Inc(MetricDispatchLocal, 1)
+					} else {
+						r.Inc(MetricDispatchNonlocal, 1)
+					}
+				}
+			}
 			m.maybeKill(d, ws)
 			reply.DispatchID = d.id
 			reply.Phase = d.phase
@@ -588,7 +711,14 @@ func (s *masterService) GetTask(args GetTaskArgs, reply *TaskAssignment) error {
 			reply.Conf = d.conf
 			reply.NumShards = d.nshards
 			reply.Sources = d.sources
+			reply.Meta = d.meta
 			return nil
+		}
+		wake := m.waitCh
+		m.mu.Unlock()
+		select {
+		case <-wake:
+			// A submit happened; rescan.
 		case <-deadline.C:
 			reply.Phase = TaskNone
 			return nil
@@ -609,7 +739,18 @@ func (s *masterService) ReadSplit(args ReadSplitArgs, reply *WireSplit) error {
 	if args.Task < 0 || args.Task >= len(r.splits) {
 		return fmt.Errorf("mapreduce: run %d has no task %d", args.JobID, args.Task)
 	}
-	*reply = *r.splits[args.Task].ToWire()
+	sp := r.splits[args.Task]
+	*reply = *sp.ToWire()
+	if reg := s.m.opts.Metrics; reg != nil {
+		var n int64
+		for _, b := range sp.Blocks {
+			n += b.Bytes
+		}
+		for _, b := range sp.Extra {
+			n += b.Bytes
+		}
+		reg.Inc(MetricMasterEgress, n)
+	}
 	return nil
 }
 
@@ -630,6 +771,18 @@ func (s *masterService) TaskDone(args TaskDoneArgs, reply *TaskDoneReply) error 
 		}
 	}
 	m.mu.Unlock()
+	if reg := m.opts.Metrics; reg != nil {
+		// Runtime traffic accounting from the attempt's read path; these
+		// live in the master's system registry, never the job registry.
+		if args.LocalReads > 0 {
+			reg.Inc(MetricDFSLocalReads, args.LocalReads)
+			reg.Inc(MetricDFSLocalBytes, args.LocalBytes)
+		}
+		if args.RemoteReads > 0 {
+			reg.Inc(MetricDFSRemoteReads, args.RemoteReads)
+			reg.Inc(MetricDFSRemoteBytes, args.RemoteBytes)
+		}
+	}
 	if d == nil {
 		return nil
 	}
@@ -656,14 +809,15 @@ func (s *masterService) TaskDone(args TaskDoneArgs, reply *TaskDoneReply) error 
 }
 
 // masterShards serves shards produced by in-process (fallback or
-// re-issued) map attempts, under the same Shards.Fetch contract workers
-// serve their spill files with.
+// re-issued) map attempts — under the same Shards.FetchChunk contract
+// workers serve their spill files with — and replicated block frames for
+// workers that reached no replica.
 type masterShards struct {
 	m *Master
 }
 
-// Fetch returns one master-held sealed shard frame.
-func (s *masterShards) Fetch(args FetchShardArgs, reply *FetchShardReply) error {
+// FetchChunk returns one chunk of a master-held shard stream.
+func (s *masterShards) FetchChunk(args FetchChunkArgs, reply *FetchChunkReply) error {
 	r := s.m.run(args.JobID)
 	if r == nil {
 		return fmt.Errorf("mapreduce: no active run %d", args.JobID)
@@ -672,6 +826,36 @@ func (s *masterShards) Fetch(args FetchShardArgs, reply *FetchShardReply) error 
 	if !ok {
 		return fmt.Errorf("mapreduce: master holds no shard j%d/m%d.a%d.r%d", args.JobID, args.Task, args.Attempt, args.Reduce)
 	}
+	if args.Offset < 0 || args.Offset > int64(len(frame)) {
+		return fmt.Errorf("mapreduce: chunk offset %d outside shard of %d bytes", args.Offset, len(frame))
+	}
+	end := int64(len(frame))
+	if args.MaxBytes > 0 && args.Offset+int64(args.MaxBytes) < end {
+		end = args.Offset + int64(args.MaxBytes)
+	}
+	reply.Data = frame[args.Offset:end]
+	reply.EOF = end == int64(len(frame))
+	if reg := s.m.opts.Metrics; reg != nil {
+		reg.Inc(MetricMasterEgress, int64(len(reply.Data)))
+	}
+	return nil
+}
+
+// ReadBlock serves a replicated block's sealed frame from the master —
+// the terminal fallback of the worker read chain (own replica, peers,
+// master).
+func (s *masterShards) ReadBlock(args ReadBlockArgs, reply *ReadBlockReply) error {
+	p := s.m.plane
+	if p == nil {
+		return fmt.Errorf("mapreduce: data plane is off")
+	}
+	frame, ok := p.readFrame(dfs.BlockID(args.ID))
+	if !ok {
+		return fmt.Errorf("mapreduce: master holds no block %d", args.ID)
+	}
 	reply.Frame = frame
+	if reg := s.m.opts.Metrics; reg != nil {
+		reg.Inc(MetricMasterEgress, int64(len(frame)))
+	}
 	return nil
 }

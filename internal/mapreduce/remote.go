@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"spatialhadoop/internal/dfs"
 	"spatialhadoop/internal/obs"
 )
 
@@ -107,11 +108,19 @@ func ExecReduceAttempt(kf KindFuncs, jobName string, conf map[string]string, gro
 func GroupShards(taskShards [][]Pair) map[string][]string {
 	g := make(map[string][]string)
 	for _, shard := range taskShards {
-		for _, p := range shard {
-			g[p.Key] = append(g[p.Key], p.Value)
-		}
+		MergePairs(g, shard)
 	}
 	return g
+}
+
+// MergePairs folds one run of pairs into reduce groups. Streaming
+// reducers call it per decoded batch, so merge work overlaps the shard
+// transfer; feeding batches in stream order is equivalent to merging the
+// whole shard at once.
+func MergePairs(g map[string][]string, pairs []Pair) {
+	for _, p := range pairs {
+		g[p.Key] = append(g[p.Key], p.Value)
+	}
 }
 
 // runReduceAttempt executes one reduce attempt over grouped values: keys
@@ -150,19 +159,62 @@ func ShardTotals(shards [][]Pair) (pairs, bytes int64) {
 	return pairs, bytes
 }
 
-// FetchShardFrom fetches and decodes one map shard from a shard server
-// (worker or master) at addr. Connection failures, torn frames and gob
-// damage all surface as errors the caller treats as a lost shard.
-func FetchShardFrom(addr string, jobID int64, task, attempt, reduce int) ([]Pair, error) {
+// StreamShardFrom streams one map shard from a shard server (worker or
+// master) at addr in ShuffleChunkBytes chunks, invoking sink with each
+// decoded batch of pairs as its frames complete — so a reducer merges
+// while the rest of the shard is still in flight. Connection failures,
+// torn frames, truncation (no end-of-stream marker) and gob damage all
+// surface as errors the caller treats as a lost shard.
+func StreamShardFrom(addr string, jobID int64, task, attempt, reduce int, sink func([]Pair) error) error {
 	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	var st ShardStream
+	offset := int64(0)
+	for {
+		var reply FetchChunkReply
+		args := FetchChunkArgs{
+			JobID: jobID, Task: task, Attempt: attempt, Reduce: reduce,
+			Offset: offset, MaxBytes: ShuffleChunkBytes,
+		}
+		if err := client.Call(ShardService+".FetchChunk", args, &reply); err != nil {
+			return err
+		}
+		pairs, err := st.Feed(reply.Data)
+		if err != nil {
+			return err
+		}
+		if len(pairs) > 0 {
+			if err := sink(pairs); err != nil {
+				return err
+			}
+		}
+		offset += int64(len(reply.Data))
+		if reply.EOF {
+			break
+		}
+		if len(reply.Data) == 0 {
+			return &dfs.TornShardError{Reason: "empty non-final chunk"}
+		}
+	}
+	if !st.Done() {
+		return &dfs.TornShardError{Reason: "spill stream ends before its end-of-stream frame"}
+	}
+	return nil
+}
+
+// FetchShardFrom streams and collects one whole map shard — the
+// non-incremental convenience used by the master's fallback reduce path.
+func FetchShardFrom(addr string, jobID int64, task, attempt, reduce int) ([]Pair, error) {
+	var all []Pair
+	err := StreamShardFrom(addr, jobID, task, attempt, reduce, func(batch []Pair) error {
+		all = append(all, batch...)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer client.Close()
-	var reply FetchShardReply
-	args := FetchShardArgs{JobID: jobID, Task: task, Attempt: attempt, Reduce: reduce}
-	if err := client.Call(ShardService+".Fetch", args, &reply); err != nil {
-		return nil, err
-	}
-	return DecodeShard(reply.Frame)
+	return all, nil
 }

@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"fmt"
+	"net/rpc"
 	"sync"
 	"time"
 
@@ -90,17 +91,41 @@ func (c *Cluster) startRemote(rj *runningJob, job *Job, splits []*Split, nshards
 		masterShards: make(map[shardKey][]byte),
 		reissue:      make(map[int]*reissueCall),
 	}
+	// Replicate the job's input blocks onto the pool before any map
+	// dispatch, so locality-aware assignment has holders to match.
+	m.plane.ensureReplicated(splits)
 	m.registerRun(r)
 	return r
 }
 
 // close detaches the run from the master; outstanding dispatches fail so
-// nothing blocks on a job that already ended.
+// nothing blocks on a job that already ended, and workers are told to
+// drop the job's spill files (best-effort, in the background — a worker
+// that misses the drop only leaks until its own teardown).
 func (r *remoteRun) close() {
 	r.mu.Lock()
 	r.closed = true
 	r.mu.Unlock()
 	r.m.unregisterRun(r)
+	addrs := make(map[string]bool)
+	r.m.mu.Lock()
+	for _, ws := range r.m.workers {
+		if ws.live {
+			addrs[ws.addr] = true
+		}
+	}
+	r.m.mu.Unlock()
+	for addr := range addrs {
+		go func(addr string) {
+			client, err := rpc.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			defer client.Close()
+			var reply DropJobReply
+			_ = client.Call(ShardService+".DropJob", DropJobArgs{JobID: r.id}, &reply)
+		}(addr)
+	}
 }
 
 func (r *remoteRun) isClosed() bool {
@@ -178,6 +203,14 @@ func (r *remoteRun) mapAttempt(split *Split, task, attempt int) (remoteMapResult
 		jobID: r.id, phase: TaskMap, task: task, attempt: attempt,
 		jobKind: r.job.Kind, conf: r.job.Conf, nshards: r.nshards,
 		resultCh: make(chan dispatchResult, 1),
+	}
+	if p := r.m.plane; p != nil {
+		d.holders = p.holdersFor(split)
+		d.meta = &WireSplitMeta{
+			Partition: split.Partition, MBR: split.MBR,
+			ContentMBR: split.ContentMBR, Tag: split.Tag,
+			Blocks: p.blockRefs(split),
+		}
 	}
 	if err := r.m.submit(d); err != nil {
 		return remoteMapResult{}, err

@@ -127,6 +127,12 @@ func (p *workerPool) stopAll() {
 // startDistributed stands up a cluster, a master with test-speed leases,
 // and n goroutine workers, and waits until all are under lease.
 func startDistributed(t *testing.T, n int, reg *obs.Registry) (*mapreduce.Cluster, *mapreduce.Master, *workerPool) {
+	return startDistributedRepl(t, n, reg, 0)
+}
+
+// startDistributedRepl is startDistributed with the data plane on at the
+// given replication factor.
+func startDistributedRepl(t *testing.T, n int, reg *obs.Registry, replication int) (*mapreduce.Cluster, *mapreduce.Master, *workerPool) {
 	t.Helper()
 	fs := dfs.New(dfs.Config{BlockSize: 256, DataNodes: 4})
 	c := mapreduce.NewCluster(fs, 4)
@@ -139,6 +145,7 @@ func startDistributed(t *testing.T, n int, reg *obs.Registry) (*mapreduce.Cluste
 		EnableKill:       true,
 		KillFn:           pool.kill,
 		RecordHeartbeats: true,
+		Replication:      replication,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -256,11 +263,13 @@ func TestWorkerPoolLifecycle(t *testing.T) {
 
 // TestRemoteByteIdentity is the core contract: the same job on real
 // workers produces byte-identical output to the in-process run, and it
-// genuinely ran remotely (the workers spilled shards).
+// genuinely ran remotely (tasks were dispatched to workers). Spill files
+// are no evidence anymore — end-of-job GC removes them.
 func TestRemoteByteIdentity(t *testing.T) {
 	want, wantRep := inProcessOracle(t)
 
-	c, _, pool := startDistributed(t, 2, obs.NewRegistry())
+	reg := obs.NewRegistry()
+	c, _, _ := startDistributed(t, 2, reg)
 	writeDistText(t, c)
 	rep, err := c.Run(kindWordCountJob())
 	if err != nil {
@@ -279,21 +288,8 @@ func TestRemoteByteIdentity(t *testing.T) {
 		}
 	}
 
-	// Spill evidence: at least one worker wrote shard files.
-	spilled := 0
-	pool.mu.Lock()
-	dirs := make([]string, 0, len(pool.workers))
-	for _, w := range pool.workers {
-		dirs = append(dirs, w.Dir())
-	}
-	pool.mu.Unlock()
-	for _, dir := range dirs {
-		if n := countSpillFiles(t, dir); n > 0 {
-			spilled++
-		}
-	}
-	if spilled == 0 {
-		t.Fatal("no worker spilled any shards; the job did not run remotely")
+	if reg.Counter(mapreduce.MetricTasksDispatched) == 0 {
+		t.Fatal("no task was dispatched to a worker; the job did not run remotely")
 	}
 }
 
@@ -439,6 +435,82 @@ func TestReissueCountedExactlyOnce(t *testing.T) {
 	if int64(reissues) != rep.Counters[mapreduce.CounterReissuedMaps] {
 		t.Errorf("%d reissue spans vs counter %d", reissues, rep.Counters[mapreduce.CounterReissuedMaps])
 	}
+}
+
+// TestSpillGC is the spill-leak regression: after a sequence of jobs,
+// every worker's job spill directories must be garbage-collected (the
+// drop is asynchronous, so the assertion polls). Replica files survive —
+// only job<J>/ trees are per-job state.
+func TestSpillGC(t *testing.T) {
+	c, _, pool := startDistributed(t, 2, obs.NewRegistry())
+	writeDistText(t, c)
+	for i := 0; i < 3; i++ {
+		job := kindWordCountJob()
+		job.Output = fmt.Sprintf("out%d", i)
+		if _, err := c.Run(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.mu.Lock()
+	dirs := make([]string, 0, len(pool.workers))
+	for _, w := range pool.workers {
+		dirs = append(dirs, w.Dir())
+	}
+	pool.mu.Unlock()
+	waitFor(t, 2*time.Second, func() bool {
+		total := 0
+		for _, dir := range dirs {
+			total += countSpillFiles(t, dir)
+		}
+		return total == 0
+	})
+}
+
+// TestLocalityMetrics: with the data plane on, map input is read from
+// local replicas (the locality counters prove it), dispatch prefers
+// holders, and output stays byte-identical to the in-process run.
+func TestLocalityMetrics(t *testing.T) {
+	want, _ := inProcessOracle(t)
+
+	reg := obs.NewRegistry()
+	c, _, _ := startDistributedRepl(t, 3, reg, 2)
+	writeDistText(t, c)
+	if _, err := c.Run(kindWordCountJob()); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, readOut(t, c), want, "replicated wordcount")
+
+	if reg.Counter(mapreduce.MetricDFSLocalReads) == 0 {
+		t.Fatal("no map input block was read from a local replica")
+	}
+	if reg.Counter(mapreduce.MetricDispatchLocal) == 0 {
+		t.Fatal("no map dispatch went to a replica holder")
+	}
+	local := reg.Counter(mapreduce.MetricDFSLocalBytes)
+	remote := reg.Counter(mapreduce.MetricDFSRemoteBytes)
+	if local+remote == 0 {
+		t.Fatal("read path reported no input bytes at all")
+	}
+	t.Logf("locality: %d local / %d remote bytes", local, remote)
+}
+
+// TestStreamingShuffleChunks forces the shuffle through absurdly small
+// chunks — every frame arrives in many pieces and most chunks split a
+// frame — and requires byte-identical output: the incremental decoder
+// must reassemble exactly what a whole-shard fetch would have.
+func TestStreamingShuffleChunks(t *testing.T) {
+	want, _ := inProcessOracle(t)
+
+	old := mapreduce.ShuffleChunkBytes
+	mapreduce.ShuffleChunkBytes = 7
+	defer func() { mapreduce.ShuffleChunkBytes = old }()
+
+	c, _, _ := startDistributed(t, 2, obs.NewRegistry())
+	writeDistText(t, c)
+	if _, err := c.Run(kindWordCountJob()); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRecords(t, readOut(t, c), want, "tiny-chunk shuffle wordcount")
 }
 
 // TestTotalWorkerLossFallsBack: every worker dies mid-pool; the job must

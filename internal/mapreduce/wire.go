@@ -13,19 +13,22 @@ import (
 // This file is the wire protocol between the master runtime and worker
 // processes (net/rpc over TCP, gob-encoded). The protocol is pull-based,
 // like Hadoop's: workers register, heartbeat, long-poll for task
-// assignments, read their split's records from the master (the DFS lives
-// in the master process), execute, spill intermediate shards locally, and
-// report completion. Reducers fetch map shards directly from the worker
-// that produced them — or from the master, for attempts that ran in
-// process — over the same Shards.Fetch call on either side.
+// assignments, read their split's input blocks (from their own replica
+// store, a peer worker, or the master — in that order), execute, spill
+// intermediate shards locally, and report completion. Reducers stream
+// map shards in chunks directly from the worker that produced them — or
+// from the master, for attempts that ran in process — over the same
+// Shards.FetchChunk call on either side, merging frames as they arrive
+// instead of waiting for a whole shard to transfer.
 
 // RPC service names registered on the master and worker RPC servers.
 const (
 	// MasterService hosts the control-plane calls workers make.
 	MasterService = "Master"
-	// ShardService hosts Shards.Fetch and is registered by both sides:
-	// workers serve their spilled shard files, the master serves shards
-	// produced by in-process (fallback or re-issued) map attempts.
+	// ShardService hosts the data-plane calls and is registered by both
+	// sides: workers serve their spilled shard files and block replicas,
+	// the master serves shards produced by in-process (fallback or
+	// re-issued) map attempts plus blocks no worker replica holds.
 	ShardService = "Shards"
 )
 
@@ -102,6 +105,34 @@ type TaskAssignment struct {
 	// Sources lists, for reduce tasks, the shard holders of every map
 	// task in task order — the order the in-process shuffle merges in.
 	Sources []ShardSource
+	// Meta, for map tasks on a replicated data plane, describes the
+	// split's blocks and their replica holders so the worker assembles
+	// its input from local or peer replicas. Nil means replication is
+	// off and the worker reads the whole split from the master.
+	Meta *WireSplitMeta
+}
+
+// WireBlockRef names one block of a split and where its replicas live.
+type WireBlockRef struct {
+	ID        int64
+	Partition string
+	// Extra marks blocks of the secondary group of a pair split.
+	Extra bool
+	// Holders are shard-serving addresses of workers holding a sealed
+	// replica, in placement order. A reader tries its own store first,
+	// then peers, then the master.
+	Holders []string
+}
+
+// WireSplitMeta is a split's shape without its records: enough for a
+// worker to rebuild the split from block replicas, falling back to the
+// master only for blocks it cannot reach anywhere else.
+type WireSplitMeta struct {
+	Partition  string
+	MBR        geom.Rect
+	ContentMBR geom.Rect
+	Tag        string
+	Blocks     []WireBlockRef
 }
 
 // ReadSplitArgs fetches the records of a map task's split from the
@@ -182,49 +213,201 @@ type TaskDoneArgs struct {
 	RecordsIn int64
 	Pairs     int64
 	Bytes     int64
+
+	// Input-read locality of a map attempt, in block reads and record
+	// bytes: Local counts blocks served from the worker's own replica
+	// store, Remote counts peer and master reads (including a whole-split
+	// fallback). The master folds these into its system registry — they
+	// are runtime traffic metrics, never job counters, so remote and
+	// in-process runs keep identical job counter sets.
+	LocalReads  int64
+	LocalBytes  int64
+	RemoteReads int64
+	RemoteBytes int64
 }
 
 // TaskDoneReply acknowledges a completion report.
 type TaskDoneReply struct{}
 
-// FetchShardArgs requests one map task's spill shard for one reducer.
-type FetchShardArgs struct {
-	JobID   int64
-	Task    int
-	Attempt int
-	Reduce  int
+// FetchChunkArgs requests one chunk of a map task's spill stream for one
+// reducer. Offset is a byte offset into the stream; MaxBytes bounds the
+// reply (the reader picks the chunk size, see ShuffleChunkBytes).
+type FetchChunkArgs struct {
+	JobID    int64
+	Task     int
+	Attempt  int
+	Reduce   int
+	Offset   int64
+	MaxBytes int
 }
 
-// FetchShardReply carries the sealed shard frame (dfs.SealShard); the
-// fetcher unseals it, so torn or truncated spill files are detected at
-// the consumer regardless of which side served the bytes.
-type FetchShardReply struct {
+// FetchChunkReply carries one chunk of spill-stream bytes. EOF marks the
+// last chunk; chunk boundaries are arbitrary — the reader reassembles
+// sealed frames with a ShardStream, so integrity never depends on how
+// the server happened to slice the file.
+type FetchChunkReply struct {
+	Data []byte
+	EOF  bool
+}
+
+// ShuffleChunkBytes is the chunk size reducers stream spill shards with.
+// A var, not a const, so tests shrink it to force multi-chunk transfers
+// on small shards.
+var ShuffleChunkBytes = 64 << 10
+
+// shardBatchPairs is the number of pairs per sealed frame in a spill
+// stream. Batches are never empty, so the empty end-of-stream frame is
+// unambiguous and a truncated stream is always detectable.
+const shardBatchPairs = 512
+
+// EncodeShard serializes one reducer's pairs into a spill stream: a
+// sequence of sealed frames of at most shardBatchPairs pairs each,
+// terminated by an empty sealed frame. A reducer can decode and merge
+// every complete frame before the stream finishes transferring, and a
+// stream cut anywhere — mid-frame or between frames — fails verification
+// (torn frame, or missing end-of-stream marker).
+func EncodeShard(pairs []Pair) ([]byte, error) {
+	var out []byte
+	for len(pairs) > 0 {
+		n := shardBatchPairs
+		if n > len(pairs) {
+			n = len(pairs)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(pairs[:n]); err != nil {
+			return nil, err
+		}
+		out = append(out, dfs.SealShard(buf.Bytes())...)
+		pairs = pairs[n:]
+	}
+	return append(out, dfs.SealShard(nil)...), nil
+}
+
+// DecodeShard verifies and deserializes a whole spill stream. Damage —
+// torn frames, truncation before the end-of-stream marker, trailing
+// bytes — surfaces as dfs.ErrTornShard (transient: the producing map
+// task can be re-run).
+func DecodeShard(stream []byte) ([]Pair, error) {
+	var st ShardStream
+	pairs, err := st.Feed(stream)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Done() {
+		return nil, &dfs.TornShardError{Reason: "spill stream ends before its end-of-stream frame"}
+	}
+	return pairs, nil
+}
+
+// ShardStream reassembles a spill stream from arbitrarily sliced chunks,
+// yielding decoded pair batches as soon as their frames complete — the
+// reducer-side half of streaming shuffle.
+type ShardStream struct {
+	buf  []byte
+	done bool
+}
+
+// Feed appends a chunk and returns the pairs of every frame it
+// completed. After the end-of-stream frame, any further byte is an
+// integrity failure.
+func (s *ShardStream) Feed(chunk []byte) ([]Pair, error) {
+	if s.done {
+		if len(chunk) > 0 {
+			return nil, &dfs.TornShardError{Reason: "bytes after the end-of-stream frame"}
+		}
+		return nil, nil
+	}
+	s.buf = append(s.buf, chunk...)
+	var out []Pair
+	for {
+		n, err := dfs.PeekShardFrame(s.buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || len(s.buf) < n {
+			return out, nil
+		}
+		payload, err := dfs.UnsealShard(s.buf[:n])
+		if err != nil {
+			return nil, err
+		}
+		s.buf = s.buf[n:]
+		if len(payload) == 0 {
+			s.done = true
+			if len(s.buf) > 0 {
+				return nil, &dfs.TornShardError{Reason: "bytes after the end-of-stream frame"}
+			}
+			return out, nil
+		}
+		var batch []Pair
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&batch); err != nil {
+			return nil, err
+		}
+		out = append(out, batch...)
+	}
+}
+
+// Done reports whether the end-of-stream frame arrived; a transfer that
+// ends without it was truncated.
+func (s *ShardStream) Done() bool { return s.done }
+
+// ReadBlockArgs fetches one sealed block-replica frame by block id, from
+// a worker's replica store or from the master's data plane.
+type ReadBlockArgs struct {
+	ID int64
+}
+
+// ReadBlockReply carries the sealed frame (gob []string records inside
+// dfs.SealShard); the reader unseals and decodes it, so a torn replica
+// is detected at the consumer and the read falls through to the next
+// source.
+type ReadBlockReply struct {
 	Frame []byte
 }
 
-// EncodeShard serializes one reducer's pairs into a sealed spill frame.
-func EncodeShard(pairs []Pair) ([]byte, error) {
+// PushBlockArgs installs one sealed block replica on a worker — the
+// master's replication (and re-replication) write path.
+type PushBlockArgs struct {
+	ID        int64
+	Partition string
+	Frame     []byte
+}
+
+// PushBlockReply acknowledges a replica installation.
+type PushBlockReply struct{}
+
+// DropJobArgs tells a worker a job ended; the worker garbage-collects
+// the job's spill directory.
+type DropJobArgs struct {
+	JobID int64
+}
+
+// DropJobReply acknowledges spill GC.
+type DropJobReply struct{}
+
+// EncodeBlockFrame seals a block's records for replica push: the same
+// CRC frame as spill streams, so a replica torn by a dying worker is
+// detected exactly like a torn spill.
+func EncodeBlockFrame(records []string) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(pairs); err != nil {
+	if err := gob.NewEncoder(&buf).Encode(records); err != nil {
 		return nil, err
 	}
 	return dfs.SealShard(buf.Bytes()), nil
 }
 
-// DecodeShard unseals and deserializes a spill frame. Frame damage
-// surfaces as dfs.ErrTornShard (transient: the producing map task can be
-// re-run).
-func DecodeShard(frame []byte) ([]Pair, error) {
+// DecodeBlockFrame verifies a replica frame and returns its records.
+func DecodeBlockFrame(frame []byte) ([]string, error) {
 	payload, err := dfs.UnsealShard(frame)
 	if err != nil {
 		return nil, err
 	}
-	var pairs []Pair
+	var records []string
 	if len(payload) == 0 {
 		return nil, nil
 	}
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&pairs); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&records); err != nil {
 		return nil, err
 	}
-	return pairs, nil
+	return records, nil
 }

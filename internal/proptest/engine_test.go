@@ -1,0 +1,150 @@
+// Remote-engine property tests: the distributed runtime (in-test master,
+// replicated data plane, goroutine workers) is held to the same
+// brute-force oracles as the in-process scheduler, to byte identity
+// against the in-process answers, and to worker-count independence.
+package proptest_test
+
+import (
+	"strings"
+	"testing"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/proptest"
+	"spatialhadoop/internal/sindex"
+)
+
+// remoteOps are the operations whose job kinds execute on workers; the
+// rest fall back in process under the remote engine (covered by
+// TestEngineRemoteDifferential picking them up identically is trivial).
+var remoteOps = []string{"range", "knn", "join"}
+
+// TestEngineRemoteDifferential: the full differential checks — the same
+// oracles the in-process matrix runs against — under the remote engine,
+// across seeds and techniques.
+func TestEngineRemoteDifferential(t *testing.T) {
+	// No t.Parallel here: CloseEngines is process-global, so concurrent
+	// remote-engine checks would tear down each other's runtimes
+	// mid-check (and the jobs would silently fall back in process).
+	for _, op := range remoteOps {
+		op := op
+		t.Run(op, func(t *testing.T) {
+			for _, tech := range []sindex.Technique{sindex.STRPlus, sindex.Grid} {
+				for seed := int64(1); seed <= 3; seed++ {
+					c := proptest.GenCase(op, tech, proptest.Shapes[int(seed)%len(proptest.Shapes)], seed)
+					c.Engine = proptest.EngineRemote
+					if f := proptest.RunCase(c); f != nil {
+						t.Fatalf("remote %s × %v seed %d:\n%s", op, tech, seed, f.Report())
+					}
+				}
+			}
+		})
+	}
+}
+
+// canonCase runs one case's workload on its own engine and returns the
+// canonical byte encoding of every answer, concatenated.
+func canonCase(t *testing.T, c proptest.Case) string {
+	t.Helper()
+	defer proptest.CloseEngines()
+	sys := c.System()
+	var outs []string
+	switch c.Op {
+	case "range":
+		if _, err := sys.LoadPoints("pts", c.Pts, c.Tech); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range c.Queries {
+			got, _, err := ops.RangeQueryPoints(sys, "pts", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, proptest.CanonPoints(got))
+		}
+	case "knn":
+		if _, err := sys.LoadPoints("pts", c.Pts, c.Tech); err != nil {
+			t.Fatal(err)
+		}
+		for _, kq := range c.KNNs {
+			got, _, err := ops.KNN(sys, "pts", kq.Q, kq.K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, proptest.CanonPoints(got))
+		}
+	case "join":
+		if _, err := sys.LoadRegions("left", c.Left, c.Tech); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.LoadRegions("right", c.Right, c.Tech); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := ops.SpatialJoinIndexed(sys, "left", "right")
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, proptest.CanonStrings(proptest.CanonJoinPairs(got)))
+	default:
+		t.Fatalf("canonCase: unsupported op %s", c.Op)
+	}
+	return strings.Join(outs, "\x00")
+}
+
+// TestEngineRemoteMatchesInProcess: identical cases on the two engines
+// must produce byte-identical answers.
+func TestEngineRemoteMatchesInProcess(t *testing.T) {
+	// Sequential for the same CloseEngines reason as the differential.
+	for _, op := range remoteOps {
+		op := op
+		t.Run(op, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				c := proptest.GenCase(op, sindex.STRPlus, proptest.Shapes[int(seed)%len(proptest.Shapes)], seed)
+				inproc := canonCase(t, c)
+				c.Engine = proptest.EngineRemote
+				remote := canonCase(t, c)
+				if inproc != remote {
+					t.Fatalf("%s seed %d: remote answer diverged from in-process", op, seed)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineRemoteWorkerIndependence: the answer must not depend on the
+// remote pool size — 1, 2 and 3 workers give the same bytes.
+func TestEngineRemoteWorkerIndependence(t *testing.T) {
+	pts := proptest.GenPoints(proptest.ShapeUniform, 130, 41)
+	query := geom.NewRect(50, 200, 800, 900)
+	cases := []struct {
+		op    string
+		canon func(remoteWorkers int) (string, error)
+	}{
+		{"range", func(n int) (string, error) {
+			sys := proptest.NewSystem(proptest.DefaultWorkers)
+			defer proptest.StartRemoteRuntime(sys, n)()
+			if _, err := sys.LoadPoints("pts", pts, sindex.STR); err != nil {
+				return "", err
+			}
+			got, _, err := ops.RangeQueryPoints(sys, "pts", query)
+			return proptest.CanonPoints(got), err
+		}},
+		{"knn", func(n int) (string, error) {
+			sys := proptest.NewSystem(proptest.DefaultWorkers)
+			defer proptest.StartRemoteRuntime(sys, n)()
+			if _, err := sys.LoadPoints("pts", pts, sindex.QuadTree); err != nil {
+				return "", err
+			}
+			got, _, err := ops.KNN(sys, "pts", geom.Pt(400, 400), 7)
+			return proptest.CanonPoints(got), err
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.op, func(t *testing.T) {
+			t.Parallel()
+			if msg := proptest.InvariantRemoteWorkerIndependent(tc.op, tc.canon); msg != "" {
+				t.Error(msg)
+			}
+		})
+	}
+}

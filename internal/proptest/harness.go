@@ -72,15 +72,24 @@ type Failure struct {
 	Shrunk Case   // the ddmin-minimized case (still failing)
 }
 
+// runCheck executes one check with remote-engine cleanup: any runtime a
+// Case.System() call started is torn down before returning, so shrink
+// probes and matrix sweeps never accumulate live masters.
+func runCheck(check Check, c Case) string {
+	defer CloseEngines()
+	return check(c)
+}
+
 // RunCase executes one case; on failure it shrinks the counterexample and
 // returns the report, otherwise nil.
 func RunCase(c Case) *Failure {
 	check := Checks[c.Op]
-	msg := check(c)
+	run := func(c Case) string { return runCheck(check, c) }
+	msg := run(c)
 	if msg == "" {
 		return nil
 	}
-	return &Failure{Case: c, Msg: msg, Shrunk: Shrink(c, check)}
+	return &Failure{Case: c, Msg: msg, Shrunk: Shrink(c, run)}
 }
 
 // Report renders the failure for test logs: what broke, the replayable
@@ -88,7 +97,7 @@ func RunCase(c Case) *Failure {
 // When PROPTEST_ARTIFACT_DIR is set the report is also written there (the
 // CI soak job uploads that directory when it fails).
 func (f *Failure) Report() string {
-	shrunkMsg := Checks[f.Shrunk.Op](f.Shrunk)
+	shrunkMsg := runCheck(Checks[f.Shrunk.Op], f.Shrunk)
 	report := sprintf(
 		"property %s × %v × %v failed: %s\n\nshrunk to %d points / %d+%d regions: %s\n\nreplay:\n\t%s\n\nrepro test:\n%s",
 		f.Case.Op, f.Case.Tech, f.Case.Shape, f.Msg,

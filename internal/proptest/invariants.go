@@ -84,6 +84,29 @@ func InvariantWorkerIndependent(op string, canon func(workers int) (string, erro
 	return ""
 }
 
+// InvariantRemoteWorkerIndependent: the answer must not depend on how
+// many remote workers the distributed runtime runs — 1, 2 or 3 workers
+// (different dispatch interleavings, replica placements and shuffle
+// paths) must produce byte-identical output.
+func InvariantRemoteWorkerIndependent(op string, canon func(remoteWorkers int) (string, error)) string {
+	var base string
+	counts := []int{1, 2, 3}
+	for i, n := range counts {
+		s, err := canon(n)
+		if err != nil {
+			return sprintf("%s with %d remote workers: %v", op, n, err)
+		}
+		if i == 0 {
+			base = s
+			continue
+		}
+		if s != base {
+			return sprintf("%s: answer with %d remote workers differs from %d", op, n, counts[0])
+		}
+	}
+	return ""
+}
+
 // InvariantJoinSymmetric: join(A, B) must equal join(B, A) with the pair
 // sides swapped.
 func InvariantJoinSymmetric(tech sindex.Technique, left, right []geom.Region) string {

@@ -27,6 +27,12 @@ type Case struct {
 	// granularity, because bugs that need multiple blocks to express can
 	// then be exhibited with far fewer points.
 	BlockSize int
+	// Engine selects the execution engine (default EngineInProcess);
+	// EngineRemote runs the case's systems under an in-test master with
+	// RemoteWorkers goroutine workers and a replicated data plane.
+	Engine Engine
+	// RemoteWorkers is the remote engine's pool size (0 = DefaultRemoteWorkers).
+	RemoteWorkers int
 
 	Pts   []geom.Point  // point-file operations
 	Left  []geom.Region // region range / join left / union input
@@ -53,8 +59,18 @@ func (c Case) blockSize() int {
 }
 
 // System stands up the fresh system this case's checks run against.
+// Under EngineRemote it also attaches a live master/worker runtime,
+// tracked for teardown by CloseEngines.
 func (c Case) System() *core.System {
-	return NewSystemBlock(c.workers(), c.blockSize())
+	sys := NewSystemBlock(c.workers(), c.blockSize())
+	if c.Engine == EngineRemote {
+		n := c.RemoteWorkers
+		if n <= 0 {
+			n = DefaultRemoteWorkers
+		}
+		trackEngine(StartRemoteRuntime(sys, n))
+	}
+	return sys
 }
 
 // Check runs one distributed operation against its brute-force oracle.

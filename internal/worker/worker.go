@@ -11,6 +11,7 @@ package worker
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"spatialhadoop/internal/dfs"
 	"spatialhadoop/internal/fault"
 	"spatialhadoop/internal/mapreduce"
 )
@@ -60,6 +62,10 @@ type Worker struct {
 	client *rpc.Client
 	id     int64
 	hb     time.Duration
+	// dropped marks jobs whose spills were garbage-collected; a late
+	// spill from a straggler attempt of a dropped job is re-removed
+	// instead of resurrecting the job directory.
+	dropped map[int64]bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -310,17 +316,40 @@ func fail(res *mapreduce.TaskDoneArgs, err error) mapreduce.TaskDoneArgs {
 	return *res
 }
 
-// runMap executes one map attempt: read the split from the master,
-// rebuild the job kind, run the shared attempt body, spill one sealed
-// shard frame per reducer, and report totals plus the metrics buffer.
+// runMap executes one map attempt: assemble the split — from the local
+// replica store, peer holders, or the master, in that order — rebuild
+// the job kind, run the shared attempt body, spill one sealed shard
+// frame per reducer, and report totals plus the metrics buffer and the
+// read path's local/remote traffic split.
 func (w *Worker) runMap(client *rpc.Client, id int64, t *mapreduce.TaskAssignment) mapreduce.TaskDoneArgs {
 	res := mapreduce.TaskDoneArgs{WorkerID: id, DispatchID: t.DispatchID}
-	var ws mapreduce.WireSplit
-	args := mapreduce.ReadSplitArgs{JobID: t.JobID, Task: t.Task}
-	if err := client.Call(mapreduce.MasterService+".ReadSplit", args, &ws); err != nil {
-		return fail(&res, fault.Transient(err))
+	var split *mapreduce.Split
+	if t.Meta != nil {
+		if sp, st, err := w.assembleSplit(client, t.Meta); err == nil {
+			split = sp
+			res.LocalReads, res.LocalBytes = st.localReads, st.localBytes
+			res.RemoteReads, res.RemoteBytes = st.remoteReads, st.remoteBytes
+		}
 	}
-	split := ws.Split()
+	if split == nil {
+		// No replica directory (data plane off) or block assembly failed:
+		// whole-split read from the master, every byte remote.
+		var ws mapreduce.WireSplit
+		args := mapreduce.ReadSplitArgs{JobID: t.JobID, Task: t.Task}
+		if err := client.Call(mapreduce.MasterService+".ReadSplit", args, &ws); err != nil {
+			return fail(&res, fault.Transient(err))
+		}
+		split = ws.Split()
+		res.LocalReads, res.LocalBytes = 0, 0
+		res.RemoteReads = int64(len(split.Blocks) + len(split.Extra))
+		res.RemoteBytes = 0
+		for _, b := range split.Blocks {
+			res.RemoteBytes += b.Bytes
+		}
+		for _, b := range split.Extra {
+			res.RemoteBytes += b.Bytes
+		}
+	}
 	kf, err := mapreduce.BuildKind(t.JobKind, t.Conf)
 	if err != nil {
 		return fail(&res, err) // permanent: the worker cannot run this kind
@@ -353,38 +382,45 @@ func (w *Worker) runMap(client *rpc.Client, id int64, t *mapreduce.TaskAssignmen
 	return res
 }
 
-// runReduce executes one reduce attempt: fetch every map task's shard
-// from its holder (in map-task order, matching the in-process shuffle),
-// group, run the shared reduce body, and report the partition output. A
-// shard that cannot be fetched — dead holder, torn spill — is reported in
-// LostMaps so the master re-runs those map tasks before the retry.
+// runReduce executes one reduce attempt: stream every map task's shard
+// from its holder (in map-task order, matching the in-process shuffle)
+// and merge each decoded batch as it arrives, so merging overlaps the
+// transfer of the rest of the shard. A shard that cannot be fetched —
+// dead holder, torn spill — is reported in LostMaps so the master
+// re-runs those map tasks before the retry; the half-merged groups die
+// with the failed attempt.
 func (w *Worker) runReduce(id int64, t *mapreduce.TaskAssignment) mapreduce.TaskDoneArgs {
 	res := mapreduce.TaskDoneArgs{WorkerID: id, DispatchID: t.DispatchID}
 	kf, err := mapreduce.BuildKind(t.JobKind, t.Conf)
 	if err != nil {
 		return fail(&res, err)
 	}
-	taskShards := make([][]mapreduce.Pair, len(t.Sources))
+	groups := make(map[string][]string)
 	var lost []int
-	for i, src := range t.Sources {
-		var pairs []mapreduce.Pair
-		var err error
+	for _, src := range t.Sources {
 		if src.Addr == w.Addr() {
-			pairs, err = w.readSpill(t.JobID, src.Task, src.Attempt, t.Task)
-		} else {
-			pairs, err = mapreduce.FetchShardFrom(src.Addr, t.JobID, src.Task, src.Attempt, t.Task)
-		}
-		if err != nil {
-			lost = append(lost, src.Task)
+			pairs, err := w.readSpill(t.JobID, src.Task, src.Attempt, t.Task)
+			if err != nil {
+				lost = append(lost, src.Task)
+				continue
+			}
+			mapreduce.MergePairs(groups, pairs)
 			continue
 		}
-		taskShards[i] = pairs
+		err := mapreduce.StreamShardFrom(src.Addr, t.JobID, src.Task, src.Attempt, t.Task,
+			func(batch []mapreduce.Pair) error {
+				mapreduce.MergePairs(groups, batch)
+				return nil
+			})
+		if err != nil {
+			lost = append(lost, src.Task)
+		}
 	}
 	if len(lost) > 0 {
 		res.LostMaps = lost
 		return fail(&res, fault.Transientf("worker: reduce %d lost shards of %d map task(s)", t.Task, len(lost)))
 	}
-	out, valuesIn, tm, err := mapreduce.ExecReduceAttempt(kf, t.JobKind, t.Conf, mapreduce.GroupShards(taskShards), t.Attempt)
+	out, valuesIn, tm, err := mapreduce.ExecReduceAttempt(kf, t.JobKind, t.Conf, groups, t.Attempt)
 	if err != nil {
 		return fail(&res, err)
 	}
@@ -394,14 +430,101 @@ func (w *Worker) runReduce(id int64, t *mapreduce.TaskAssignment) mapreduce.Task
 	return res
 }
 
+// readStats is one map attempt's input-traffic split.
+type readStats struct {
+	localReads, localBytes, remoteReads, remoteBytes int64
+}
+
+// assembleSplit rebuilds a map task's split from the replica-aware
+// descriptor: each block from this worker's own replica store when
+// present, else from a peer holder, else from the master. Block order —
+// and so record iteration order, local-index construction and output —
+// is exactly the descriptor's order, which is the in-process split's.
+func (w *Worker) assembleSplit(master *rpc.Client, meta *mapreduce.WireSplitMeta) (*mapreduce.Split, readStats, error) {
+	s := &mapreduce.Split{Partition: meta.Partition, MBR: meta.MBR, ContentMBR: meta.ContentMBR, Tag: meta.Tag}
+	var st readStats
+	peers := make(map[string]*rpc.Client)
+	defer func() {
+		for _, c := range peers {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for _, ref := range meta.Blocks {
+		records, local, err := w.readBlock(master, peers, ref)
+		if err != nil {
+			return nil, readStats{}, err
+		}
+		b := dfs.NewBlockFromRecords(ref.Partition, records)
+		if ref.Extra {
+			s.Extra = append(s.Extra, b)
+		} else {
+			s.Blocks = append(s.Blocks, b)
+		}
+		if local {
+			st.localReads++
+			st.localBytes += b.Bytes
+		} else {
+			st.remoteReads++
+			st.remoteBytes += b.Bytes
+		}
+	}
+	return s, st, nil
+}
+
+// readBlock reads one block's records through the locality chain: own
+// replica file, peer holders, master. The bool result reports whether
+// the read was local.
+func (w *Worker) readBlock(master *rpc.Client, peers map[string]*rpc.Client, ref mapreduce.WireBlockRef) ([]string, bool, error) {
+	if frame, err := os.ReadFile(w.replicaPath(ref.ID)); err == nil {
+		if records, err := mapreduce.DecodeBlockFrame(frame); err == nil {
+			return records, true, nil
+		}
+		// A torn replica is not fatal — fall through to a remote copy.
+	}
+	self := w.Addr()
+	for _, addr := range ref.Holders {
+		if addr == self {
+			continue
+		}
+		c, ok := peers[addr]
+		if !ok {
+			c, _ = rpc.Dial("tcp", addr)
+			peers[addr] = c // nil caches the dial failure for this split
+		}
+		if c == nil {
+			continue
+		}
+		var reply mapreduce.ReadBlockReply
+		if err := c.Call(mapreduce.ShardService+".ReadBlock", mapreduce.ReadBlockArgs{ID: ref.ID}, &reply); err != nil {
+			continue
+		}
+		if records, err := mapreduce.DecodeBlockFrame(reply.Frame); err == nil {
+			return records, false, nil
+		}
+	}
+	var reply mapreduce.ReadBlockReply
+	if err := master.Call(mapreduce.ShardService+".ReadBlock", mapreduce.ReadBlockArgs{ID: ref.ID}, &reply); err != nil {
+		return nil, false, fault.Transient(err)
+	}
+	records, err := mapreduce.DecodeBlockFrame(reply.Frame)
+	if err != nil {
+		return nil, false, fault.Transient(err)
+	}
+	return records, false, nil
+}
+
 // spillPath lays the spill directory out as job<J>/m<task>.a<attempt>.r<reducer>.
 func (w *Worker) spillPath(jobID int64, task, attempt, reduce int) string {
 	return filepath.Join(w.dir, fmt.Sprintf("job%d", jobID), fmt.Sprintf("m%d.a%d.r%d", task, attempt, reduce))
 }
 
-// writeSpill persists one sealed shard frame via tmp+rename, so a crash
+// writeSpill persists one sealed spill stream via tmp+rename, so a crash
 // mid-write leaves no half-visible file: the fetch either finds a whole
-// frame (whose seal it still verifies) or no file at all.
+// stream (whose frames it still verifies) or no file at all. A spill
+// landing after the job was dropped is removed again — a straggler
+// attempt must not resurrect a garbage-collected job directory.
 func (w *Worker) writeSpill(jobID int64, task, attempt, reduce int, frame []byte) error {
 	path := w.spillPath(jobID, task, attempt, reduce)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -411,7 +534,46 @@ func (w *Worker) writeSpill(jobID int64, task, attempt, reduce int, frame []byte
 	if err := os.WriteFile(tmp, frame, 0o644); err != nil {
 		return err
 	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	dropped := w.dropped[jobID]
+	w.mu.Unlock()
+	if dropped {
+		os.RemoveAll(filepath.Join(w.dir, fmt.Sprintf("job%d", jobID)))
+	}
+	return nil
+}
+
+// replicaPath lays the replica store out as replica/b<blockID>.
+func (w *Worker) replicaPath(id int64) string {
+	return filepath.Join(w.dir, "replica", fmt.Sprintf("b%d", id))
+}
+
+// writeReplica installs one pushed block replica, tmp+rename like spills.
+func (w *Worker) writeReplica(id int64, frame []byte) error {
+	path := w.replicaPath(id)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, frame, 0o644); err != nil {
+		return err
+	}
 	return os.Rename(tmp, path)
+}
+
+// dropJob garbage-collects one job's spill directory and remembers the
+// job so late spills are dropped too.
+func (w *Worker) dropJob(jobID int64) {
+	w.mu.Lock()
+	if w.dropped == nil {
+		w.dropped = make(map[int64]bool)
+	}
+	w.dropped[jobID] = true
+	w.mu.Unlock()
+	os.RemoveAll(filepath.Join(w.dir, fmt.Sprintf("job%d", jobID)))
 }
 
 // readSpill reads back one of this worker's own spills (a reducer whose
@@ -424,15 +586,58 @@ func (w *Worker) readSpill(jobID int64, task, attempt, reduce int) ([]mapreduce.
 	return mapreduce.DecodeShard(frame)
 }
 
-// shardServer serves this worker's spilled shard frames to reducers.
+// shardServer serves this worker's data plane: spilled shard streams to
+// reducers (chunked), block replicas to the master's push path and to
+// peer map tasks, and the end-of-job spill drop.
 type shardServer struct {
 	w *Worker
 }
 
-// Fetch returns one sealed spill frame. The fetcher unseals it, so a
-// truncated or corrupted spill surfaces as a torn-shard error there.
-func (s *shardServer) Fetch(args mapreduce.FetchShardArgs, reply *FetchShardReply) error {
-	frame, err := os.ReadFile(s.w.spillPath(args.JobID, args.Task, args.Attempt, args.Reduce))
+// FetchChunk returns one chunk of a spilled shard stream. The fetcher
+// verifies frames as they complete, so a truncated or corrupted spill
+// surfaces as a torn-shard error there.
+func (s *shardServer) FetchChunk(args mapreduce.FetchChunkArgs, reply *mapreduce.FetchChunkReply) error {
+	f, err := os.Open(s.w.spillPath(args.JobID, args.Task, args.Attempt, args.Reduce))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
+	if args.Offset < 0 || args.Offset > size {
+		return fmt.Errorf("worker: chunk offset %d outside spill of %d bytes", args.Offset, size)
+	}
+	max := args.MaxBytes
+	if max <= 0 || int64(max) > size-args.Offset {
+		max = int(size - args.Offset)
+	}
+	buf := make([]byte, max)
+	n, err := f.ReadAt(buf, args.Offset)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	reply.Data = buf[:n]
+	reply.EOF = args.Offset+int64(n) >= size
+	return nil
+}
+
+// PushBlock installs a block replica pushed by the master's placement
+// layer. The frame is verified before it is accepted: a replica store
+// never holds bytes it cannot later vouch for.
+func (s *shardServer) PushBlock(args mapreduce.PushBlockArgs, reply *mapreduce.PushBlockReply) error {
+	if _, err := mapreduce.DecodeBlockFrame(args.Frame); err != nil {
+		return err
+	}
+	return s.w.writeReplica(args.ID, args.Frame)
+}
+
+// ReadBlock serves one replica frame to a peer map task (or back to the
+// master). The reader verifies the frame.
+func (s *shardServer) ReadBlock(args mapreduce.ReadBlockArgs, reply *mapreduce.ReadBlockReply) error {
+	frame, err := os.ReadFile(s.w.replicaPath(args.ID))
 	if err != nil {
 		return err
 	}
@@ -440,6 +645,8 @@ func (s *shardServer) Fetch(args mapreduce.FetchShardArgs, reply *FetchShardRepl
 	return nil
 }
 
-// FetchShardReply aliases the wire type so the RPC method signature stays
-// in the worker package.
-type FetchShardReply = mapreduce.FetchShardReply
+// DropJob garbage-collects a finished job's spill directory.
+func (s *shardServer) DropJob(args mapreduce.DropJobArgs, reply *mapreduce.DropJobReply) error {
+	s.w.dropJob(args.JobID)
+	return nil
+}
