@@ -111,11 +111,14 @@ func runWorker(args []string) error {
 		dir    = fs.String("dir", "", "spill directory for intermediate shards (default: a fresh temp dir)")
 		tasks  = fs.Int("tasks", 2, "concurrently executing tasks")
 		listen = fs.String("listen", "127.0.0.1:0", "shard-serving listen address")
+		stasks = fs.Bool("serve-tasks", false, "accept sharded-serving exec calls (pin replica partitions and answer range/kNN fragments)")
+		stier  = fs.Int64("serve-tier-bytes", 0, "serving tier budget in bytes (0 = 64 MiB default; only with -serve-tasks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	w, err := worker.Start(worker.Config{Master: *master, Dir: *dir, Tasks: *tasks, Listen: *listen})
+	w, err := worker.Start(worker.Config{Master: *master, Dir: *dir, Tasks: *tasks, Listen: *listen,
+		ServeTasks: *stasks, ServeTierBytes: *stier})
 	if err != nil {
 		return err
 	}

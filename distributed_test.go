@@ -34,9 +34,10 @@ import (
 func TestMain(m *testing.M) {
 	if os.Getenv("SHADOOP_WORKER_MAIN") == "1" {
 		w, err := worker.Start(worker.Config{
-			Master: os.Getenv("SHADOOP_MASTER_ADDR"),
-			Dir:    os.Getenv("SHADOOP_WORKER_DIR"),
-			Tasks:  2,
+			Master:     os.Getenv("SHADOOP_MASTER_ADDR"),
+			Dir:        os.Getenv("SHADOOP_WORKER_DIR"),
+			Tasks:      2,
+			ServeTasks: os.Getenv("SHADOOP_WORKER_SERVE") == "1",
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
@@ -55,14 +56,15 @@ type workerProc struct {
 }
 
 // spawnWorkerProcess re-executes the test binary as a worker process.
-func spawnWorkerProcess(t *testing.T, masterAddr string) *workerProc {
+// extraEnv entries (e.g. SHADOOP_WORKER_SERVE=1) are appended.
+func spawnWorkerProcess(t *testing.T, masterAddr string, extraEnv ...string) *workerProc {
 	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^$")
-	cmd.Env = append(os.Environ(),
+	cmd.Env = append(append(os.Environ(),
 		"SHADOOP_WORKER_MAIN=1",
 		"SHADOOP_MASTER_ADDR="+masterAddr,
 		"SHADOOP_WORKER_DIR="+t.TempDir(),
-	)
+	), extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)

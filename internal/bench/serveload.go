@@ -22,6 +22,7 @@ import (
 	"spatialhadoop/internal/ops"
 	"spatialhadoop/internal/serve"
 	"spatialhadoop/internal/sindex"
+	"spatialhadoop/internal/worker"
 )
 
 // serveCorpus loads the serving workload (an indexed points file plus two
@@ -99,6 +100,10 @@ type ServeLevel struct {
 	QPS       float64 `json:"qps"`
 	P50US     int64   `json:"p50_us"`
 	P99US     int64   `json:"p99_us"`
+	// Engine tags non-default levels: "" is the main mixed-planner ladder
+	// (so old baselines keep matching), "sharded" the scatter/gather level
+	// driven over serve-capable workers.
+	Engine string `json:"engine,omitempty"`
 	// Cache and engine mix, classified client-side from the X-Cache and
 	// X-Engine response headers: hits and coalesced followers never ran a
 	// query; the engine split covers only real executions.
@@ -107,6 +112,7 @@ type ServeLevel struct {
 	Coalesced       int64   `json:"coalesced"`
 	EngineLocal     int64   `json:"engine_local"`
 	EngineMapreduce int64   `json:"engine_mapreduce"`
+	EngineSharded   int64   `json:"engine_sharded,omitempty"`
 	// Quantiles restricted to the selective range-query mix (the pan and
 	// diagonal windows), the workload class the memory tier targets.
 	SelectiveP50US int64 `json:"selective_p50_us"`
@@ -177,8 +183,8 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 	// generator's own CPU profile, and the generator shares the server's
 	// core. The returned body aliases buf — consume it before the next
 	// call on the same buffer.
-	getBuf := func(q string, buf []byte) (int, []byte, []byte, http.Header, error) {
-		resp, err := client.Get(base + q)
+	getBuf := func(baseURL, q string, buf []byte) (int, []byte, []byte, http.Header, error) {
+		resp, err := client.Get(baseURL + q)
 		if err != nil {
 			return 0, nil, buf, nil, err
 		}
@@ -197,7 +203,7 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 		return resp.StatusCode, body, buf, resp.Header, err
 	}
 	get := func(q string) (int, []byte, http.Header, error) {
-		code, body, _, hdr, err := getBuf(q, nil)
+		code, body, _, hdr, err := getBuf(base, q, nil)
 		return code, body, hdr, err
 	}
 
@@ -216,7 +222,8 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 	}
 
 	levels := serveLoadLevels(clients)
-	levelDur := d / time.Duration(len(levels))
+	// One extra level at the end: the sharded engine over its own cluster.
+	levelDur := d / time.Duration(len(levels)+1)
 	report := &ServeBench{
 		Scale:      cfg.Scale,
 		Workers:    cfg.Workers,
@@ -225,12 +232,15 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 
-	for li, nclients := range levels {
+	// measure drives one concurrency level against baseURL and appends it
+	// to the report; every body is checked against the serial oracle, so a
+	// level under any engine is a correctness gate too.
+	measure := func(baseURL string, li, nclients int, engine string) error {
 		var total, failures atomic.Int64
 		var firstErr atomic.Value
 		type clientTally struct {
-			lats, selLats                         []float64
-			cacheHits, coalesced, engLocal, engMR int64
+			lats, selLats                                     []float64
+			cacheHits, coalesced, engLocal, engMR, engSharded int64
 		}
 		tallies := make([]clientTally, nclients)
 		deadline := time.Now().Add(levelDur)
@@ -249,7 +259,7 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 					var body []byte
 					var hdr http.Header
 					var err error
-					code, body, buf, hdr, err = getBuf(q, buf)
+					code, body, buf, hdr, err = getBuf(baseURL, q, buf)
 					lat := float64(time.Since(t0).Microseconds())
 					ct.lats = append(ct.lats, lat)
 					if selective[q] {
@@ -267,6 +277,8 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 							ct.engLocal++
 						case serve.PlannerMapReduce:
 							ct.engMR++
+						case serve.PlannerSharded:
+							ct.engSharded++
 						}
 					}
 					switch {
@@ -292,6 +304,7 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 			Requests:  total.Load(),
 			Failures:  failures.Load(),
 			QPS:       float64(total.Load()) / levelDur.Seconds(),
+			Engine:    engine,
 		}
 		for _, ct := range tallies {
 			all = append(all, ct.lats...)
@@ -300,6 +313,7 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 			lvl.Coalesced += ct.coalesced
 			lvl.EngineLocal += ct.engLocal
 			lvl.EngineMapreduce += ct.engMR
+			lvl.EngineSharded += ct.engSharded
 		}
 		lvl.P50US = int64(obs.ExactQuantile(all, 0.5))
 		lvl.P99US = int64(obs.ExactQuantile(all, 0.99))
@@ -311,16 +325,75 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 			lvl.CacheHitRate = float64(lvl.CacheHits) / float64(lvl.Requests)
 		}
 		report.Levels = append(report.Levels, lvl)
-		fmt.Fprintf(cfg.W, "serveload: clients=%d requests=%d (%.1f req/s) p50=%dus p99=%dus selective_p99=%dus hit_rate=%.2f coalesced=%d local=%d mapreduce=%d failures=%d\n",
-			lvl.Clients, lvl.Requests, lvl.QPS, lvl.P50US, lvl.P99US, lvl.SelectiveP99US,
-			lvl.CacheHitRate, lvl.Coalesced, lvl.EngineLocal, lvl.EngineMapreduce, lvl.Failures)
+		tag := ""
+		if engine != "" {
+			tag = " engine=" + engine
+		}
+		fmt.Fprintf(cfg.W, "serveload:%s clients=%d requests=%d (%.1f req/s) p50=%dus p99=%dus selective_p99=%dus hit_rate=%.2f coalesced=%d local=%d mapreduce=%d sharded=%d failures=%d\n",
+			tag, lvl.Clients, lvl.Requests, lvl.QPS, lvl.P50US, lvl.P99US, lvl.SelectiveP99US,
+			lvl.CacheHitRate, lvl.Coalesced, lvl.EngineLocal, lvl.EngineMapreduce, lvl.EngineSharded, lvl.Failures)
 		if n := failures.Load(); n > 0 {
-			return fmt.Errorf("serveload: %d/%d requests failed at %d clients; first: %v",
-				n, total.Load(), nclients, firstErr.Load())
+			return fmt.Errorf("serveload: %d/%d requests failed at %d clients%s; first: %v",
+				n, total.Load(), nclients, tag, firstErr.Load())
 		}
 		if total.Load() == 0 {
 			return fmt.Errorf("serveload: no requests completed at %d clients within %v", nclients, levelDur)
 		}
+		return nil
+	}
+
+	for li, nclients := range levels {
+		if err := measure(base, li, nclients, ""); err != nil {
+			return err
+		}
+	}
+
+	// Sharded-engine level: the same corpus behind a forced-sharded server
+	// whose cluster runs two serve-capable goroutine workers at replication
+	// 2 — range and kNN scatter to replica holders, join and plot take
+	// their usual engines. Bodies are held to the same serial oracle, so
+	// the level doubles as a byte-identity gate for the scatter path.
+	shSys, err := serveCorpus(cfg)
+	if err != nil {
+		return err
+	}
+	m, err := shSys.Cluster().StartMaster(mapreduce.MasterOptions{
+		HeartbeatEvery: 20 * time.Millisecond,
+		Lease:          200 * time.Millisecond,
+		Metrics:        shSys.Metrics(),
+		Replication:    2,
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Stop()
+	for i := 0; i < 2; i++ {
+		w, err := worker.Start(worker.Config{Master: m.Addr(), Tasks: 2, FakePID: 9300 + i, ServeTasks: true})
+		if err != nil {
+			return err
+		}
+		defer w.Stop()
+	}
+	for waited := 0; m.LiveWorkers() < 2; waited++ {
+		if waited > 5000 {
+			return fmt.Errorf("serveload: serve workers never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	shSrv := serve.New(shSys, serve.Config{
+		CacheSize:   serveLoadCacheSize,
+		MaxInFlight: 4,
+		QueueDepth:  4096,
+		JobDeadline: 30 * time.Second,
+		Planner:     serve.PlannerSharded,
+	})
+	shLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go shSrv.Serve(shLn)
+	if err := measure("http://"+shLn.Addr().String(), len(levels), clients, serve.PlannerSharded); err != nil {
+		return err
 	}
 
 	snap := srv.Metrics().Snapshot()
@@ -356,21 +429,27 @@ func ServeLoad(cfg Config, d time.Duration, clients int, jsonPath, baselinePath 
 
 // CompareServeBench gates a serve benchmark against a checked-in
 // baseline: any concurrency level whose p99 exceeds 3x the baseline's
-// matching level fails. Levels without a baseline counterpart pass (the
-// ladder may change shape across PRs).
+// matching level fails. Levels are matched on (clients, engine) — the
+// engine tag is "" for the main ladder, so baselines written before the
+// sharded level existed still match it — and levels without a baseline
+// counterpart pass (the ladder may change shape across PRs).
 func CompareServeBench(cur, base *ServeBench) error {
-	byClients := make(map[int]ServeLevel, len(base.Levels))
+	type levelKey struct {
+		clients int
+		engine  string
+	}
+	byKey := make(map[levelKey]ServeLevel, len(base.Levels))
 	for _, l := range base.Levels {
-		byClients[l.Clients] = l
+		byKey[levelKey{l.Clients, l.Engine}] = l
 	}
 	for _, l := range cur.Levels {
-		b, ok := byClients[l.Clients]
+		b, ok := byKey[levelKey{l.Clients, l.Engine}]
 		if !ok || b.P99US <= 0 {
 			continue
 		}
 		if l.P99US > 3*b.P99US {
-			return fmt.Errorf("serveload: p99 regression at %d clients: %dus > 3x baseline %dus",
-				l.Clients, l.P99US, b.P99US)
+			return fmt.Errorf("serveload: p99 regression at %d clients (engine %q): %dus > 3x baseline %dus",
+				l.Clients, l.Engine, l.P99US, b.P99US)
 		}
 	}
 	return nil

@@ -222,6 +222,19 @@ func (fs *FileSystem) FileEpoch(name string) int64 {
 	return f.Epoch()
 }
 
+// Epochs snapshots the mutation epoch of every live file. Masters embed
+// the snapshot in heartbeat replies so workers holding pinned partitions
+// learn about rewrites and drop stale tiers without a second RPC channel.
+func (fs *FileSystem) Epochs() map[string]int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make(map[string]int64, len(fs.files))
+	for name, f := range fs.files {
+		out[name] = f.Epoch()
+	}
+	return out
+}
+
 // SetMetrics attaches a metrics sink; the file system then reports blocks
 // and records read and written. A nil sink disables reporting.
 func (fs *FileSystem) SetMetrics(s Sink) {

@@ -114,6 +114,7 @@ type workerState struct {
 	id       int64
 	addr     string
 	pid      int
+	canServe bool
 	live     bool
 	lastBeat time.Time
 	inflight map[int64]*dispatch
@@ -210,6 +211,10 @@ type Master struct {
 	pending []*dispatch
 	waitCh  chan struct{}
 	closed  bool
+
+	// epochSrc feeds DFS file epochs into heartbeat replies so serving
+	// workers drop stale pinned partitions (see SetEpochSource).
+	epochSrc func() map[string]int64
 
 	stop chan struct{}
 }
@@ -634,7 +639,7 @@ func (s *masterService) Register(args RegisterArgs, reply *RegisterReply) error 
 	m.nextWorker++
 	id := m.nextWorker
 	m.workers[id] = &workerState{
-		id: id, addr: args.Addr, pid: args.PID,
+		id: id, addr: args.Addr, pid: args.PID, canServe: args.CanServe,
 		live: true, lastBeat: time.Now(),
 		inflight: make(map[int64]*dispatch),
 	}
@@ -656,6 +661,9 @@ func (s *masterService) Register(args RegisterArgs, reply *RegisterReply) error 
 // forgot it (lease expired); it must re-register.
 func (s *masterService) Heartbeat(args HeartbeatArgs, reply *HeartbeatReply) error {
 	reply.OK = s.m.renewLease(args.WorkerID)
+	if reply.OK {
+		reply.Epochs = s.m.epochSnapshot()
+	}
 	if s.m.opts.RecordHeartbeats {
 		kind := "heartbeat"
 		if !reply.OK {

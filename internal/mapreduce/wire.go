@@ -48,6 +48,11 @@ type RegisterArgs struct {
 	// PID is the worker's OS process id, used by the real-process kill
 	// mode of the chaos harness.
 	PID int
+	// CanServe marks a worker that runs the query-executor role
+	// (-serve-tasks): it accepts ExecRange/ExecKNN calls against pinned
+	// replica partitions. The master routes sharded serving only to
+	// workers that registered with CanServe.
+	CanServe bool
 }
 
 // RegisterReply assigns the worker its identity and lease terms.
@@ -70,6 +75,13 @@ type HeartbeatArgs struct {
 // re-register before pulling further tasks.
 type HeartbeatReply struct {
 	OK bool
+	// Epochs carries the DFS mutation epoch of every live file (set only
+	// when the master has an epoch source). A serving worker compares the
+	// snapshot against its pinned partitions and drops any pinned under
+	// an older epoch — the push half of cache invalidation. Correctness
+	// never depends on it: executor calls carry the query's epoch and the
+	// tier is epoch-keyed, so a stale pin can never answer a fresh query.
+	Epochs map[string]int64
 }
 
 // GetTaskArgs long-polls for a task assignment. A GetTask call also
@@ -384,6 +396,51 @@ type DropJobArgs struct {
 
 // DropJobReply acknowledges spill GC.
 type DropJobReply struct{}
+
+// ExecRangeArgs asks a serving worker for one partition's fragment of a
+// range query. Meta describes the split (with replica holders) so the
+// worker can assemble it from its local replica store, falling through to
+// peers and the master exactly like a map task; Epoch keys the worker's
+// pinned tier so a rewrite can never be answered from a stale pin.
+type ExecRangeArgs struct {
+	File  string
+	Epoch int64
+	Meta  *WireSplitMeta
+	Query geom.Rect
+}
+
+// ExecRangeReply carries the partition's matched points in canonical
+// (X, then Y) order plus the partition's record count (the master mirrors
+// the local engine's hotness and stats accounting with it).
+type ExecRangeReply struct {
+	Points  []geom.Point
+	Records int64
+}
+
+// ExecKNNArgs asks a serving worker for one partition's tie-complete
+// k-nearest candidate set — the per-worker half of the two-round kNN
+// protocol. The master merges candidate sets from all consulted shards
+// with the canonical (dist, record) comparator.
+type ExecKNNArgs struct {
+	File  string
+	Epoch int64
+	Meta  *WireSplitMeta
+	Q     geom.Point
+	K     int
+}
+
+// WireKNNCandidate is one (dist, record) candidate on the wire.
+type WireKNNCandidate struct {
+	Dist float64
+	Rec  string
+}
+
+// ExecKNNReply carries the partition's candidate set (already sorted and
+// truncated to k by the worker) plus its record count.
+type ExecKNNReply struct {
+	Cands   []WireKNNCandidate
+	Records int64
+}
 
 // EncodeBlockFrame seals a block's records for replica push: the same
 // CRC frame as spill streams, so a replica torn by a dying worker is

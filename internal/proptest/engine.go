@@ -26,6 +26,11 @@ const (
 	// kinds are not registered for remote execution still fall back in
 	// process — identically, which the checks verify).
 	EngineRemote
+	// EngineSharded is EngineRemote with serve-capable workers: the pool
+	// additionally answers the serving layer's sharded scatter calls, so a
+	// Planner: "sharded" server routes partition fragments to real replica
+	// holders instead of degenerating to master-local execution.
+	EngineSharded
 )
 
 // DefaultRemoteWorkers is the remote engine's pool size when a Case does
@@ -64,14 +69,30 @@ func CloseEngines() {
 // all registered before it returns. The returned function tears the
 // runtime down.
 func StartRemoteRuntime(sys *core.System, n int) func() {
+	return startRuntime(sys, n, 2, false)
+}
+
+// StartShardedRuntime is StartRemoteRuntime with serve-capable workers
+// (Config.ServeTasks) and a chosen replication factor, for byte-identity
+// sweeps of the sharded serving engine across pool sizes and replica
+// counts.
+func StartShardedRuntime(sys *core.System, n, replication int) func() {
+	return startRuntime(sys, n, replication, true)
+}
+
+func startRuntime(sys *core.System, n, replication int, serveTasks bool) func() {
 	m, err := sys.Cluster().StartMaster(mapreduce.MasterOptions{
 		HeartbeatEvery: 5 * time.Millisecond,
 		Lease:          100 * time.Millisecond,
 		Metrics:        sys.Metrics(),
-		Replication:    2,
+		Replication:    replication,
 	})
 	if err != nil {
 		panic(sprintf("proptest: start master: %v", err))
+	}
+	pidBase := 9000
+	if serveTasks {
+		pidBase = 9100
 	}
 	workers := make([]*worker.Worker, 0, n)
 	stop := func() {
@@ -81,7 +102,7 @@ func StartRemoteRuntime(sys *core.System, n int) func() {
 		m.Stop()
 	}
 	for i := 0; i < n; i++ {
-		w, err := worker.Start(worker.Config{Master: m.Addr(), Tasks: 2, FakePID: 9000 + i})
+		w, err := worker.Start(worker.Config{Master: m.Addr(), Tasks: 2, FakePID: pidBase + i, ServeTasks: serveTasks})
 		if err != nil {
 			stop()
 			panic(sprintf("proptest: start worker %d: %v", i, err))

@@ -107,6 +107,32 @@ func InvariantRemoteWorkerIndependent(op string, canon func(remoteWorkers int) (
 	return ""
 }
 
+// InvariantShardedWorkerIndependent: a sharded serving answer must not
+// depend on the worker pool size or the replication factor — every
+// (workers, replication) combination in {1,2,3} × {1,2} (different
+// placements, scatter fan-outs and fallback ladders) must produce
+// byte-identical output.
+func InvariantShardedWorkerIndependent(op string, canon func(workers, replication int) (string, error)) string {
+	var base string
+	first := true
+	for _, n := range []int{1, 2, 3} {
+		for _, repl := range []int{1, 2} {
+			s, err := canon(n, repl)
+			if err != nil {
+				return sprintf("%s with %d serve workers replication %d: %v", op, n, repl, err)
+			}
+			if first {
+				base, first = s, false
+				continue
+			}
+			if s != base {
+				return sprintf("%s: answer with %d serve workers replication %d differs from 1 worker replication 1", op, n, repl)
+			}
+		}
+	}
+	return ""
+}
+
 // InvariantJoinSymmetric: join(A, B) must equal join(B, A) with the pair
 // sides swapped.
 func InvariantJoinSymmetric(tech sindex.Technique, left, right []geom.Region) string {

@@ -63,12 +63,15 @@ func (c Case) blockSize() int {
 // tracked for teardown by CloseEngines.
 func (c Case) System() *core.System {
 	sys := NewSystemBlock(c.workers(), c.blockSize())
-	if c.Engine == EngineRemote {
-		n := c.RemoteWorkers
-		if n <= 0 {
-			n = DefaultRemoteWorkers
-		}
+	n := c.RemoteWorkers
+	if n <= 0 {
+		n = DefaultRemoteWorkers
+	}
+	switch c.Engine {
+	case EngineRemote:
 		trackEngine(StartRemoteRuntime(sys, n))
+	case EngineSharded:
+		trackEngine(StartShardedRuntime(sys, n, 2))
 	}
 	return sys
 }
@@ -92,6 +95,7 @@ var Checks = map[string]Check{
 	"farthest-pair": CheckFarthestPair,
 	"union":         CheckUnion,
 	"serve-planner": CheckServePlanner,
+	"serve-sharded": CheckServeSharded,
 }
 
 // CheckOrder is the deterministic iteration order of Checks. New
@@ -101,7 +105,7 @@ var Checks = map[string]Check{
 var CheckOrder = []string{
 	"range", "range-regions", "knn", "join", "ann", "plot",
 	"skyline", "hull", "closest-pair", "farthest-pair", "union",
-	"serve-planner",
+	"serve-planner", "serve-sharded",
 }
 
 // loadPoints stands up a fresh system with the case's point file indexed

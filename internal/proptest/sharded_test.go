@@ -1,0 +1,146 @@
+// Sharded-serving property tests: the scatter/gather engine is held to
+// byte identity against the in-process local engine across the full
+// technique matrix, and to independence from the worker pool size and
+// replication factor.
+package proptest_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spatialhadoop/internal/proptest"
+	"spatialhadoop/internal/serve"
+	"spatialhadoop/internal/sindex"
+)
+
+// TestEngineShardedDifferential: the full differential matrix — range and
+// kNN workloads × every Table-1 technique × seeds — through the sharded
+// scatter path with real serve-capable workers.
+func TestEngineShardedDifferential(t *testing.T) {
+	// Sequential: CloseEngines is process-global (see engine_test.go).
+	for _, tech := range proptest.Techniques {
+		tech := tech
+		t.Run(tech.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				c := proptest.GenCase("serve-sharded", tech, proptest.Shapes[int(seed)%len(proptest.Shapes)], seed)
+				if f := proptest.RunCase(c); f != nil {
+					t.Fatalf("serve-sharded × %v seed %d:\n%s", tech, seed, f.Report())
+				}
+			}
+		})
+	}
+}
+
+// shardedWorkload runs the case's range + kNN workload against one HTTP
+// server and returns every response, status and body, concatenated.
+func shardedWorkload(srv *httptest.Server, c proptest.Case) (string, error) {
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var outs []string
+	get := func(path string, params url.Values) error {
+		resp, err := http.Get(srv.URL + path + "?" + params.Encode())
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		outs = append(outs, fmt.Sprintf("%d %s", resp.StatusCode, body))
+		return nil
+	}
+	for _, r := range c.Queries {
+		params := url.Values{
+			"file": {"pts"},
+			"rect": {ff(r.MinX) + "," + ff(r.MinY) + "," + ff(r.MaxX) + "," + ff(r.MaxY)},
+		}
+		if err := get("/rangequery", params); err != nil {
+			return "", err
+		}
+	}
+	for _, kq := range c.KNNs {
+		params := url.Values{
+			"file":  {"pts"},
+			"point": {ff(kq.Q.X) + "," + ff(kq.Q.Y)},
+			"k":     {strconv.Itoa(kq.K)},
+		}
+		if err := get("/knn", params); err != nil {
+			return "", err
+		}
+	}
+	return strings.Join(outs, "\x00"), nil
+}
+
+// TestShardedWorkerIndependence: the sharded engine's answers must not
+// depend on how many serve workers hold replicas or on the replication
+// factor, and every combination must match the in-process local oracle
+// byte for byte.
+func TestShardedWorkerIndependence(t *testing.T) {
+	c := proptest.GenCase("serve-sharded", sindex.STRPlus, proptest.ShapeClusters, 7)
+
+	// In-process oracle: the local engine over the same dataset, no
+	// distributed runtime at all.
+	oracle := func() string {
+		sys := proptest.NewSystemBlock(proptest.DefaultWorkers, proptest.DefaultBlockSize)
+		if _, err := sys.LoadPoints("pts", c.Pts, c.Tech); err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(serve.New(sys, serve.Config{CacheSize: -1, Planner: serve.PlannerLocal}).Handler())
+		defer srv.Close()
+		out, err := shardedWorkload(srv, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}()
+
+	canon := func(workers, replication int) (string, error) {
+		sys := proptest.NewSystemBlock(proptest.DefaultWorkers, proptest.DefaultBlockSize)
+		defer proptest.StartShardedRuntime(sys, workers, replication)()
+		if _, err := sys.LoadPoints("pts", c.Pts, c.Tech); err != nil {
+			return "", err
+		}
+		srv := httptest.NewServer(serve.New(sys, serve.Config{CacheSize: -1, Planner: serve.PlannerSharded}).Handler())
+		defer srv.Close()
+		out, err := shardedWorkload(srv, c)
+		if err != nil {
+			return "", err
+		}
+		if out != oracle {
+			return "", fmt.Errorf("sharded answer diverged from in-process oracle")
+		}
+		return out, nil
+	}
+	if msg := proptest.InvariantShardedWorkerIndependent("serve-sharded", canon); msg != "" {
+		t.Error(msg)
+	}
+}
+
+// TestShardedExecutesRemotely pins down that the sharded engine really
+// routes fragments to worker executors when replica holders exist — the
+// byte-identity tests above would also pass if every scatter silently
+// fell back to master-local execution.
+func TestShardedExecutesRemotely(t *testing.T) {
+	c := proptest.GenCase("serve-sharded", sindex.STRPlus, proptest.ShapeUniform, 3)
+	sys := proptest.NewSystemBlock(proptest.DefaultWorkers, proptest.DefaultBlockSize)
+	defer proptest.StartShardedRuntime(sys, 2, 2)()
+	if _, err := sys.LoadPoints("pts", c.Pts, c.Tech); err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(sys, serve.Config{CacheSize: -1, Planner: serve.PlannerSharded})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if _, err := shardedWorkload(srv, c); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Counters["serve.shard.exec.remote"] == 0 {
+		t.Fatalf("no fragment executed on a worker: counters %v", snap.Counters)
+	}
+}

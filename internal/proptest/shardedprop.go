@@ -1,0 +1,94 @@
+package proptest
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+
+	"spatialhadoop/internal/serve"
+)
+
+// CheckServeSharded is the scatter/gather differential for the sharded
+// serving engine: a server forced onto Planner "sharded" — routing every
+// candidate partition to the worker holding its replica and gathering the
+// fragments — must answer byte-identically (status and body) to a server
+// forced onto the local in-memory engine over the same loaded system. The
+// case is run under EngineSharded, so the scatters reach real
+// serve-capable goroutine workers over RPC; every successful sharded
+// response must also carry X-Engine: sharded, proving the fragments did
+// come through the scatter path rather than an engine fallback.
+func CheckServeSharded(c Case) string {
+	if len(c.Pts) == 0 {
+		return ""
+	}
+	c.Engine = EngineSharded
+	sys, msg := c.loadPoints()
+	if msg != "" {
+		return msg
+	}
+	shardSrv := httptest.NewServer(serve.New(sys, serve.Config{
+		CacheSize: -1, Planner: serve.PlannerSharded,
+	}).Handler())
+	defer shardSrv.Close()
+	oracleSrv := httptest.NewServer(serve.New(sys, serve.Config{
+		CacheSize: -1, Planner: serve.PlannerLocal,
+	}).Handler())
+	defer oracleSrv.Close()
+
+	compare := func(path string, params url.Values) string {
+		u := path + "?" + params.Encode()
+		sc, sb, seng, err := serveGetEngine(shardSrv.URL + u)
+		if err != nil {
+			return sprintf("serve-sharded GET %s: %v", u, err)
+		}
+		oc, ob, err := serveGet(oracleSrv.URL + u)
+		if err != nil {
+			return sprintf("serve-sharded oracle GET %s: %v", u, err)
+		}
+		if sc != oc || string(sb) != string(ob) {
+			return sprintf("serve-sharded %s: sharded engine (%d, %.200q) != local engine (%d, %.200q)",
+				u, sc, sb, oc, ob)
+		}
+		if sc == http.StatusOK && seng != serve.PlannerSharded {
+			return sprintf("serve-sharded %s: X-Engine = %q, want %q", u, seng, serve.PlannerSharded)
+		}
+		return ""
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range c.Queries {
+		params := url.Values{
+			"file": {"pts"},
+			"rect": {ff(r.MinX) + "," + ff(r.MinY) + "," + ff(r.MaxX) + "," + ff(r.MaxY)},
+		}
+		if msg := compare("/rangequery", params); msg != "" {
+			return msg
+		}
+	}
+	for _, kq := range c.KNNs {
+		params := url.Values{
+			"file":  {"pts"},
+			"point": {ff(kq.Q.X) + "," + ff(kq.Q.Y)},
+			"k":     {strconv.Itoa(kq.K)},
+		}
+		if msg := compare("/knn", params); msg != "" {
+			return msg
+		}
+	}
+	return ""
+}
+
+// serveGetEngine is serveGet plus the response's X-Engine header.
+func serveGetEngine(u string) (int, []byte, string, error) {
+	resp, err := http.Get(u)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	return resp.StatusCode, body, resp.Header.Get("X-Engine"), nil
+}

@@ -113,9 +113,11 @@ func (t *MemTier) pin(file string, epoch int64, sf *sindex.SFilter, sp *mapreduc
 
 	t.reg.Inc("serve.memtier.misses", 1)
 	part, err := ops.PinSplit(sp)
-	if err == nil {
+	if err == nil && sf != nil {
 		// Exact bitmap for the pinned generation: later queries prune at
-		// record precision.
+		// record precision. (Worker executors pin without a filter — the
+		// master already pruned; bitmap soundness means skipping it can
+		// only scan more, never change bytes.)
 		sf.Refine(part.Key, part.Pts)
 	}
 
@@ -168,6 +170,66 @@ func (t *MemTier) Invalidate(file string) {
 	}
 	for fk := range t.filters {
 		if strings.HasPrefix(fk, prefix) {
+			delete(t.filters, fk)
+		}
+	}
+	t.mu.Unlock()
+	if len(drop) > 0 {
+		t.reg.Inc("serve.memtier.invalidations", int64(len(drop)))
+	}
+}
+
+// Lookup returns the partition when resident, touching LRU order — the
+// worker executor's fast path, checked before it assembles blocks.
+func (t *MemTier) Lookup(file string, epoch int64, partition string) (*ops.LocalPartition, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.entries[tierKey(file, epoch, partition)]
+	if !ok {
+		return nil, false
+	}
+	t.lru.MoveToFront(el)
+	t.reg.Inc("serve.memtier.hits", 1)
+	return el.Value.(*tierEntry).part, true
+}
+
+// PinPartition pins a split without a bitmap filter: the worker
+// executor's entry point, where pruning already happened on the master.
+func (t *MemTier) PinPartition(file string, epoch int64, sp *mapreduce.Split) (*ops.LocalPartition, error) {
+	return t.pin(file, epoch, nil, sp)
+}
+
+// DropStale drops every pinned partition and filter of the file whose
+// epoch is older than epoch — the heartbeat-driven half of cross-worker
+// invalidation (the master's heartbeat reply carries current epochs).
+func (t *MemTier) DropStale(file string, epoch int64) {
+	prefix := file + "@"
+	stale := func(key string) bool {
+		rest, ok := strings.CutPrefix(key, prefix)
+		if !ok {
+			return false
+		}
+		if i := strings.IndexByte(rest, '|'); i >= 0 {
+			rest = rest[:i]
+		}
+		e, err := strconv.ParseInt(rest, 10, 64)
+		return err == nil && e < epoch
+	}
+	t.mu.Lock()
+	var drop []*list.Element
+	for key, el := range t.entries {
+		if stale(key) {
+			drop = append(drop, el)
+		}
+	}
+	for _, el := range drop {
+		e := el.Value.(*tierEntry)
+		t.lru.Remove(el)
+		delete(t.entries, e.key)
+		t.bytes -= e.part.Bytes
+	}
+	for fk := range t.filters {
+		if stale(fk) {
 			delete(t.filters, fk)
 		}
 	}

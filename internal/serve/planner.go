@@ -18,12 +18,18 @@ const (
 	PlannerLocal = "local"
 	// PlannerMapReduce forces the MapReduce engine.
 	PlannerMapReduce = "mapreduce"
+	// PlannerSharded scatters candidate partitions to the workers holding
+	// their replicas (rendezvous-first, then any holder, then master-local
+	// execution) and gathers the sorted fragments into the same canonical
+	// body the local engine builds. Heap files — which have no partitions
+	// to scatter — fall through to MapReduce.
+	PlannerSharded = "sharded"
 )
 
 // ValidPlanner reports whether mode names a planner mode ("" = auto).
 func ValidPlanner(mode string) bool {
 	switch mode {
-	case "", PlannerAuto, PlannerLocal, PlannerMapReduce:
+	case "", PlannerAuto, PlannerLocal, PlannerMapReduce, PlannerSharded:
 		return true
 	}
 	return false
@@ -42,21 +48,24 @@ const (
 
 // execMeta describes how one response body was built, for the X-Engine
 // header, the explain report, and the planner counters. Exactly one of
-// rep/local is set.
+// rep/local is set; shard is set only by the sharded engine (which also
+// fills local with its partition accounting).
 type execMeta struct {
-	engine string // "local" or "mapreduce"
+	engine string // "local", "mapreduce" or "sharded"
 	rep    *mapreduce.Report
 	local  *ops.LocalStats
+	shard  *shardStats
 }
 
-// planRange decides the engine for a range query. A non-nil source means
-// local execution through it; nil means MapReduce.
-func (s *Server) planRange(file string, epoch int64, rect geom.Rect) *tierSource {
-	src, f := s.localSource(file, epoch)
+// planRange decides the engine for a range query under the given planner
+// mode (the per-request engine override or Config.Planner). A non-nil
+// source means local execution through it; nil means MapReduce.
+func (s *Server) planRange(mode, file string, epoch int64, rect geom.Rect) *tierSource {
+	src, f := s.localSource(mode, file, epoch)
 	if src == nil {
 		return nil
 	}
-	if s.cfg.Planner == PlannerLocal {
+	if mode == PlannerLocal {
 		return src
 	}
 	candidates, pinned := 0, 0
@@ -84,16 +93,16 @@ func (s *Server) planRange(file string, epoch int64, rect geom.Rect) *tierSource
 // selective by construction (round one touches a single partition, round
 // two only the correctness circle), so any indexed file runs locally when
 // the tier is on.
-func (s *Server) planKNN(file string, epoch int64) *tierSource {
-	src, _ := s.localSource(file, epoch)
+func (s *Server) planKNN(mode, file string, epoch int64) *tierSource {
+	src, _ := s.localSource(mode, file, epoch)
 	return src
 }
 
 // localSource returns the memory-tier source for the file generation, or
 // (nil, nil) when local execution is impossible (tier disabled, planner
 // forced to MapReduce, file missing or unindexed).
-func (s *Server) localSource(file string, epoch int64) (*tierSource, *core.IndexedFile) {
-	if s.mt == nil || s.cfg.Planner == PlannerMapReduce {
+func (s *Server) localSource(mode, file string, epoch int64) (*tierSource, *core.IndexedFile) {
+	if s.mt == nil || mode == PlannerMapReduce {
 		return nil, nil
 	}
 	f, err := s.sys.Open(file)

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/rpc"
 	"runtime"
 	"slices"
 	"strconv"
@@ -54,8 +55,11 @@ type Config struct {
 	// means default).
 	MemTierBytes int64
 	// Planner selects the query engine per request: PlannerAuto (default),
-	// PlannerLocal, or PlannerMapReduce. Unrecognized values fall back to
-	// auto; the CLI validates before it gets here.
+	// PlannerLocal, PlannerMapReduce, or PlannerSharded. Unrecognized
+	// values fall back to auto; the CLI validates before it gets here. A
+	// request can override the mode with ?engine=; the result cache is
+	// keyed on (query, epoch) only, never the engine, because every
+	// engine produces byte-identical bodies.
 	Planner string
 }
 
@@ -105,6 +109,12 @@ type Server struct {
 	winMu sync.Mutex
 	wins  map[string]*obs.SampleWindow
 
+	// shardClients caches RPC clients to serving workers, keyed by shard
+	// address; a failed call drops the entry so the fallback ladder
+	// redials fresh workers instead of dead sockets.
+	shardMu      sync.Mutex
+	shardClients map[string]*rpc.Client
+
 	logMu sync.Mutex // serializes AccessLog writes
 }
 
@@ -118,12 +128,13 @@ func New(sys *core.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := obs.NewRegistry()
 	s := &Server{
-		sys:   sys,
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheSize, reg),
-		reg:   reg,
-		ring:  obs.NewTraceRing(cfg.TraceRingSize),
-		wins:  make(map[string]*obs.SampleWindow),
+		sys:          sys,
+		cfg:          cfg,
+		cache:        NewCache(cfg.CacheSize, reg),
+		reg:          reg,
+		ring:         obs.NewTraceRing(cfg.TraceRingSize),
+		wins:         make(map[string]*obs.SampleWindow),
+		shardClients: make(map[string]*rpc.Client),
 	}
 	if cfg.MemTierBytes > 0 {
 		s.mt = NewMemTier(cfg.MemTierBytes, reg)
@@ -140,6 +151,12 @@ func New(sys *core.System, cfg Config) *Server {
 		QueueDepth:  cfg.QueueDepth,
 		JobDeadline: cfg.JobDeadline,
 	})
+	if m := sys.Cluster().Master(); m != nil {
+		// Feed DFS epochs into heartbeat replies so serving workers drop
+		// pins obsoleted by rewrites (the sharded engine re-installs this
+		// per query in case the master starts later).
+		m.SetEpochSource(sys.FS().Epochs)
+	}
 	return s
 }
 
@@ -196,6 +213,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if derr := s.sys.Cluster().Drain(ctx); err == nil {
 		err = derr
 	}
+	s.shardMu.Lock()
+	for addr, c := range s.shardClients {
+		c.Close()
+		delete(s.shardClients, addr)
+	}
+	s.shardMu.Unlock()
 	s.reg.SetGauge("serve.draining", 1)
 	return err
 }
@@ -377,6 +400,15 @@ type explainJSON struct {
 	ShuffleUS         int64  `json:"shuffle_us"`
 	ReduceUS          int64  `json:"reduce_us"`
 	CommitUS          int64  `json:"commit_us"`
+	// Sharded-engine scatter/gather accounting (zero for other engines):
+	// fan-out counts partitions scattered (both kNN rounds), remote/local
+	// split the fragments by executor, and the fallback fields count
+	// fragments rerouted after a holder was lost mid-query.
+	ShardFanout        int `json:"shard_fanout"`
+	ShardRemote        int `json:"shard_remote"`
+	ShardLocal         int `json:"shard_local"`
+	ShardFallbackPeer  int `json:"shard_fallback_peer"`
+	ShardFallbackLocal int `json:"shard_fallback_local"`
 }
 
 func buildExplain(traceID, cache string, meta *execMeta) explainJSON {
@@ -391,6 +423,13 @@ func buildExplain(traceID, cache string, meta *execMeta) explainJSON {
 		e.PartitionsPruned = st.PartitionsPruned
 		e.SFilterHits = st.SFilterHits
 		e.SFilterSkips = st.SFilterSkips
+		if sh := meta.shard; sh != nil {
+			e.ShardFanout = sh.fanout
+			e.ShardRemote = sh.remote
+			e.ShardLocal = sh.localExec
+			e.ShardFallbackPeer = sh.fallbackPeer
+			e.ShardFallbackLocal = sh.fallbackLocal
+		}
 		return e
 	}
 	rep := meta.rep
@@ -577,6 +616,21 @@ func splitN(s string, sep byte, max int) []string {
 
 // --- endpoints ---
 
+// plannerFor resolves a request's planner mode: the ?engine= override
+// when present (validated), else the configured mode. The override never
+// enters the cache key — every engine produces byte-identical bodies, so
+// a forced-engine request may be served from a body another engine built.
+func (s *Server) plannerFor(r *http.Request) (string, error) {
+	v := r.URL.Query().Get("engine")
+	if v == "" {
+		return s.cfg.Planner, nil
+	}
+	if !ValidPlanner(v) {
+		return "", badRequest("engine wants auto, local, mapreduce or sharded, got %q", v)
+	}
+	return v, nil
+}
+
 type pointJSON struct {
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
@@ -598,40 +652,61 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	mode, err := s.plannerFor(r)
+	if err != nil {
+		return err
+	}
 	canon := canonicalRect(rect)
 	epoch := s.sys.FS().FileEpoch(file)
+	// The engine never enters the key: all engines produce byte-identical
+	// bodies, so a forced-engine request may safely hit a body another
+	// engine cached.
 	key := fmt.Sprintf("range|%s@%d|%s", file, epoch, canon)
 	return s.respond(w, r, key, "application/json", func(ctx context.Context) ([]byte, *execMeta, error) {
 		var (
 			pts  []geom.Point
 			meta *execMeta
 		)
-		if src := s.planRange(file, epoch, rect); src != nil {
-			matches, stats, err := ops.LocalRangeMatches(s.sys, file, src, rect)
+		if mode == PlannerSharded {
+			spts, smeta, ok, err := s.shardedRange(file, epoch, rect)
 			if err != nil {
 				return nil, nil, err
 			}
-			s.reg.Inc("serve.planner.local", 1)
-			meta = &execMeta{engine: PlannerLocal, local: stats}
-			// Fast path: merge the partitions' sorted streams, copying
-			// pre-encoded fragments — no global sort, no float formatting.
-			if body, ok := encodeRangeBodyMatches(file, canon, matches); ok {
-				return body, meta, nil
+			if ok {
+				s.reg.Inc("serve.planner.sharded", 1)
+				pts, meta = spts, smeta
 			}
-			for _, m := range matches {
-				for _, id := range m.IDs {
-					pts = append(pts, m.Part.Pts[id])
+			// A heap file has no partitions to scatter: fall through to
+			// MapReduce (planRange below returns nil for unindexed files).
+		}
+		if meta == nil {
+			if src := s.planRange(mode, file, epoch, rect); src != nil {
+				matches, stats, err := ops.LocalRangeMatches(s.sys, file, src, rect)
+				if err != nil {
+					return nil, nil, err
 				}
+				s.reg.Inc("serve.planner.local", 1)
+				meta = &execMeta{engine: PlannerLocal, local: stats}
+				// Fast path: merge the partitions' sorted streams, copying
+				// pre-encoded fragments — no global sort, no float formatting.
+				if body, ok := encodeRangeBodyMatches(file, canon, matches); ok {
+					return body, meta, nil
+				}
+				for _, m := range matches {
+					for _, id := range m.IDs {
+						pts = append(pts, m.Part.Pts[id])
+					}
+				}
+			} else {
+				out := s.tempOut(file)
+				defer s.sys.FS().Delete(out)
+				mpts, rep, err := ops.RangeQueryPointsCtx(ctx, s.sys, file, rect, out)
+				if err != nil {
+					return nil, nil, err
+				}
+				s.reg.Inc("serve.planner.mapreduce", 1)
+				pts, meta = mpts, &execMeta{engine: PlannerMapReduce, rep: rep}
 			}
-		} else {
-			out := s.tempOut(file)
-			defer s.sys.FS().Delete(out)
-			mpts, rep, err := ops.RangeQueryPointsCtx(ctx, s.sys, file, rect, out)
-			if err != nil {
-				return nil, nil, err
-			}
-			s.reg.Inc("serve.planner.mapreduce", 1)
-			pts, meta = mpts, &execMeta{engine: PlannerMapReduce, rep: rep}
 		}
 		geom.SortPointsXY(pts)
 		body, err := encodeRangeBody(file, canon, pts)
@@ -666,6 +741,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 	if err != nil || k < 1 {
 		return badRequest("k wants a positive integer, got %q", r.URL.Query().Get("k"))
 	}
+	mode, err := s.plannerFor(r)
+	if err != nil {
+		return err
+	}
 	canonPt := fnum(q.X) + "," + fnum(q.Y)
 	epoch := s.sys.FS().FileEpoch(file)
 	key := fmt.Sprintf("knn|%s@%d|%s|%d", file, epoch, canonPt, k)
@@ -674,25 +753,37 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) error {
 			pts  []geom.Point
 			meta *execMeta
 		)
-		if src := s.planKNN(file, epoch); src != nil {
-			lpts, stats, err := ops.LocalKNNPoints(s.sys, file, src, q, k)
+		if mode == PlannerSharded {
+			spts, smeta, ok, err := s.shardedKNN(file, epoch, q, k)
 			if err != nil {
 				return nil, nil, err
 			}
-			s.reg.Inc("serve.planner.local", 1)
-			pts, meta = lpts, &execMeta{engine: PlannerLocal, local: stats}
-		} else {
-			prefix := s.tempOut(file)
-			defer func() {
-				s.sys.FS().Delete(prefix + ".r1")
-				s.sys.FS().Delete(prefix + ".r2")
-			}()
-			mpts, rep, err := ops.KNNCtx(ctx, s.sys, file, q, k, prefix)
-			if err != nil {
-				return nil, nil, err
+			if ok {
+				s.reg.Inc("serve.planner.sharded", 1)
+				pts, meta = spts, smeta
 			}
-			s.reg.Inc("serve.planner.mapreduce", 1)
-			pts, meta = mpts, &execMeta{engine: PlannerMapReduce, rep: rep}
+		}
+		if meta == nil {
+			if src := s.planKNN(mode, file, epoch); src != nil {
+				lpts, stats, err := ops.LocalKNNPoints(s.sys, file, src, q, k)
+				if err != nil {
+					return nil, nil, err
+				}
+				s.reg.Inc("serve.planner.local", 1)
+				pts, meta = lpts, &execMeta{engine: PlannerLocal, local: stats}
+			} else {
+				prefix := s.tempOut(file)
+				defer func() {
+					s.sys.FS().Delete(prefix + ".r1")
+					s.sys.FS().Delete(prefix + ".r2")
+				}()
+				mpts, rep, err := ops.KNNCtx(ctx, s.sys, file, q, k, prefix)
+				if err != nil {
+					return nil, nil, err
+				}
+				s.reg.Inc("serve.planner.mapreduce", 1)
+				pts, meta = mpts, &execMeta{engine: PlannerMapReduce, rep: rep}
+			}
 		}
 		nbs := make([]neighborJSON, len(pts))
 		for i, p := range pts {

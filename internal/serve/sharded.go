@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"net/rpc"
+	"sync"
+	"time"
+
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/geomio"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/ops"
+	"spatialhadoop/internal/sindex"
+)
+
+// The sharded engine: the master stays a thin router. It prunes candidate
+// partitions with the same geometry (Split.Cover) and bitmap filters the
+// local engine uses, then scatters each surviving partition to the worker
+// holding its replica (rendezvous-first), falling back down a ladder —
+// remaining replica holders, then pin-and-execute on the master — when a
+// holder is lost mid-query. Workers answer from per-worker memory tiers
+// keyed by (file, epoch, partition); the gather merges the sorted
+// fragments with the canonical comparators, so the body is byte-identical
+// to the local and MapReduce engines. kNN runs the existing two-round
+// protocol with per-worker candidate sets and the (dist, record)
+// tie-break; only the per-partition search moves to the shards.
+
+// shardStats is one sharded query's scatter/gather accounting, surfaced
+// through ?explain=1 and the serve.shard.* metric families.
+type shardStats struct {
+	fanout        int // partitions scattered (both kNN rounds summed)
+	remote        int // fragments answered by a worker executor
+	localExec     int // fragments executed on the master
+	fallbackPeer  int // remote answers that skipped >=1 dead holder
+	fallbackLocal int // local executions forced by holder loss
+}
+
+// shardOutcome describes how one partition's fragment was obtained.
+type shardOutcome struct {
+	remote   bool
+	fellBack bool // at least one holder failed before the answer
+}
+
+func (sh *shardStats) tally(o shardOutcome) {
+	if o.remote {
+		sh.remote++
+		if o.fellBack {
+			sh.fallbackPeer++
+		}
+	} else {
+		sh.localExec++
+		if o.fellBack {
+			sh.fallbackLocal++
+		}
+	}
+}
+
+// shardTarget is one candidate partition's routing: its fallback ladder
+// of holder addresses (placement order) and the replica-aware descriptor
+// shipped with the exec call. Empty holders means master-local execution
+// (no master runtime, data plane off, or no serve-capable holders).
+type shardTarget struct {
+	holders []string
+	meta    *mapreduce.WireSplitMeta
+}
+
+// masterForServe resolves the cluster's master runtime (nil when serving
+// in process) and keeps the heartbeat epoch feed installed so serving
+// workers drop pins that DFS rewrites obsoleted.
+func (s *Server) masterForServe() *mapreduce.Master {
+	m := s.sys.Cluster().Master()
+	if m != nil {
+		m.SetEpochSource(s.sys.FS().Epochs)
+	}
+	return m
+}
+
+// scatterTargets plans the routing for the candidate partitions: replicas
+// are ensured (idempotent), holders resolved in placement order, and the
+// serve-phase chaos hook consulted sequentially per target — before any
+// scatter goroutine launches — so kill decisions replay deterministically
+// under a seeded fault plan.
+func (s *Server) scatterTargets(m *mapreduce.Master, cand []*mapreduce.Split) []shardTarget {
+	out := make([]shardTarget, len(cand))
+	if m == nil {
+		return out
+	}
+	m.EnsureServeReplicas(cand)
+	for i, sp := range cand {
+		holders := m.ServeHolders(sp)
+		if len(holders) > 0 {
+			m.MaybeKillServeTarget(i, holders[0])
+		}
+		out[i] = shardTarget{holders: holders, meta: m.ServeMeta(sp)}
+	}
+	return out
+}
+
+// shardClient returns a cached RPC client for a worker's shard address.
+func (s *Server) shardClient(addr string) (*rpc.Client, error) {
+	s.shardMu.Lock()
+	if c, ok := s.shardClients[addr]; ok {
+		s.shardMu.Unlock()
+		return c, nil
+	}
+	s.shardMu.Unlock()
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.shardMu.Lock()
+	if prev, ok := s.shardClients[addr]; ok {
+		s.shardMu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	if s.shardClients == nil {
+		s.shardClients = make(map[string]*rpc.Client)
+	}
+	s.shardClients[addr] = c
+	s.shardMu.Unlock()
+	return c, nil
+}
+
+// dropShardClient discards a cached client after a failed call (the
+// worker likely died; the next query redials or falls back).
+func (s *Server) dropShardClient(addr string, c *rpc.Client) {
+	s.shardMu.Lock()
+	if s.shardClients[addr] == c {
+		delete(s.shardClients, addr)
+	}
+	s.shardMu.Unlock()
+	c.Close()
+}
+
+// callShard performs one exec RPC against a holder through the client
+// cache.
+func (s *Server) callShard(addr, method string, args, reply any) error {
+	c, err := s.shardClient(addr)
+	if err != nil {
+		return err
+	}
+	if err := c.Call(method, args, reply); err != nil {
+		s.dropShardClient(addr, c)
+		return err
+	}
+	return nil
+}
+
+// pinLocal pins one split on the master — the bottom of the fallback
+// ladder. With the memory tier on, the pin is cached and deduplicated;
+// without it the split is decoded per call.
+func (s *Server) pinLocal(file string, epoch int64, sp *mapreduce.Split) (*ops.LocalPartition, error) {
+	if s.mt != nil {
+		return s.mt.PinPartition(file, epoch, sp)
+	}
+	return ops.PinSplit(sp)
+}
+
+// observeShard publishes one query's scatter accounting.
+func (s *Server) observeShard(sh *shardStats) {
+	s.reg.Observe("serve.shard.fanout", float64(sh.fanout))
+	if sh.remote > 0 {
+		s.reg.Inc("serve.shard.exec.remote", int64(sh.remote))
+	}
+	if sh.localExec > 0 {
+		s.reg.Inc("serve.shard.exec.local", int64(sh.localExec))
+	}
+	if sh.fallbackPeer > 0 {
+		s.reg.Inc("serve.shard.fallback.peer", int64(sh.fallbackPeer))
+	}
+	if sh.fallbackLocal > 0 {
+		s.reg.Inc("serve.shard.fallback.local", int64(sh.fallbackLocal))
+	}
+}
+
+// execRangeShard obtains one partition's range fragment down the ladder:
+// each holder in placement order, then master-local execution.
+func (s *Server) execRangeShard(tgt shardTarget, file string, epoch int64, sp *mapreduce.Split, rect geom.Rect) ([]geom.Point, int64, shardOutcome, error) {
+	var out shardOutcome
+	args := mapreduce.ExecRangeArgs{File: file, Epoch: epoch, Meta: tgt.meta, Query: rect}
+	for hi, addr := range tgt.holders {
+		start := time.Now()
+		var reply mapreduce.ExecRangeReply
+		if err := s.callShard(addr, mapreduce.ShardService+".ExecRange", args, &reply); err != nil {
+			s.reg.Inc("serve.shard.rpc.errors", 1)
+			continue
+		}
+		s.reg.ObserveLabeled("serve.shard.latency_us", float64(time.Since(start).Microseconds()), "path", "remote")
+		out.remote, out.fellBack = true, hi > 0
+		return reply.Points, reply.Records, out, nil
+	}
+	start := time.Now()
+	part, err := s.pinLocal(file, epoch, sp)
+	if err != nil {
+		return nil, 0, out, err
+	}
+	s.reg.ObserveLabeled("serve.shard.latency_us", float64(time.Since(start).Microseconds()), "path", "local")
+	out.fellBack = len(tgt.holders) > 0
+	return ops.PartitionRangePoints(part, rect), int64(len(part.Recs)), out, nil
+}
+
+// execKNNShard obtains one partition's sorted, k-truncated candidate set
+// down the same ladder.
+func (s *Server) execKNNShard(tgt shardTarget, file string, epoch int64, sp *mapreduce.Split, q geom.Point, k int) ([]ops.KNNCandidate, int64, shardOutcome, error) {
+	var out shardOutcome
+	args := mapreduce.ExecKNNArgs{File: file, Epoch: epoch, Meta: tgt.meta, Q: q, K: k}
+	for hi, addr := range tgt.holders {
+		start := time.Now()
+		var reply mapreduce.ExecKNNReply
+		if err := s.callShard(addr, mapreduce.ShardService+".ExecKNN", args, &reply); err != nil {
+			s.reg.Inc("serve.shard.rpc.errors", 1)
+			continue
+		}
+		s.reg.ObserveLabeled("serve.shard.latency_us", float64(time.Since(start).Microseconds()), "path", "remote")
+		out.remote, out.fellBack = true, hi > 0
+		cands := make([]ops.KNNCandidate, len(reply.Cands))
+		for i, c := range reply.Cands {
+			cands[i] = ops.KNNCandidate{Dist: c.Dist, Rec: c.Rec}
+		}
+		return cands, reply.Records, out, nil
+	}
+	start := time.Now()
+	part, err := s.pinLocal(file, epoch, sp)
+	if err != nil {
+		return nil, 0, out, err
+	}
+	s.reg.ObserveLabeled("serve.shard.latency_us", float64(time.Since(start).Microseconds()), "path", "local")
+	out.fellBack = len(tgt.holders) > 0
+	return ops.SortKNNCandidates(ops.PartitionKNNCandidates(part, q, k), k), int64(len(part.Recs)), out, nil
+}
+
+// shardedRange executes a range query with the sharded engine. ok=false
+// (with nil error) means the file is a heap — no partitions to scatter —
+// and the caller should fall through to MapReduce.
+func (s *Server) shardedRange(file string, epoch int64, rect geom.Rect) ([]geom.Point, *execMeta, bool, error) {
+	f, err := s.sys.Open(file)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if f.Index == nil {
+		return nil, nil, false, nil
+	}
+	m := s.masterForServe()
+	splits := f.Splits()
+	stats := &ops.LocalStats{PartitionsTotal: len(splits), Rounds: 1}
+	sh := &shardStats{}
+	hot := s.sys.Hotness()
+	var sf *sindex.SFilter
+	if s.mt != nil {
+		sf = s.mt.Source(file, epoch, f.Index).sf
+	}
+	var cand []*mapreduce.Split
+	for _, sp := range splits {
+		if !sp.Cover().Intersects(rect) {
+			stats.PartitionsPruned++
+			hot.RecordPrune(file, sp.Partition)
+			continue
+		}
+		if sf != nil {
+			if !sf.MayIntersect(sp.Partition, rect) {
+				stats.PartitionsPruned++
+				stats.SFilterSkips++
+				hot.RecordPrune(file, sp.Partition)
+				continue
+			}
+			stats.SFilterHits++
+		}
+		cand = append(cand, sp)
+	}
+	sh.fanout = len(cand)
+	targets := s.scatterTargets(m, cand)
+	frags := make([][]geom.Point, len(cand))
+	recs := make([]int64, len(cand))
+	outs := make([]shardOutcome, len(cand))
+	errs := make([]error, len(cand))
+	var wg sync.WaitGroup
+	for i, sp := range cand {
+		wg.Add(1)
+		go func(i int, sp *mapreduce.Split) {
+			defer wg.Done()
+			frags[i], recs[i], outs[i], errs[i] = s.execRangeShard(targets[i], file, epoch, sp, rect)
+		}(i, sp)
+	}
+	wg.Wait()
+	var pts []geom.Point
+	for i, sp := range cand {
+		if errs[i] != nil {
+			return nil, nil, false, errs[i]
+		}
+		stats.PartitionsConsulted++
+		hot.RecordScan(file, sp.Partition)
+		hot.AddRecords(file, sp.Partition, recs[i])
+		stats.Matches += len(frags[i])
+		hot.AddMatches(file, sp.Partition, int64(len(frags[i])))
+		sh.tally(outs[i])
+		pts = append(pts, frags[i]...)
+	}
+	s.observeShard(sh)
+	return pts, &execMeta{engine: PlannerSharded, local: stats, shard: sh}, true, nil
+}
+
+// shardedKNN executes a kNN query with the sharded engine: the same
+// two-round protocol as LocalKNNPoints, with the per-partition search
+// scattered to replica holders. ok=false means heap file.
+func (s *Server) shardedKNN(file string, epoch int64, q geom.Point, k int) ([]geom.Point, *execMeta, bool, error) {
+	f, err := s.sys.Open(file)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if f.Index == nil {
+		return nil, nil, false, nil
+	}
+	m := s.masterForServe()
+	splits := f.Splits()
+	stats := &ops.LocalStats{}
+	sh := &shardStats{}
+	hot := s.sys.Hotness()
+
+	// round scatters the kept splits and merges their candidate sets with
+	// the canonical comparator, mirroring the local engine's bookkeeping.
+	round := func(kept map[*mapreduce.Split]bool) ([]ops.KNNCandidate, error) {
+		stats.Rounds++
+		stats.PartitionsTotal = len(splits)
+		stats.PartitionsConsulted, stats.PartitionsPruned = 0, 0
+		var cand []*mapreduce.Split
+		for _, sp := range splits {
+			if !kept[sp] {
+				stats.PartitionsPruned++
+				hot.RecordPrune(file, sp.Partition)
+				continue
+			}
+			cand = append(cand, sp)
+		}
+		sh.fanout += len(cand)
+		targets := s.scatterTargets(m, cand)
+		frags := make([][]ops.KNNCandidate, len(cand))
+		recs := make([]int64, len(cand))
+		outs := make([]shardOutcome, len(cand))
+		errs := make([]error, len(cand))
+		var wg sync.WaitGroup
+		for i, sp := range cand {
+			wg.Add(1)
+			go func(i int, sp *mapreduce.Split) {
+				defer wg.Done()
+				frags[i], recs[i], outs[i], errs[i] = s.execKNNShard(targets[i], file, epoch, sp, q, k)
+			}(i, sp)
+		}
+		wg.Wait()
+		var all []ops.KNNCandidate
+		for i, sp := range cand {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			stats.PartitionsConsulted++
+			hot.RecordScan(file, sp.Partition)
+			hot.AddRecords(file, sp.Partition, recs[i])
+			stats.Matches += len(frags[i])
+			hot.AddMatches(file, sp.Partition, int64(len(frags[i])))
+			sh.tally(outs[i])
+			all = append(all, frags[i]...)
+		}
+		return ops.SortKNNCandidates(all, k), nil
+	}
+
+	// Round 1: the smallest-area partition covering q, or everything —
+	// identical to the local engine, so both engines keep the same splits
+	// and the correctness-circle decision below matches bit for bit.
+	r1 := make(map[*mapreduce.Split]bool, len(splits))
+	var best *mapreduce.Split
+	for _, sp := range splits {
+		if sp.Cover().ContainsPoint(q) && (best == nil || sp.Cover().Area() < best.Cover().Area()) {
+			best = sp
+		}
+	}
+	if best == nil {
+		for _, sp := range splits {
+			r1[sp] = true
+		}
+	} else {
+		r1[best] = true
+	}
+	cands, err := round(r1)
+	if err != nil {
+		return nil, nil, false, err
+	}
+
+	needSecond := len(cands) < k && k > 0
+	if !needSecond && len(cands) > 0 {
+		radius := cands[min(k, len(cands))-1].Dist
+		circle := geom.Rect{MinX: q.X - radius, MinY: q.Y - radius, MaxX: q.X + radius, MaxY: q.Y + radius}
+		scannedAll := len(r1) == len(splits)
+		ownsCircle := false
+		if f.Index.Disjoint() && len(r1) == 1 {
+			for sp := range r1 {
+				ownsCircle = sp.MBR.ContainsRect(circle)
+			}
+		}
+		if !scannedAll && !ownsCircle {
+			needSecond = true
+		}
+	}
+	if needSecond {
+		radius := 0.0
+		if len(cands) >= k && k > 0 {
+			radius = cands[k-1].Dist
+		}
+		kept := make(map[*mapreduce.Split]bool, len(splits))
+		for _, sp := range splits {
+			if radius == 0 || sp.Cover().MinDistPoint(q) <= radius {
+				kept[sp] = true
+			}
+		}
+		cands, err = round(kept)
+		if err != nil {
+			return nil, nil, false, err
+		}
+	}
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	pts := make([]geom.Point, len(cands))
+	for i, c := range cands {
+		p, err := geomio.DecodePoint(c.Rec)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		pts[i] = p
+	}
+	s.observeShard(sh)
+	return pts, &execMeta{engine: PlannerSharded, local: stats, shard: sh}, true, nil
+}

@@ -1,0 +1,78 @@
+package worker
+
+import (
+	"fmt"
+
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/ops"
+)
+
+// Query-executor role: a worker started with Config.ServeTasks answers
+// the master's sharded-serving scatter calls. Each call names one
+// partition (with its replica-aware descriptor); the worker pins the
+// partition into its memory tier — assembled from its own replica store,
+// peer holders, or the master, exactly like a map task's input — and
+// executes the partition-level half of the range or kNN protocol against
+// the pinned R-tree. Results ship back as canonical fragments; the
+// master's gather merges them into the same body the local engine builds.
+
+// pinServePartition resolves one exec call to a pinned partition.
+func (w *Worker) pinServePartition(file string, epoch int64, meta *mapreduce.WireSplitMeta) (*ops.LocalPartition, error) {
+	if w.tier == nil {
+		return nil, fmt.Errorf("worker: not serve-capable (started without ServeTasks)")
+	}
+	if meta == nil {
+		return nil, fmt.Errorf("worker: exec call without a split descriptor")
+	}
+	if part, ok := w.tier.Lookup(file, epoch, meta.Partition); ok {
+		return part, nil
+	}
+	client, _, _ := w.session()
+	if client == nil {
+		return nil, fmt.Errorf("worker: no master session")
+	}
+	sp, _, err := w.assembleSplit(client, meta)
+	if err != nil {
+		return nil, err
+	}
+	return w.tier.PinPartition(file, epoch, sp)
+}
+
+// ServeTierStats exposes the serving tier's footprint (0, 0 when the
+// worker is not serve-capable) for tests and telemetry.
+func (w *Worker) ServeTierStats() (partitions int, bytes int64) {
+	if w.tier == nil {
+		return 0, 0
+	}
+	return w.tier.Stats()
+}
+
+// ExecRange answers one partition's fragment of a sharded range query:
+// the pinned partition's matching points in canonical (X, then Y) order.
+func (s *shardServer) ExecRange(args mapreduce.ExecRangeArgs, reply *mapreduce.ExecRangeReply) error {
+	part, err := s.w.pinServePartition(args.File, args.Epoch, args.Meta)
+	if err != nil {
+		return err
+	}
+	reply.Points = ops.PartitionRangePoints(part, args.Query)
+	reply.Records = int64(len(part.Recs))
+	return nil
+}
+
+// ExecKNN answers one partition's tie-complete candidate set, sorted with
+// the canonical (dist, record) comparator and truncated to k. Truncating
+// per shard is safe: a candidate outside a shard's own top k can never be
+// in the merged top k.
+func (s *shardServer) ExecKNN(args mapreduce.ExecKNNArgs, reply *mapreduce.ExecKNNReply) error {
+	part, err := s.w.pinServePartition(args.File, args.Epoch, args.Meta)
+	if err != nil {
+		return err
+	}
+	cands := ops.SortKNNCandidates(ops.PartitionKNNCandidates(part, args.Q, args.K), args.K)
+	reply.Cands = make([]mapreduce.WireKNNCandidate, len(cands))
+	for i, c := range cands {
+		reply.Cands[i] = mapreduce.WireKNNCandidate{Dist: c.Dist, Rec: c.Rec}
+	}
+	reply.Records = int64(len(part.Recs))
+	return nil
+}

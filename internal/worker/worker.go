@@ -22,6 +22,8 @@ import (
 	"spatialhadoop/internal/dfs"
 	"spatialhadoop/internal/fault"
 	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/obs"
+	"spatialhadoop/internal/serve"
 )
 
 // Config configures one worker process.
@@ -39,6 +41,13 @@ type Config struct {
 	// process id. Tests running workers as goroutines use it to give each
 	// in-process worker a distinct identity for the kill harness.
 	FakePID int
+	// ServeTasks enables the query-executor role: the worker registers as
+	// serve-capable, pins replica partitions into a local memory tier, and
+	// answers the master's ExecRange/ExecKNN scatter calls.
+	ServeTasks bool
+	// ServeTierBytes is the serving tier's pin budget (default 64 MiB;
+	// only meaningful with ServeTasks).
+	ServeTierBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Listen == "" {
 		c.Listen = "127.0.0.1:0"
+	}
+	if c.ServeTierBytes <= 0 {
+		c.ServeTierBytes = 64 << 20
 	}
 	return c
 }
@@ -57,6 +69,11 @@ type Worker struct {
 	ln      net.Listener
 	dir     string
 	ownsDir bool
+	// tier is the serving-role pin tier (nil unless Config.ServeTasks):
+	// replica partitions decoded and indexed in memory, keyed by
+	// (file, epoch, partition) so a DFS rewrite can never be answered
+	// from a stale pin.
+	tier *serve.MemTier
 
 	mu     sync.Mutex
 	client *rpc.Client
@@ -98,6 +115,9 @@ func Start(cfg Config) (*Worker, error) {
 		return nil, err
 	}
 	w := &Worker{cfg: cfg, ln: ln, dir: dir, ownsDir: ownsDir, stop: make(chan struct{})}
+	if cfg.ServeTasks {
+		w.tier = serve.NewMemTier(cfg.ServeTierBytes, obs.NewRegistry())
+	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(mapreduce.ShardService, &shardServer{w: w}); err != nil {
 		ln.Close()
@@ -179,7 +199,7 @@ func (w *Worker) connect() error {
 		pid = os.Getpid()
 	}
 	var reply mapreduce.RegisterReply
-	args := mapreduce.RegisterArgs{Addr: w.Addr(), PID: pid}
+	args := mapreduce.RegisterArgs{Addr: w.Addr(), PID: pid, CanServe: w.cfg.ServeTasks}
 	if err := client.Call(mapreduce.MasterService+".Register", args, &reply); err != nil {
 		client.Close()
 		return err
@@ -248,6 +268,14 @@ func (w *Worker) heartbeatLoop() {
 		}
 		var reply mapreduce.HeartbeatReply
 		err := client.Call(mapreduce.MasterService+".Heartbeat", mapreduce.HeartbeatArgs{WorkerID: id}, &reply)
+		if err == nil && reply.OK && w.tier != nil {
+			// Epoch push: drop serving pins a DFS rewrite obsoleted. The
+			// epoch-keyed tier already guarantees correctness; this frees
+			// the memory before LRU pressure would.
+			for file, epoch := range reply.Epochs {
+				w.tier.DropStale(file, epoch)
+			}
+		}
 		if err != nil || !reply.OK {
 			select {
 			case <-w.stop:

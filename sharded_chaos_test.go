@@ -1,0 +1,223 @@
+// Serve-phase rows of the chaos soak matrix: a seeded decision SIGKILLs
+// the rendezvous replica holder of a sharded query's first candidate
+// partition after routing is planned but before the scatter launches —
+// the worst moment, because the gather must walk the fallback ladder
+// (peer holder, then master-local execution) with a dead address at the
+// top. Each seed is required to produce responses byte-identical to a
+// fault-free local-engine oracle and to replay deterministically.
+package spatialhadoop_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/fault"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/proptest"
+	"spatialhadoop/internal/serve"
+	"spatialhadoop/internal/sindex"
+	"spatialhadoop/internal/worker"
+)
+
+// shardedChaosWorkload is the fixed query mix each run answers: enough
+// range rects to hit several partitions plus kNN queries that force the
+// two-round protocol.
+func shardedChaosWorkload(srvURL string) ([]string, error) {
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var outs []string
+	get := func(path string, params url.Values) error {
+		resp, err := http.Get(srvURL + path + "?" + params.Encode())
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		outs = append(outs, fmt.Sprintf("%d %s", resp.StatusCode, body))
+		return nil
+	}
+	rects := []geom.Rect{
+		geom.NewRect(0, 0, 1000, 1000),
+		geom.NewRect(100, 100, 400, 500),
+		geom.NewRect(600, 50, 950, 700),
+		geom.NewRect(250, 600, 750, 990),
+	}
+	for _, r := range rects {
+		params := url.Values{
+			"file": {"pts"},
+			"rect": {ff(r.MinX) + "," + ff(r.MinY) + "," + ff(r.MaxX) + "," + ff(r.MaxY)},
+		}
+		if err := get("/rangequery", params); err != nil {
+			return nil, err
+		}
+	}
+	for _, kq := range []struct {
+		q geom.Point
+		k int
+	}{{geom.Pt(500, 500), 9}, {geom.Pt(20, 980), 5}, {geom.Pt(990, 10), 17}} {
+		params := url.Values{
+			"file":  {"pts"},
+			"point": {ff(kq.q.X) + "," + ff(kq.q.Y)},
+			"k":     {strconv.Itoa(kq.k)},
+		}
+		if err := get("/knn", params); err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// shardedChaosRun stands up a master with two serve-capable goroutine
+// workers (replication 2) under plan, serves the workload through a
+// forced-sharded server, and returns the responses, the master's fault
+// log and the serving registry snapshot.
+func shardedChaosRun(t *testing.T, pts []geom.Point, plan fault.Plan) ([]string, *fault.Log, map[string]int64) {
+	t.Helper()
+	sys := core.New(core.Config{BlockSize: 4 << 10, Workers: 6, Seed: 1, Fault: plan})
+
+	var mu sync.Mutex
+	workers := map[int]*worker.Worker{}
+	m, err := sys.Cluster().StartMaster(mapreduce.MasterOptions{
+		HeartbeatEvery: 5 * time.Millisecond,
+		Lease:          50 * time.Millisecond,
+		Metrics:        sys.Metrics(),
+		Replication:    2,
+		EnableKill:     true,
+		KillFn: func(pid int) error {
+			mu.Lock()
+			w := workers[pid]
+			mu.Unlock()
+			if w != nil {
+				w.Stop()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	// Sequential registration (wait for each) keeps worker ids — and with
+	// them the rendezvous placement and the kill victim — deterministic.
+	for i := 0; i < 2; i++ {
+		pid := 2100 + i
+		w, err := worker.Start(worker.Config{Master: m.Addr(), Dir: t.TempDir(), Tasks: 2, FakePID: pid, ServeTasks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		workers[pid] = w
+		mu.Unlock()
+		defer w.Stop()
+		deadline := time.Now().Add(time.Second)
+		for m.LiveWorkers() < i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d did not register in time", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	if _, err := sys.LoadPoints("pts", pts, sindex.STRPlus); err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(sys, serve.Config{CacheSize: -1, Planner: serve.PlannerSharded})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	outs, err := shardedChaosWorkload(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs, m.FaultLog(), s.Metrics().Snapshot().Counters
+}
+
+// TestShardedServeChaosKill: 3 seeds, each killing the rendezvous holder
+// mid-query; the gather must fall back without a byte of difference, and
+// the same seed must replay the same kill at the same coordinates.
+func TestShardedServeChaosKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded serve kill soak is not -short")
+	}
+	pts := proptest.GenPoints(proptest.ShapeClusters, 300, 11)
+
+	// Fault-free oracle: the local engine over the same dataset, no
+	// cluster runtime at all.
+	oracleSys := core.New(core.Config{BlockSize: 4 << 10, Workers: 6, Seed: 1})
+	if _, err := oracleSys.LoadPoints("pts", pts, sindex.STRPlus); err != nil {
+		t.Fatal(err)
+	}
+	oracleSrv := httptest.NewServer(serve.New(oracleSys, serve.Config{CacheSize: -1, Planner: serve.PlannerLocal}).Handler())
+	defer oracleSrv.Close()
+	want, err := shardedChaosWorkload(oracleSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killEvents := func(l *fault.Log) []string {
+		var out []string
+		for _, e := range l.Events() {
+			if e.Kind == "worker-kill" {
+				out = append(out, fmt.Sprintf("%s/%d/worker%d", e.Phase, e.Task, e.Worker))
+			}
+		}
+		return out
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			plan := fault.Plan{
+				Seed:            seed,
+				WorkerKillRate:  1.0,
+				WorkerKillPhase: "serve",
+				KillBudget:      1,
+			}
+			got, flog, counters := shardedChaosRun(t, pts, plan)
+			kills := killEvents(flog)
+			if len(kills) != 1 {
+				t.Fatalf("%d worker-kills fired, want exactly 1: %v", len(kills), kills)
+			}
+			if !strings.HasPrefix(kills[0], "serve/") {
+				t.Fatalf("kill fired outside the serve phase: %s", kills[0])
+			}
+			if fb := counters["serve.shard.fallback.peer"] + counters["serve.shard.fallback.local"]; fb == 0 {
+				t.Fatalf("holder died but no fragment fell back: counters %v", counters)
+			}
+			if counters["serve.shard.rpc.errors"] == 0 {
+				t.Fatalf("holder died but no scatter RPC failed: counters %v", counters)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%d responses under kill vs %d fault-free", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("response %d diverged under holder kill:\n got: %.200q\nwant: %.200q", i, got[i], want[i])
+				}
+			}
+
+			// Deterministic replay: same seed, same responses, same kill
+			// coordinates (phase, task, victim).
+			replay, rlog, _ := shardedChaosRun(t, pts, plan)
+			for i := range got {
+				if replay[i] != got[i] {
+					t.Fatalf("replay changed response %d", i)
+				}
+			}
+			if rk := killEvents(rlog); len(rk) != 1 || rk[0] != kills[0] {
+				t.Fatalf("replay changed the kill: %v vs %v", rk, kills)
+			}
+		})
+	}
+}

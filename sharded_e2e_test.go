@@ -1,0 +1,217 @@
+// Sharded-serving end-to-end test with real worker processes: a master
+// serves HTTP queries through the sharded engine, scattering partition
+// fragments to three serve-capable worker processes (replication 2) over
+// real sockets, while one worker is SIGKILLed under concurrent load. The
+// acceptance contract: every response before, during and after the kill
+// is byte-identical to the in-process local-engine oracle, and the
+// scatter shows up in the Prometheus exposition (written out as a CI
+// artifact when SHARDED_SERVE_ARTIFACT_DIR is set).
+package spatialhadoop_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spatialhadoop/internal/core"
+	"spatialhadoop/internal/datagen"
+	"spatialhadoop/internal/geom"
+	"spatialhadoop/internal/mapreduce"
+	"spatialhadoop/internal/serve"
+	"spatialhadoop/internal/sindex"
+)
+
+// shardedE2EQueries is the query mix the concurrent load loops over.
+func shardedE2EQueries() []string {
+	return []string{
+		"/rangequery?file=pts&rect=2000,2000,16000,16000",
+		"/rangequery?file=pts&rect=500,9000,11000,19500",
+		"/rangequery?file=pts&rect=7500,0,19000,8000",
+		"/rangequery?file=pts&rect=0,0,20000,20000",
+		"/knn?file=pts&point=10000,10000&k=15",
+		"/knn?file=pts&point=100,19000&k=7",
+	}
+}
+
+func shardedE2ECorpus(t *testing.T, sys *core.System) {
+	t.Helper()
+	area := geom.NewRect(0, 0, 20_000, 20_000)
+	pts := datagen.Points(datagen.Clustered, 4000, area, 71)
+	if _, err := sys.LoadPoints("pts", pts, sindex.STR); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedServingE2E: master + three real serve-capable worker
+// processes at replication 2, concurrent HTTP workload, one process
+// SIGKILLed mid-load, every response oracle-checked.
+func TestShardedServingE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-process e2e is not -short")
+	}
+	newSys := func() *core.System {
+		return core.New(core.Config{Workers: 6, BlockSize: 8 << 10, Seed: 1})
+	}
+
+	// In-process local-engine oracle bodies.
+	ref := newSys()
+	shardedE2ECorpus(t, ref)
+	refSrv := httptest.NewServer(serve.New(ref, serve.Config{CacheSize: -1, Planner: serve.PlannerLocal}).Handler())
+	defer refSrv.Close()
+	oracle := map[string]string{}
+	for _, q := range shardedE2EQueries() {
+		resp, err := http.Get(refSrv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("oracle GET %s: %d %s", q, resp.StatusCode, body)
+		}
+		oracle[q] = string(body)
+	}
+
+	// Distributed serving system.
+	sys := newSys()
+	shardedE2ECorpus(t, sys)
+	m, err := sys.Cluster().StartMaster(mapreduce.MasterOptions{
+		HeartbeatEvery: 20 * time.Millisecond,
+		Lease:          200 * time.Millisecond,
+		Metrics:        sys.Metrics(),
+		Replication:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	procs := []*workerProc{
+		spawnWorkerProcess(t, m.Addr(), "SHADOOP_WORKER_SERVE=1"),
+		spawnWorkerProcess(t, m.Addr(), "SHADOOP_WORKER_SERVE=1"),
+		spawnWorkerProcess(t, m.Addr(), "SHADOOP_WORKER_SERVE=1"),
+	}
+	waitLive(t, m, 3)
+
+	s := serve.New(sys, serve.Config{CacheSize: -1, Planner: serve.PlannerSharded, MaxInFlight: 8, QueueDepth: 1024, JobDeadline: 30 * time.Second})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm pass: every query answered once, sharded, before any chaos.
+	for _, q := range shardedE2EQueries() {
+		resp, err := http.Get(ts.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", q, resp.StatusCode, body)
+		}
+		if eng := resp.Header.Get("X-Engine"); eng != serve.PlannerSharded {
+			t.Fatalf("GET %s: X-Engine=%q, want sharded", q, eng)
+		}
+		if string(body) != oracle[q] {
+			t.Fatalf("GET %s: sharded body diverged from oracle", q)
+		}
+	}
+
+	// Concurrent load with a SIGKILL in the middle: 4 clients loop the mix
+	// for ~2s; at ~500ms one worker process dies. Every single response —
+	// racing the kill, the lease expiry and the fallback ladder — must
+	// still match the oracle.
+	var (
+		wg       sync.WaitGroup
+		served   atomic.Int64
+		errsMu   sync.Mutex
+		failures []string
+	)
+	stopAt := time.Now().Add(2 * time.Second)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			queries := shardedE2EQueries()
+			for i := 0; time.Now().Before(stopAt); i++ {
+				q := queries[(i+c)%len(queries)]
+				resp, err := http.Get(ts.URL + q)
+				if err != nil {
+					errsMu.Lock()
+					failures = append(failures, fmt.Sprintf("client %d GET %s: %v", c, q, err))
+					errsMu.Unlock()
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK || string(body) != oracle[q] {
+					errsMu.Lock()
+					failures = append(failures, fmt.Sprintf("client %d GET %s: status %d err %v (oracle mismatch %v)",
+						c, q, resp.StatusCode, err, string(body) != oracle[q]))
+					errsMu.Unlock()
+					return
+				}
+				served.Add(1)
+			}
+		}(c)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if err := procs[0].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if !procs[0].dead(time.Second) {
+		t.Fatal("the SIGKILLed worker process never exited")
+	}
+	t.Logf("served %d oracle-checked responses across the kill", served.Load())
+	if served.Load() == 0 {
+		t.Fatal("the load loop served nothing")
+	}
+
+	// The scatter is visible in the serving metrics: fragments executed on
+	// workers, and the Prometheus exposition carries the shard families.
+	counters := s.Metrics().Snapshot().Counters
+	if counters["serve.shard.exec.remote"] == 0 {
+		t.Fatalf("no fragment executed on a worker process: %v", counters)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"shadoop_serve_shard_fanout", "shadoop_serve_shard_exec_remote"} {
+		if !strings.Contains(string(expo), family) {
+			t.Errorf("/metrics misses the %s family", family)
+		}
+	}
+	if dir := os.Getenv("SHARDED_SERVE_ARTIFACT_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "sharded-serve-metrics.prom"), expo, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
